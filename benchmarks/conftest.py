@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates a paper table/figure; runs are expensive
+simulations, so every bench executes exactly once per session
+(``benchmark.pedantic`` with one round) — pytest-benchmark records the
+wall time, and the rendered result lands in ``benchmarks/results/``.
+"""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,144 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+scale suited to a pure-Python simulator (see DESIGN.md §3 for the scale
+substitutions).  Results are printed and also written to
+``benchmarks/results/<name>.txt`` so runs can be diffed.
+
+The packet-level benches share a common scaled configuration:
+
+* k=4 or k=8 fat-trees (16 / 128 servers) instead of the paper's k=16;
+* 1 Gbps links instead of 10 Gbps (events scale with bytes simulated);
+* pFabric web-search flow sizes scaled to a 200 KB mean so a load point
+  simulates in seconds; the short/long flow boundary and the HYB
+  Q-threshold are scaled by the same factor to preserve the workload's
+  short/long structure.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import format_series, format_table
+from repro.sim import NetworkParams, PacketSimulation, make_routing
+from repro.sim.stats import FlowStats
+from repro.traffic import FlowSpec
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Scaled packet-sim defaults (paper: 10 Gbps, mean 2.4 MB, Q=100 KB).
+LINK_RATE = 1e9
+SIZE_SCALE = 200_000 / 2_400_000  # pFabric mean 2.4 MB -> 200 KB
+MEAN_FLOW_BYTES = 200_000
+SHORT_FLOW_BYTES = int(100_000 * SIZE_SCALE)  # ~8.3 KB
+HYB_Q_BYTES = SHORT_FLOW_BYTES
+MEASURE_START = 0.02
+MEASURE_END = 0.08
+
+
+def save_result(name: str, text: str) -> str:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+    return path
+
+
+def network_params(server_link_rate: Optional[float] = LINK_RATE) -> NetworkParams:
+    """Scaled physical parameters for packet benches."""
+    return NetworkParams(
+        link_rate_bps=LINK_RATE, server_link_rate_bps=server_link_rate
+    )
+
+
+def run_packet(
+    topology,
+    flows: Sequence[FlowSpec],
+    routing: str,
+    measure_start: float = MEASURE_START,
+    measure_end: float = MEASURE_END,
+    server_link_rate: Optional[float] = LINK_RATE,
+    seed: int = 0,
+) -> FlowStats:
+    """One scaled packet-level run with the benchmark conventions.
+
+    The HYB threshold and the short-flow statistics boundary are both
+    scaled by SIZE_SCALE to match the scaled flow-size distribution.
+    """
+    policy = make_routing(
+        routing, topology, seed=seed, hyb_threshold_bytes=HYB_Q_BYTES
+    )
+    sim = PacketSimulation(
+        topology,
+        routing=policy,
+        network_params=network_params(server_link_rate),
+        seed=seed,
+    )
+    sim.inject(flows)
+    stats = sim.run(measure_start, measure_end)
+    stats.short_flow_bytes = SHORT_FLOW_BYTES
+    return stats
+
+
+def run_workload_point(
+    topology,
+    pairs,
+    sizes,
+    rate: float,
+    routing: str,
+    measure_start: float = MEASURE_START,
+    measure_end: float = MEASURE_END,
+    server_link_rate: Optional[float] = LINK_RATE,
+    seed: int = 0,
+) -> FlowStats:
+    """One (workload, load, routing) point of a paper sweep."""
+    from repro.traffic import PoissonArrivals, Workload
+
+    wl = Workload(pairs, sizes, PoissonArrivals(rate), seed=seed)
+    horizon = measure_end + (measure_end - measure_start)
+    flows = wl.generate(horizon=horizon)
+    return run_packet(
+        topology,
+        flows,
+        routing,
+        measure_start=measure_start,
+        measure_end=measure_end,
+        server_link_rate=server_link_rate,
+        seed=seed,
+    )
+
+
+def scaled_pfabric():
+    """The pFabric web-search distribution at the benchmark's 200 KB mean."""
+    from repro.traffic import pfabric_web_search
+
+    return pfabric_web_search(MEAN_FLOW_BYTES)
+
+
+def scaled_pareto_hull():
+    """The Pareto-HULL distribution scaled by the same size factor."""
+    from repro.traffic import pareto_hull
+
+    return pareto_hull(
+        mean_bytes=100_000 * SIZE_SCALE, cap_bytes=1e9 * SIZE_SCALE
+    )
+
+
+def saturation_rate(num_servers: int, load: float, mean_bytes: float) -> float:
+    """Aggregate flow arrival rate producing ``load`` fraction of capacity."""
+    return load * num_servers * LINK_RATE / 8.0 / mean_bytes
+
+
+def fct_series_table(
+    name: str,
+    x_label: str,
+    x_values: Sequence[float],
+    metric_by_system: Dict[str, List[float]],
+    title: str,
+) -> str:
+    """Render one figure's series and persist it."""
+    text = format_series(x_label, x_values, metric_by_system, title=title)
+    return save_result(name, text)

@@ -1,0 +1,65 @@
+"""Ablation: resilience to random link failures.
+
+Not a paper figure, but a deployment property the paper's §3/§4.2
+argument leans on: statically-wired expanders degrade gracefully (their
+capacity is spread over many equivalent links) while fat-trees lose
+structured capacity.  Measures fluid-flow throughput on a fixed
+permutation TM as an increasing fraction of links fail.
+"""
+
+from helpers import save_result
+
+from repro.analysis import format_series
+from repro.throughput import max_concurrent_throughput
+from repro.topologies import (
+    fattree,
+    largest_connected_component,
+    random_link_failures,
+    xpander,
+)
+from repro.traffic import permutation_tm
+
+FAILURE_FRACTIONS = [0.0, 0.05, 0.1, 0.2]
+
+
+def measure():
+    xp = xpander(5, 8, 3)  # 48 switches
+    ft = fattree(6)
+    series = {"Xpander": [], "Fat-tree": []}
+    for frac in FAILURE_FRACTIONS:
+        for name, topo in (("Xpander", xp), ("Fat-tree", ft.topology)):
+            degraded = (
+                topo
+                if frac == 0
+                else largest_connected_component(
+                    random_link_failures(topo, frac, seed=7)
+                )
+            )
+            surviving_tors = [
+                t for t in degraded.tors if degraded.servers_at(t) > 0
+            ]
+            tm = permutation_tm(surviving_tors, 3, fraction=0.5, seed=0)
+            res = max_concurrent_throughput(degraded, tm)
+            series[name].append(res.per_server)
+    return series
+
+
+def test_ablation_resilience(benchmark):
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_series(
+        "failed link fraction",
+        FAILURE_FRACTIONS,
+        series,
+        title=(
+            "Ablation: per-server throughput (Permute(0.5), fluid model) "
+            "under random link failures"
+        ),
+    )
+    save_result("ablation_resilience", text)
+    # Graceful degradation: at 10% failures, the expander keeps most of
+    # its baseline throughput.
+    xp = series["Xpander"]
+    assert xp[2] >= 0.5 * xp[0]
+    # Throughput never increases with more failures (tolerance for the
+    # random TM over the shrinking survivor set).
+    assert xp[-1] <= xp[0] + 0.05

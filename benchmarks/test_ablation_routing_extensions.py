@@ -1,0 +1,77 @@
+"""Ablation: the paper's HYB vs its congestion-aware variant vs adaptive ECMP.
+
+§6.3 first sketches a hybrid that switches a flow from ECMP to VLB after a
+threshold number of ECN marks, then simplifies to the byte-count HYB; §7
+asks whether adaptive routing (CONGA-style) helps expanders.  This bench
+compares all four schemes on the two corner-case scenarios of Fig 7.
+"""
+
+from helpers import (
+    HYB_Q_BYTES,
+    LINK_RATE,
+    MEAN_FLOW_BYTES,
+    run_workload_point,
+    save_result,
+    scaled_pfabric,
+)
+
+from repro.analysis import format_table
+from repro.topologies import xpander
+from repro.traffic import a2a_pair_distribution
+from repro.traffic.patterns import RackPairDistribution
+
+ROUTINGS = ("ecmp", "vlb", "hyb", "chyb", "aecmp", "ksp")
+
+
+def measure():
+    xp = xpander(4, 6, 2)
+    sizes = scaled_pfabric()
+
+    u, v = next(iter(xp.graph.edges()))
+    two_rack = RackPairDistribution(
+        {(u, v): 1.0, (v, u): 1.0}, xp.tor_to_servers()
+    )
+    a2a = a2a_pair_distribution(xp, 1.0, seed=0)
+    a2a_rate = 0.4 * 60 * LINK_RATE / 8.0 / MEAN_FLOW_BYTES
+
+    rows = []
+    for routing in ROUTINGS:
+        # 1300 flows/s at a 200 KB mean pushes ~1.04 Gbps per direction
+        # through the racks' single 1 Gbps direct link: ECMP saturates.
+        two = run_workload_point(
+            xp, two_rack, sizes, 1300.0, routing,
+            measure_start=0.02, measure_end=0.06, seed=1,
+        )
+        uni = run_workload_point(
+            xp, a2a, sizes, a2a_rate, routing,
+            measure_start=0.02, measure_end=0.05, seed=2,
+        )
+        rows.append(
+            [
+                routing,
+                round(two.avg_fct() * 1e3, 3),
+                round(uni.avg_fct() * 1e3, 3),
+            ]
+        )
+    return rows
+
+
+def test_ablation_routing_extensions(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_table(
+        ["routing", "two-rack avg FCT (ms)", "a2a avg FCT (ms)"],
+        rows,
+        title=(
+            "Ablation: ECMP / VLB / HYB / congestion-aware hybrid (chyb) "
+            "/ queue-aware ECMP (aecmp) / k-shortest-paths source routing "
+            "(ksp) on the Fig 7 corner cases"
+        ),
+    )
+    save_result("ablation_routing_extensions", text)
+    by = {r[0]: r for r in rows}
+    # The hybrids must escape the two-rack ECMP bottleneck...
+    assert by["hyb"][1] < by["ecmp"][1]
+    assert by["chyb"][1] < by["ecmp"][1]
+    # ...while staying far from VLB's all-to-all collapse.
+    assert by["hyb"][2] < by["vlb"][2]
+    assert by["chyb"][2] < by["vlb"][2]

@@ -1,0 +1,162 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not paper figures, but sensitivity studies on the knobs the paper fixes:
+
+* HYB's Q threshold (paper §6.3 fixes Q = 100 KB);
+* the DCTCP ECN marking threshold K (paper: 20 packets);
+* Xpander's matching style (deterministic shift vs random lifts);
+* the path-based LP's k (number of shortest paths) vs the exact LP.
+"""
+
+from helpers import (
+    HYB_Q_BYTES,
+    LINK_RATE,
+    MEAN_FLOW_BYTES,
+    fct_series_table,
+    run_packet,
+    save_result,
+    scaled_pfabric,
+)
+
+from repro.analysis import format_table
+from repro.sim import NetworkParams, PacketSimulation
+from repro.sim.routing import HybRouting
+from repro.throughput import max_concurrent_throughput, path_throughput
+from repro.topologies import xpander
+from repro.traffic import (
+    PoissonArrivals,
+    Workload,
+    longest_matching_tm,
+    permute_pair_distribution,
+)
+
+
+def _hyb_point(topo, flows, q_bytes, ecn_threshold=None):
+    routing = HybRouting(topo.graph, q_threshold_bytes=q_bytes, seed=0)
+    params = NetworkParams(link_rate_bps=LINK_RATE)
+    if ecn_threshold is not None:
+        params.ecn_threshold_bytes = ecn_threshold
+    sim = PacketSimulation(topo, routing=routing, network_params=params)
+    sim.inject(flows)
+    stats = sim.run(0.02, 0.05)
+    stats.short_flow_bytes = HYB_Q_BYTES
+    return stats
+
+
+def measure_q_threshold():
+    topo = xpander(4, 6, 2)
+    wl = Workload(
+        permute_pair_distribution(topo, 0.4, seed=1),
+        scaled_pfabric(),
+        PoissonArrivals(0.3 * 24 * LINK_RATE / 8.0 / MEAN_FLOW_BYTES),
+        seed=2,
+    )
+    flows = wl.generate(horizon=0.08)
+    qs = [0, HYB_Q_BYTES, 10 * HYB_Q_BYTES, 10**9]
+    labels = ["pure VLB (Q=0)", "Q=paper", "Q=10x paper", "pure ECMP (Q=inf)"]
+    rows = []
+    for q, label in zip(qs, labels):
+        stats = _hyb_point(topo, flows, q)
+        s = stats.summary()
+        rows.append(
+            [label, round(s["avg_fct_ms"], 3), round(s["short_p99_fct_ms"], 3)]
+        )
+    return rows
+
+
+def test_ablation_hyb_q_threshold(benchmark):
+    rows = benchmark.pedantic(measure_q_threshold, rounds=1, iterations=1)
+    text = format_table(
+        ["Q threshold", "avg FCT (ms)", "p99 short FCT (ms)"],
+        rows,
+        title="Ablation: HYB Q-threshold on Permute(0.4) (paper fixes "
+        "Q=100 KB; scaled here by the size factor)",
+    )
+    save_result("ablation_hyb_q", text)
+    by_label = {r[0]: r for r in rows}
+    # The paper's Q keeps short-flow tail at or below pure VLB's: short
+    # flows ride shortest paths instead of detours.
+    assert by_label["Q=paper"][2] <= by_label["pure VLB (Q=0)"][2] * 1.5
+
+
+def measure_ecn_threshold():
+    topo = xpander(4, 6, 2)
+    wl = Workload(
+        permute_pair_distribution(topo, 0.4, seed=1),
+        scaled_pfabric(),
+        PoissonArrivals(0.3 * 24 * LINK_RATE / 8.0 / MEAN_FLOW_BYTES),
+        seed=3,
+    )
+    flows = wl.generate(horizon=0.08)
+    pkt = 1520
+    rows = []
+    for k_pkts in (5, 20, 80):
+        stats = _hyb_point(topo, flows, HYB_Q_BYTES, ecn_threshold=k_pkts * pkt)
+        s = stats.summary()
+        rows.append(
+            [k_pkts, round(s["avg_fct_ms"], 3), round(s["short_p99_fct_ms"], 3)]
+        )
+    return rows
+
+
+def test_ablation_ecn_threshold(benchmark):
+    rows = benchmark.pedantic(measure_ecn_threshold, rounds=1, iterations=1)
+    text = format_table(
+        ["K (packets)", "avg FCT (ms)", "p99 short FCT (ms)"],
+        rows,
+        title="Ablation: DCTCP ECN marking threshold (paper: K=20)",
+    )
+    save_result("ablation_ecn_threshold", text)
+    assert len(rows) == 3
+
+
+def measure_xpander_matchings():
+    rows = []
+    for style in ("shift", "random"):
+        topo = xpander(5, 8, 4, matching=style, seed=2)
+        tm = longest_matching_tm(topo, fraction=0.5, seed=0)
+        t = max_concurrent_throughput(topo, tm).per_server
+        rows.append(
+            [style, topo.diameter(), round(topo.average_shortest_path_length(), 3),
+             round(t, 4)]
+        )
+    return rows
+
+
+def test_ablation_xpander_matching_style(benchmark):
+    rows = benchmark.pedantic(measure_xpander_matchings, rounds=1, iterations=1)
+    text = format_table(
+        ["matching", "diameter", "avg path", "throughput @ x=0.5"],
+        rows,
+        title="Ablation: Xpander deterministic shift vs random lifts",
+    )
+    save_result("ablation_xpander_matching", text)
+    # Both constructions should be near-equivalent expanders.
+    assert abs(rows[0][3] - rows[1][3]) < 0.15
+
+
+def measure_path_lp_k():
+    topo = xpander(5, 8, 4)
+    tm = longest_matching_tm(topo, fraction=0.6, seed=0)
+    exact = max_concurrent_throughput(topo, tm).throughput
+    rows = []
+    for k in (1, 2, 4, 8, 16):
+        approx = path_throughput(topo, tm, k=k).throughput
+        rows.append([k, round(approx, 4), round(approx / exact, 4)])
+    rows.append(["exact", round(exact, 4), 1.0])
+    return rows
+
+
+def test_ablation_path_lp_k(benchmark):
+    rows = benchmark.pedantic(measure_path_lp_k, rounds=1, iterations=1)
+    text = format_table(
+        ["k paths", "throughput", "fraction of exact"],
+        rows,
+        title="Ablation: path-based LP k vs the exact edge LP "
+        "(longest-matching TM at x=0.6 on a 48-switch Xpander)",
+    )
+    save_result("ablation_path_lp_k", text)
+    fractions = [r[2] for r in rows[:-1]]
+    # More paths monotonically approach the exact optimum.
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > 0.85

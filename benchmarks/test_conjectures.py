@@ -1,0 +1,88 @@
+"""§2's open questions, probed empirically.
+
+* Conjecture 2.4 — permutations are worst-case TMs: compare the worst
+  sampled permutation TM against the worst sampled saturating hose TM on
+  several topologies.
+* The adversarial-matching refinement: how much harder than plain
+  longest-matching TMs can an LP-guided search make the workload?
+"""
+
+from helpers import save_result
+
+from repro.analysis import format_table
+from repro.throughput import (
+    adversarial_matching_tm,
+    conjecture_2_4_evidence,
+    max_concurrent_throughput,
+)
+from repro.traffic import longest_matching_tm
+from repro.topologies import jellyfish, xpander
+
+
+def measure_conjecture():
+    rows = []
+    topologies = [
+        ("xpander(4,4)", xpander(4, 4, 2)),
+        ("xpander(5,4)", xpander(5, 4, 2)),
+        ("jellyfish(16,4)", jellyfish(16, 4, 2, seed=0)),
+    ]
+    all_consistent = True
+    for name, topo in topologies:
+        ev = conjecture_2_4_evidence(topo, servers_per_tor=2, trials=4, seed=0)
+        all_consistent &= ev.consistent
+        rows.append(
+            [
+                name,
+                round(ev.worst_permutation, 4),
+                round(ev.worst_hose, 4),
+                "yes" if ev.consistent else "NO",
+            ]
+        )
+    return rows, all_consistent
+
+
+def measure_adversarial():
+    rows = []
+    for name, topo in (
+        ("xpander(5,6)", xpander(5, 6, 3)),
+        ("jellyfish(20,5)", jellyfish(20, 5, 3, seed=1)),
+    ):
+        base = max_concurrent_throughput(
+            topo, longest_matching_tm(topo, fraction=1.0, seed=0)
+        ).throughput
+        _, adv = adversarial_matching_tm(topo, fraction=1.0, iterations=3, seed=0)
+        rows.append([name, round(base, 4), round(adv, 4), round(adv / base, 4)])
+    return rows
+
+
+def test_conjecture_2_4(benchmark):
+    rows, all_consistent = benchmark.pedantic(
+        measure_conjecture, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["topology", "worst permutation t", "worst hose t", "consistent w/ Conj 2.4"],
+        rows,
+        title=(
+            "Conjecture 2.4 evidence: sampled permutation TMs vs sampled "
+            "saturating hose TMs (consistency = permutations at least as "
+            "hard; sampling cannot prove, only refute)"
+        ),
+    )
+    save_result("conjecture_2_4", text)
+    assert all_consistent
+
+
+def test_adversarial_matching(benchmark):
+    rows = benchmark.pedantic(measure_adversarial, rounds=1, iterations=1)
+    text = format_table(
+        ["topology", "longest-matching t", "adversarial t", "ratio"],
+        rows,
+        title=(
+            "Adversarial matching search vs plain longest-matching TMs "
+            "(LP-utilization-guided re-matching; ratio <= 1 means the "
+            "search found a harder TM)"
+        ),
+    )
+    save_result("adversarial_matching", text)
+    for _, base, adv, ratio in rows:
+        assert adv <= base + 1e-9

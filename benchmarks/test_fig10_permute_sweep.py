@@ -1,0 +1,82 @@
+"""Fig 10: Permute(x) — rack-level random permutation over an x-fraction.
+
+The challenging consolidated workload: rack-to-rack aggregation limits
+load-balancing opportunities.  Paper: Xpander+HYB matches the fat-tree
+for skewed TMs (small x) and deteriorates gracefully as x grows; ECMP on
+Xpander performs very poorly here (single shortest-path bottlenecks).
+"""
+
+from helpers import (
+    LINK_RATE,
+    MEAN_FLOW_BYTES,
+    fct_series_table,
+    run_workload_point,
+    scaled_pfabric,
+)
+
+from repro.topologies import fattree, xpander
+from repro.traffic import permute_pair_distribution
+
+FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
+LOAD_PER_ACTIVE_SERVER = 0.30
+
+
+def measure():
+    ft = fattree(6).topology
+    xp = xpander(4, 6, 2)
+    sizes = scaled_pfabric()
+    systems = (
+        ("Fat-tree", ft, "ecmp"),
+        ("Xpander ECMP", xp, "ecmp"),
+        ("Xpander HYB", xp, "hyb"),
+    )
+    avg = {n: [] for n, _, _ in systems}
+    p99s = {n: [] for n, _, _ in systems}
+    ltput = {n: [] for n, _, _ in systems}
+    for x in FRACTIONS:
+        for name, topo, routing in systems:
+            pairs = permute_pair_distribution(
+                topo, x, seed=5, take_first=(name == "Fat-tree")
+            )
+            active_servers = sum(
+                topo.servers_at(t) for t in pairs.active_racks()
+            )
+            rate = (
+                LOAD_PER_ACTIVE_SERVER * active_servers * LINK_RATE / 8.0
+            ) / MEAN_FLOW_BYTES
+            stats = run_workload_point(
+                topo, pairs, sizes, rate, routing,
+                measure_start=0.02, measure_end=0.05, seed=6,
+            )
+            avg[name].append(stats.avg_fct() * 1e3)
+            p99s[name].append(stats.short_flow_p99_fct() * 1e3)
+            ltput[name].append(stats.long_flow_avg_throughput_bps() / 1e9)
+    return avg, p99s, ltput
+
+
+def test_fig10_permute_sweep(benchmark):
+    avg, p99s, ltput = benchmark.pedantic(measure, rounds=1, iterations=1)
+    fct_series_table(
+        "fig10a_permute_avg_fct", "fraction of active servers", FRACTIONS,
+        avg,
+        "Fig 10(a): Permute(x) average FCT (ms), pFabric sizes, ~30% load "
+        "per active server",
+    )
+    fct_series_table(
+        "fig10b_permute_short_p99", "fraction of active servers", FRACTIONS,
+        p99s,
+        "Fig 10(b): Permute(x) 99th-percentile short-flow FCT (ms)",
+    )
+    fct_series_table(
+        "fig10c_permute_long_tput", "fraction of active servers", FRACTIONS,
+        ltput,
+        "Fig 10(c): Permute(x) average long-flow throughput (Gbps)",
+    )
+    # Paper shape: HYB stays close to the fat-tree in the skewed regime...
+    for i, x in enumerate(FRACTIONS):
+        if x <= 0.4:
+            assert avg["Xpander HYB"][i] <= 2.5 * avg["Fat-tree"][i]
+    # ...and pure ECMP's short-flow tail is the worst of the Xpander
+    # options for consolidated permutation traffic (paper Fig 10(b):
+    # "ECMP over Xpander performs extremely poorly for Permute").
+    assert max(p99s["Xpander ECMP"]) > max(p99s["Xpander HYB"])

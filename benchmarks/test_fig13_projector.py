@@ -1,0 +1,106 @@
+"""Fig 13: the ProjecToR-style comparison (paper §6.6).
+
+Paper configuration: 128 ToRs, 8 servers each; the fat-tree's ToRs have 8
+network ports (plus 192 agg/core switches), the Xpander's ToRs have 16
+static network ports (2x) and *no* other switches.  Evaluated (a, b)
+ignoring server-link bottlenecks — ProjecToR's methodology, which
+effectively oversubscribes the fat-tree at the ToR — and (c) with them
+modeled.
+
+Scaled: k=8 fat-tree (32 ToRs x 4 servers x 4 uplinks + 48 agg/core) vs a
+flat Xpander on the same 32 ToRs with 7 network ports each (the closest
+(d+1) | 32 gives to the paper's 2x ratio).  The hotspot structure is the
+synthetic ProjecToR-like TM (77% of bytes on 4% of rack pairs, hot pairs
+clustered on a quarter of the racks); loads stress hot-rack uplinks, not
+the whole fabric, as in the paper.
+"""
+
+from helpers import (
+    LINK_RATE,
+    MEAN_FLOW_BYTES,
+    fct_series_table,
+    run_workload_point,
+    scaled_pfabric,
+)
+
+from repro.topologies import fattree, xpander
+from repro.traffic import projector_like_pair_distribution
+
+LOADS = [0.1, 0.18, 0.25]
+NUM_SERVERS = 128
+# At 32 racks, reproducing the real trace's *rack-level* hotspot structure
+# requires concentrating the hot pairs more than the published 4%-of-pairs
+# figure implies at 128-rack scale: 1.5% of pairs clustered on 12% of the
+# racks (see DESIGN.md §3 on the ProjecToR-TM substitution).
+HOT_PAIR_FRACTION = 0.015
+HOT_RACK_FRACTION = 0.12
+
+
+def measure():
+    ft = fattree(8).topology  # 32 ToRs: 4 uplinks + 4 servers
+    xp = xpander(7, 4, 4)  # same 32 ToRs: 7 network ports, flat
+    sizes = scaled_pfabric()
+    systems = (
+        ("Fat-tree", ft, "ecmp"),
+        ("Xpander ECMP", xp, "ecmp"),
+        ("Xpander HYB", xp, "hyb"),
+    )
+    rates = []
+    avg_free = {n: [] for n, _, _ in systems}
+    p99_free = {n: [] for n, _, _ in systems}
+    avg_capped = {n: [] for n, _, _ in systems}
+    for load in LOADS:
+        rate = load * NUM_SERVERS * LINK_RATE / 8.0 / MEAN_FLOW_BYTES
+        rates.append(round(rate))
+        for name, topo, routing in systems:
+            pairs = projector_like_pair_distribution(
+                topo,
+                hot_pair_fraction=HOT_PAIR_FRACTION,
+                hot_rack_fraction=HOT_RACK_FRACTION,
+                seed=11,
+            )
+            free = run_workload_point(
+                topo, pairs, sizes, rate, routing,
+                measure_start=0.015, measure_end=0.035,
+                server_link_rate=None, seed=12,
+            )
+            capped = run_workload_point(
+                topo, pairs, sizes, rate, routing,
+                measure_start=0.015, measure_end=0.035, seed=12,
+            )
+            avg_free[name].append(free.avg_fct() * 1e3)
+            p99_free[name].append(free.short_flow_p99_fct() * 1e3)
+            avg_capped[name].append(capped.avg_fct() * 1e3)
+    return rates, avg_free, p99_free, avg_capped
+
+
+def test_fig13_projector(benchmark):
+    rates, avg_free, p99_free, avg_capped = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    fct_series_table(
+        "fig13a_projector_avg_fct_free", "flow starts per second", rates,
+        avg_free,
+        "Fig 13(a): ProjecToR-like TM, server bottlenecks ignored — "
+        "average FCT (ms) (paper: Xpander's 2x ToR ports give up to 90% "
+        "lower FCT than the fat-tree, matching ProjecToR's claimed gains)",
+    )
+    fct_series_table(
+        "fig13b_projector_short_p99_free", "flow starts per second", rates,
+        p99_free,
+        "Fig 13(b): ProjecToR-like TM, server bottlenecks ignored — "
+        "99th-percentile short-flow FCT (ms)",
+    )
+    fct_series_table(
+        "fig13c_projector_avg_fct_capped", "flow starts per second", rates,
+        avg_capped,
+        "Fig 13(c): ProjecToR-like TM, server bottlenecks modeled — "
+        "average FCT (ms) (paper: the full-bandwidth fat-tree leaves "
+        "little room; Xpander matches it)",
+    )
+    # (a/b) Without server bottlenecks, the Xpander's 2x ToR fabric beats
+    # the ToR-limited fat-tree at the highest load.
+    assert avg_free["Xpander HYB"][-1] < avg_free["Fat-tree"][-1]
+    # (c) With server bottlenecks, Xpander stays comparable.
+    for i in range(len(rates)):
+        assert avg_capped["Xpander HYB"][i] <= 2.5 * avg_capped["Fat-tree"][i]

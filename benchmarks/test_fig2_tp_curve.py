@@ -1,0 +1,59 @@
+"""Fig 2: the throughput-proportionality ideal vs the fat-tree.
+
+Renders the analytic curves of Fig 2 (TP: min(alpha/x, 1); fat-tree:
+pinned at alpha down to beta = 2/k) and verifies Theorem 2.1 empirically:
+measured Jellyfish throughput never exceeds the TP ideal anchored at its
+own full-participation (worst-case) throughput.
+"""
+
+from helpers import save_result
+
+from repro.analysis import format_series
+from repro.throughput import (
+    fattree_flexibility_curve,
+    max_concurrent_throughput,
+    skew_sweep,
+    tp_curve,
+)
+from repro.topologies import jellyfish
+
+
+FRACTIONS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0]
+ALPHA = 0.5
+K = 8
+
+
+def measure():
+    jf = jellyfish(20, 5, 4, seed=1)
+    measured = skew_sweep(jf, FRACTIONS, seed=0)
+    alpha_jf = measured.throughput[-1]
+    return {
+        "TP ideal (alpha=0.5)": tp_curve(ALPHA, FRACTIONS),
+        f"fat-tree k={K} (alpha=0.5)": fattree_flexibility_curve(ALPHA, K, FRACTIONS),
+        "Jellyfish measured": measured.throughput,
+        "Jellyfish TP ideal": tp_curve(min(1.0, alpha_jf), FRACTIONS),
+    }
+
+
+def test_fig2_tp_curve(benchmark):
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_series(
+        "fraction",
+        FRACTIONS,
+        series,
+        title=(
+            "Fig 2: throughput proportionality vs the fat-tree's "
+            "flexibility curve (analytic), plus measured Jellyfish vs "
+            "its own TP ideal (Theorem 2.1: measured <= ideal)"
+        ),
+    )
+    save_result("fig2_tp_curve", text)
+    # Theorem 2.1 check: measured never exceeds the TP ideal (tolerance
+    # for sampled-permutation noise in the alpha anchor).
+    for measured, ideal in zip(
+        series["Jellyfish measured"], series["Jellyfish TP ideal"]
+    ):
+        assert measured <= ideal * 1.1 + 1e-9
+    # Fig 2 shape: the fat-tree curve sits at alpha over most of the range.
+    ft = series[f"fat-tree k={K} (alpha=0.5)"]
+    assert ft[-1] == ALPHA and ft[3] == ALPHA

@@ -1,0 +1,91 @@
+"""Fig 3: Xpander's cabling-friendly structure, quantified.
+
+The paper's Fig 3 shows a 486-switch Xpander whose inter-meta-node cables
+aggregate into a small number of bundles, citing Jupiter Rising's ~40%
+fiber-cost saving from bundling.  This bench reproduces the claim at the
+paper's own configuration (scaled-down alongside): bundle counts, bundle
+thickness, and the bundled-fiber cost against an unbundleable random
+graph (Jellyfish) of identical equipment.
+"""
+
+from helpers import save_result
+
+from repro.analysis import format_table
+from repro.topologies import (
+    fattree,
+    fattree_cabling,
+    flat_cabling,
+    jellyfish,
+    xpander,
+    xpander_cabling,
+)
+
+
+def measure():
+    rows = []
+    # The paper's Fig 3 instance: 486 24-port switches, 3402 servers ->
+    # 18 meta-nodes of 27 switches, network degree 17.
+    configs = [
+        ("paper Fig 3 (d=17, lift=27)", 17, 27, 7),
+        ("scaled (d=5, lift=6)", 5, 6, 3),
+    ]
+    reports = {}
+    for label, d, lift, servers in configs:
+        xp = xpander(d, lift, servers)
+        jf = jellyfish(xp.num_switches, d, servers, seed=1)
+        xr = xpander_cabling(xp)
+        jr = flat_cabling(jf)
+        reports[label] = (xr, jr)
+        rows.append(
+            [
+                label + " / Xpander",
+                xr.num_cables,
+                xr.num_bundles,
+                round(xr.cables_per_bundle, 1),
+                round(xr.fiber_cost(), 0),
+            ]
+        )
+        rows.append(
+            [
+                label + " / Jellyfish",
+                jr.num_cables,
+                jr.num_bundles,
+                round(jr.cables_per_bundle, 1),
+                round(jr.fiber_cost(), 0),
+            ]
+        )
+    ft = fattree(8)
+    fr = fattree_cabling(ft)
+    rows.append(
+        [
+            "fat-tree k=8",
+            fr.num_cables,
+            fr.num_bundles,
+            round(fr.cables_per_bundle, 1),
+            round(fr.fiber_cost(), 0),
+        ]
+    )
+    return rows, reports
+
+
+def test_fig3_cabling(benchmark):
+    rows, reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_table(
+        ["configuration", "cables", "bundles", "cables/bundle", "fiber $ (bundled)"],
+        rows,
+        title=(
+            "Fig 3: cable aggregation — Xpander bundles every meta-node "
+            "pair's cables; an equal-equipment random graph cannot bundle "
+            "(bundling saves ~40% of fiber cost, per Jupiter Rising)"
+        ),
+    )
+    save_result("fig3_cabling", text)
+
+    xr, jr = reports["paper Fig 3 (d=17, lift=27)"]
+    # Paper structure: 18 meta-nodes -> C(18, 2) = 153 bundles of 27.
+    assert xr.num_bundles == 153
+    assert xr.cables_per_bundle == 27
+    # The random graph needs an order of magnitude more bundles.
+    assert jr.num_bundles > 10 * xr.num_bundles
+    # Bundling discount materializes in fiber cost.
+    assert xr.fiber_cost() < jr.fiber_cost()

@@ -1,0 +1,62 @@
+"""Fig 4 / §4.1 toy example: static vs un/restricted dynamic networks.
+
+54 ToRs with 6 servers + 6 flexible ports (dynamic) vs equal-cost static
+Jellyfish configurations (delta = 1.5), with all-to-all traffic among 9
+active racks.  Paper numbers: restricted dynamic <= 80%, unrestricted
+100% (modulo duty cycle), equal-cost static 100%.
+"""
+
+import pytest
+from helpers import save_result
+
+from repro.analysis import format_table
+from repro.throughput import max_concurrent_throughput
+from repro.topologies import (
+    DynamicNetworkModel,
+    jellyfish,
+    moore_bound_mean_distance,
+)
+from repro.traffic import all_to_all_tm
+
+
+def measure():
+    num_tors, servers, active = 54, 6, 9
+    dyn = DynamicNetworkModel(num_tors, 6, servers)
+
+    jf_a = jellyfish(54, 9, servers, seed=1, strict=True)
+    tm_a = all_to_all_tm(jf_a.tors, servers, fraction=active / 54, seed=0)
+    static_a = max_concurrent_throughput(jf_a, tm_a).per_server
+
+    jf_b = jellyfish(81, 6, 4, seed=1, strict=True)
+    tm_b = all_to_all_tm(jf_b.tors, 4, fraction=active / 81, seed=0)
+    static_b = max_concurrent_throughput(jf_b, tm_b).per_server
+
+    return {
+        "unrestricted": dyn.unrestricted_throughput(),
+        "restricted": dyn.restricted_throughput(active / num_tors),
+        "jellyfish_more_ports": static_a,
+        "jellyfish_more_switches": static_b,
+        "moore": moore_bound_mean_distance(active, 6),
+    }
+
+
+def test_fig4_toy_example(benchmark):
+    r = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_table(
+        ["design", "per-server throughput"],
+        [
+            ["unrestricted dynamic (ideal)", round(r["unrestricted"], 3)],
+            ["restricted dynamic (bound)", round(r["restricted"], 3)],
+            ["Jellyfish 54sw x 9 net ports", round(r["jellyfish_more_ports"], 3)],
+            ["Jellyfish 81sw x 6 net ports", round(r["jellyfish_more_switches"], 3)],
+        ],
+        title=(
+            "Fig 4 toy example (paper: restricted dynamic capped at 0.80; "
+            "equal-cost static networks achieve full throughput)"
+        ),
+    )
+    save_result("fig4_toy_example", text)
+    assert r["restricted"] == pytest.approx(0.8)
+    assert r["unrestricted"] == 1.0
+    assert r["jellyfish_more_ports"] > 0.95
+    assert r["jellyfish_more_switches"] > 0.95

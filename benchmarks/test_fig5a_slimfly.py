@@ -1,0 +1,88 @@
+"""Fig 5(a): SlimFly and same-equipment Jellyfish vs TP and dynamic models.
+
+Paper configuration: SlimFly q=17 (578 ToRs, 25 network + 24 server
+ports).  Scaled here to q=5 (50 ToRs, 7 network + 6 server ports) with a
+Jellyfish built from exactly the same equipment.  Longest-matching TMs
+(near-worst-case) drive the exact fluid-flow LP; the dynamic models use
+delta = 1.5, and the equal-cost fat-tree curve is the analytic
+flexibility curve at the port budget's oversubscription.
+"""
+
+from helpers import save_result
+
+from repro.analysis import format_series
+from repro.throughput import skew_sweep, tp_curve, fattree_flexibility_curve
+from repro.topologies import (
+    DynamicNetworkModel,
+    equal_cost_dynamic_ports,
+    jellyfish,
+    slimfly,
+)
+
+FRACTIONS = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+Q = 5
+SERVERS = 6
+DELTA = 1.5
+
+
+def measure():
+    sf = slimfly(Q, SERVERS)  # 50 ToRs, degree 7
+    degree = sf.network_degree(sf.switches[0])
+    jf = jellyfish(sf.num_switches, degree, SERVERS, seed=1, strict=True)
+
+    sf_sweep = skew_sweep(sf, FRACTIONS, seed=0)
+    jf_sweep = skew_sweep(jf, FRACTIONS, seed=0)
+
+    dyn = DynamicNetworkModel(
+        num_tors=sf.num_switches,
+        network_ports=equal_cost_dynamic_ports(degree, DELTA),
+        server_ports=SERVERS,
+    )
+    unrestricted = [dyn.unrestricted_throughput()] * len(FRACTIONS)
+    restricted = [dyn.restricted_throughput(x) for x in FRACTIONS]
+
+    # TP ideal anchored at Jellyfish's full-participation throughput.
+    tp = tp_curve(min(1.0, jf_sweep.throughput[-1]), FRACTIONS)
+
+    # Equal-cost fat-tree (analytic): same servers and network-port spend.
+    # A full fat-tree uses 4 network port-ends per server, so the budget's
+    # oversubscription is (ports/server) / 4.
+    net_ports = 2 * sf.num_links
+    alpha_ft = min(1.0, net_ports / sf.num_servers / 4.0)
+    ft = fattree_flexibility_curve(alpha_ft, 12, FRACTIONS)
+
+    return {
+        "Throughput proportional": tp,
+        "Jellyfish": jf_sweep.throughput,
+        f"Unrestricted dyn (d={DELTA})": unrestricted,
+        "SlimFly": sf_sweep.throughput,
+        f"Restricted dyn (d={DELTA})": restricted,
+        "Equal-cost fat-tree": ft,
+    }
+
+
+def test_fig5a_slimfly(benchmark):
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_series(
+        "fraction of servers with traffic",
+        FRACTIONS,
+        series,
+        title=(
+            "Fig 5(a): throughput vs traffic skew — SlimFly (q=5 scaled "
+            "from q=17) and same-equipment Jellyfish vs TP and dynamic "
+            "models at delta=1.5"
+        ),
+    )
+    save_result("fig5a_slimfly", text)
+
+    jf = series["Jellyfish"]
+    restricted = series[f"Restricted dyn (d=1.5)"]
+    ft = series["Equal-cost fat-tree"]
+    # Paper shape: static expanders beat the restricted dynamic model and
+    # the equal-cost fat-tree throughout the regime of interest.
+    for i, x in enumerate(FRACTIONS):
+        assert jf[i] >= restricted[i] - 0.05
+        assert jf[i] >= ft[i] - 0.02
+    # Full throughput in the skewed regime (left side of the figure).
+    assert jf[0] > 0.95
+    assert series["SlimFly"][0] > 0.95

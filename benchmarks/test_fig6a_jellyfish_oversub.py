@@ -1,0 +1,81 @@
+"""Fig 6(a): oversubscribed Jellyfish vs a full-bandwidth fat-tree.
+
+Paper: Jellyfish built with 80% / 50% / 40% of a k=20 fat-tree's switches
+while supporting the same servers still provides nearly full bandwidth to
+any <40% subset.  Scaled here to a k=8 fat-tree (80 switches, 128
+servers, 8-port switches).
+"""
+
+from helpers import save_result
+
+from repro.analysis import format_series
+from repro.throughput import max_concurrent_throughput
+from repro.topologies import jellyfish_degree_sequence
+from repro.traffic import longest_matching_tm
+
+FRACTIONS = [0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0]
+PORTS = 8
+SERVERS_TOTAL = 128
+FULL_SWITCHES = 80
+
+
+def jellyfish_with_budget(num_switches: int, seed: int = 1):
+    """Jellyfish on ``num_switches`` x 8-port switches hosting 128 servers.
+
+    Servers are spread as evenly as possible; every port not used by a
+    server becomes a network port (non-uniform degree sequence when the
+    server count does not divide evenly).
+    """
+    base, extra = divmod(SERVERS_TOTAL, num_switches)
+    servers = {
+        i: base + (1 if i < extra else 0) for i in range(num_switches)
+    }
+    ports = {i: PORTS - servers[i] for i in range(num_switches)}
+    if sum(ports.values()) % 2:
+        ports[num_switches - 1] -= 1  # park one odd port
+    topo = jellyfish_degree_sequence(ports, servers, seed=seed)
+    assert topo.num_servers == SERVERS_TOTAL
+    return topo
+
+
+def measure():
+    series = {"Full fat-tree (analytic)": [1.0] * len(FRACTIONS)}
+    for pct in (80, 50, 40):
+        switches = round(FULL_SWITCHES * pct / 100)
+        topo = jellyfish_with_budget(switches)
+        values = []
+        for x in FRACTIONS:
+            tm = longest_matching_tm(topo, fraction=x, seed=0)
+            values.append(
+                max_concurrent_throughput(topo, tm).per_server
+            )
+        series[f"{pct}% switches Jellyfish"] = values
+    return series
+
+
+def test_fig6a_jellyfish_oversub(benchmark):
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_series(
+        "fraction of servers with traffic",
+        FRACTIONS,
+        series,
+        title=(
+            "Fig 6(a): Jellyfish at 80/50/40% of a k=8 fat-tree's "
+            "switches, same 128 servers, longest-matching TMs "
+            "(paper: k=20; 50% switches ~= full bandwidth below 40%)"
+        ),
+    )
+    save_result("fig6a_jellyfish_oversub", text)
+
+    # Paper claim (scaled): the 50%-switch Jellyfish delivers nearly full
+    # bandwidth while <40% of servers participate.
+    half = series["50% switches Jellyfish"]
+    for x, v in zip(FRACTIONS, half):
+        if x <= 0.3:
+            assert v > 0.85
+    # More switches never hurt.
+    for i in range(len(FRACTIONS)):
+        assert (
+            series["80% switches Jellyfish"][i]
+            >= series["40% switches Jellyfish"][i] - 0.05
+        )

@@ -1,0 +1,119 @@
+"""Fig 7: failure scenarios for ECMP and VLB (paper §6.1-6.2).
+
+(b) Two adjacent Xpander racks exchange all traffic: ECMP can only use
+    the single direct link and its FCT blows up with load, while VLB
+    bounces traffic through the idle fabric; the fat-tree (two racks in
+    one pod) is unaffected.
+(c) All-to-all traffic: VLB's detours consume double capacity and lose;
+    ECMP matches the fat-tree.
+
+Scaled configuration: k=6 fat-tree vs a 30-switch Xpander; 1 Gbps links;
+pFabric sizes at a 200 KB mean (see helpers.py).
+"""
+
+import math
+
+from helpers import (
+    MEAN_FLOW_BYTES,
+    fct_series_table,
+    run_packet,
+    run_workload_point,
+    scaled_pfabric,
+    saturation_rate,
+)
+
+from repro.topologies import fattree, xpander
+from repro.traffic import FlowSpec, a2a_pair_distribution
+from repro.traffic.patterns import RackPairDistribution
+
+
+def _two_rack_distribution(topo, rack_a, rack_b):
+    return RackPairDistribution(
+        {(rack_a, rack_b): 1.0, (rack_b, rack_a): 1.0}, topo.tor_to_servers()
+    )
+
+
+def measure_fig7b():
+    """Average FCT vs load for two-adjacent-rack traffic."""
+    xp = xpander(4, 6, 5)  # 30 switches, 5 servers per rack
+    u, v = next(iter(xp.graph.edges()))
+    xp_pairs = _two_rack_distribution(xp, u, v)
+
+    ft = fattree(6, servers_per_edge=5)
+    pod_edges = ft.edge_switches_in_pod(0)
+    ft_pairs = _two_rack_distribution(ft.topology, pod_edges[0], pod_edges[1])
+
+    sizes = scaled_pfabric()
+    # Bidirectional traffic splits over the two directions of the single
+    # 1 Gbps direct link, which saturates near 1250 flows/s at 200 KB —
+    # the sweep crosses it, as the paper's does.
+    rates = [200.0, 500.0, 900.0, 1400.0]
+    series = {"Fat-tree": [], "Xpander ECMP": [], "Xpander VLB": []}
+    for rate in rates:
+        for name, topo, pairs, routing in (
+            ("Fat-tree", ft.topology, ft_pairs, "ecmp"),
+            ("Xpander ECMP", xp, xp_pairs, "ecmp"),
+            ("Xpander VLB", xp, xp_pairs, "vlb"),
+        ):
+            stats = run_workload_point(
+                topo, pairs, sizes, rate, routing,
+                measure_start=0.02, measure_end=0.08, seed=1,
+            )
+            series[name].append(stats.avg_fct() * 1e3)
+    return rates, series
+
+
+def measure_fig7c():
+    """Average FCT vs load for all-to-all traffic."""
+    xp = xpander(4, 6, 2)  # the 2/3-cost configuration (60 servers)
+    ft = fattree(6)  # 54 servers
+    sizes = scaled_pfabric()
+    loads = [0.15, 0.3, 0.5, 0.7]
+    series = {"Fat-tree": [], "Xpander ECMP": [], "Xpander VLB": []}
+    for load in loads:
+        for name, topo, routing in (
+            ("Fat-tree", ft.topology, "ecmp"),
+            ("Xpander ECMP", xp, "ecmp"),
+            ("Xpander VLB", xp, "vlb"),
+        ):
+            rate = saturation_rate(topo.num_servers, load, MEAN_FLOW_BYTES)
+            pairs = a2a_pair_distribution(topo, 1.0, seed=0)
+            stats = run_workload_point(
+                topo, pairs, sizes, rate, routing,
+                measure_start=0.02, measure_end=0.05, seed=2,
+            )
+            series[name].append(stats.avg_fct() * 1e3)
+    return loads, series
+
+
+def test_fig7b_two_adjacent_racks(benchmark):
+    rates, series = benchmark.pedantic(measure_fig7b, rounds=1, iterations=1)
+    fct_series_table(
+        "fig7b_two_rack",
+        "flow starts per second",
+        rates,
+        series,
+        "Fig 7(b): avg FCT (ms), traffic between two adjacent racks "
+        "(10 active servers; paper: ECMP blows up once the direct link "
+        "saturates, VLB stays low)",
+    )
+    # Past saturation of the single link, ECMP must be far worse than VLB.
+    assert series["Xpander ECMP"][-1] > 2.0 * series["Xpander VLB"][-1]
+    # The fat-tree (full bandwidth between pods' racks) stays low.
+    assert series["Fat-tree"][-1] < series["Xpander ECMP"][-1]
+
+
+def test_fig7c_all_to_all(benchmark):
+    loads, series = benchmark.pedantic(measure_fig7c, rounds=1, iterations=1)
+    fct_series_table(
+        "fig7c_all_to_all",
+        "offered load (fraction of capacity)",
+        loads,
+        series,
+        "Fig 7(c): avg FCT (ms), all-to-all traffic (paper: VLB "
+        "deteriorates with load; ECMP matches the fat-tree)",
+    )
+    # At the highest load VLB is clearly worse than ECMP on Xpander.
+    assert series["Xpander VLB"][-1] > series["Xpander ECMP"][-1]
+    # Xpander-ECMP stays in the fat-tree's ballpark on uniform traffic.
+    assert series["Xpander ECMP"][-1] < 4.0 * series["Fat-tree"][-1]

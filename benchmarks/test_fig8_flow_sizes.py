@@ -1,0 +1,50 @@
+"""Fig 8: the two flow-size distributions used in the experiments.
+
+Regenerates the CDF table for the pFabric web-search distribution (mean
+2.4 MB) and the Pareto-HULL distribution (nominal mean 100 KB, 90th
+percentile < 100 KB), at the paper's unscaled sizes.
+"""
+
+import random
+
+from helpers import save_result
+
+from repro.analysis import format_table
+from repro.traffic import pareto_hull, pfabric_web_search
+
+
+PROBE_SIZES = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9]
+
+
+def measure():
+    ws = pfabric_web_search()
+    hull = pareto_hull()
+    rows = [
+        [f"{int(s):,}", round(ws.cdf(s), 4), round(hull.cdf(s), 4)]
+        for s in PROBE_SIZES
+    ]
+    rng = random.Random(0)
+    ws_mean = sum(ws.sample(rng) for _ in range(20_000)) / 20_000
+    hull_samples = sorted(hull.sample(rng) for _ in range(20_000))
+    hull_p90 = hull_samples[int(0.9 * len(hull_samples))]
+    return rows, ws, hull, ws_mean, hull_p90
+
+
+def test_fig8_flow_sizes(benchmark):
+    rows, ws, hull, ws_mean, hull_p90 = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["flow size (bytes)", "pFabric web search CDF", "Pareto-HULL CDF"],
+        rows,
+        title=(
+            "Fig 8: flow size distributions (paper: web-search mean "
+            "2.4 MB; Pareto-HULL 90th percentile < 100 KB)"
+        ),
+    )
+    save_result("fig8_flow_sizes", text)
+    assert abs(ws.mean() - 2_400_000) < 1
+    assert abs(ws_mean - 2_400_000) / 2_400_000 < 0.1
+    assert hull_p90 < 100_000
+    # Web search is the heavier distribution everywhere above ~100 KB.
+    assert ws.cdf(1e6) < hull.cdf(1e6)

@@ -1,0 +1,82 @@
+"""Fig 9: A2A(x) — all-to-all over an x-fraction of racks, x swept.
+
+Paper: with pFabric sizes at 167 flow-starts/s/server, Xpander+HYB
+matches the full-bandwidth fat-tree while the active fraction is not
+large; short-flow tail FCT matches across nearly the whole range; ECMP
+on Xpander is also fine for this uniform-like workload.
+
+Scaled: k=6 fat-tree (54 servers) vs a 30-switch (2/3-cost) Xpander;
+the per-active-server flow rate corresponds to the paper's ~32% load.
+"""
+
+from helpers import (
+    MEAN_FLOW_BYTES,
+    LINK_RATE,
+    fct_series_table,
+    run_workload_point,
+    scaled_pfabric,
+)
+
+from repro.topologies import fattree, xpander
+from repro.traffic import a2a_pair_distribution
+
+FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
+LOAD_PER_ACTIVE_SERVER = 0.30
+
+
+def measure():
+    ft = fattree(6).topology  # 54 servers
+    xp = xpander(4, 6, 2)  # 30 switches, 60 servers, 2/3 switch cost
+    sizes = scaled_pfabric()
+    systems = (
+        ("Fat-tree", ft, "ecmp"),
+        ("Xpander ECMP", xp, "ecmp"),
+        ("Xpander HYB", xp, "hyb"),
+    )
+    avg = {n: [] for n, _, _ in systems}
+    p99s = {n: [] for n, _, _ in systems}
+    ltput = {n: [] for n, _, _ in systems}
+    for x in FRACTIONS:
+        for name, topo, routing in systems:
+            pairs = a2a_pair_distribution(
+                topo, x, seed=3, take_first=(name == "Fat-tree")
+            )
+            active_servers = sum(
+                topo.servers_at(t) for t in pairs.active_racks()
+            )
+            rate = (
+                LOAD_PER_ACTIVE_SERVER * active_servers * LINK_RATE / 8.0
+            ) / MEAN_FLOW_BYTES
+            stats = run_workload_point(
+                topo, pairs, sizes, rate, routing,
+                measure_start=0.02, measure_end=0.05, seed=4,
+            )
+            avg[name].append(stats.avg_fct() * 1e3)
+            p99s[name].append(stats.short_flow_p99_fct() * 1e3)
+            ltput[name].append(stats.long_flow_avg_throughput_bps() / 1e9)
+    return avg, p99s, ltput
+
+
+def test_fig9_a2a_sweep(benchmark):
+    avg, p99s, ltput = benchmark.pedantic(measure, rounds=1, iterations=1)
+    fct_series_table(
+        "fig9a_a2a_avg_fct", "fraction of active servers", FRACTIONS, avg,
+        "Fig 9(a): A2A(x) average FCT (ms), pFabric sizes, ~30% load per "
+        "active server",
+    )
+    fct_series_table(
+        "fig9b_a2a_short_p99", "fraction of active servers", FRACTIONS, p99s,
+        "Fig 9(b): A2A(x) 99th-percentile short-flow FCT (ms)",
+    )
+    fct_series_table(
+        "fig9c_a2a_long_tput", "fraction of active servers", FRACTIONS, ltput,
+        "Fig 9(c): A2A(x) average long-flow throughput (Gbps)",
+    )
+    # Paper shape: for skewed TMs (small x), Xpander tracks the fat-tree.
+    for i, x in enumerate(FRACTIONS):
+        if x <= 0.4:
+            assert avg["Xpander HYB"][i] <= 2.0 * avg["Fat-tree"][i]
+            assert avg["Xpander ECMP"][i] <= 2.0 * avg["Fat-tree"][i]
+    # Short-flow tail matches across nearly the entire range.
+    for i in range(len(FRACTIONS) - 1):
+        assert p99s["Xpander HYB"][i] <= 3.0 * p99s["Fat-tree"][i]

@@ -1,0 +1,55 @@
+"""Table 1: per-port cost of static and dynamic network technologies.
+
+Regenerates the paper's cost table from the component model and derives
+the flexible-port cost ratio delta used throughout the equal-cost
+comparisons (paper: delta = 1.5 from the lowest dynamic estimate).
+"""
+
+from helpers import save_result
+
+from repro.analysis import format_table
+from repro.cost import (
+    FIREFLY_PORT,
+    PROJECTOR_PORT_HIGH,
+    PROJECTOR_PORT_LOW,
+    STATIC_PORT,
+    delta_ratio,
+)
+
+
+def build_table() -> str:
+    components = [
+        ("sr_transceiver", "SR transceiver"),
+        ("optical_cable", "Optical cable (300m @ $0.3/m, /2)"),
+        ("tor_port", "ToR port"),
+        ("projector_tx_rx", "ProjecToR Tx+Rx"),
+        ("dmd", "DMD"),
+        ("mirror_assembly_lens", "Mirror assembly, lens"),
+        ("galvo_mirror", "Galvo mirror"),
+    ]
+    ports = [STATIC_PORT, FIREFLY_PORT, PROJECTOR_PORT_LOW, PROJECTOR_PORT_HIGH]
+    rows = []
+    for key, label in components:
+        rows.append(
+            [label] + [p.components.get(key, 0.0) or "-" for p in ports]
+        )
+    rows.append(["Total"] + [p.total for p in ports])
+    rows.append(
+        ["delta (vs static)"] + [round(delta_ratio(p), 3) for p in ports]
+    )
+    return format_table(
+        ["component ($)", "static", "firefly", "projector-low", "projector-high"],
+        rows,
+        title="Table 1: cost per network port (paper: static $215, "
+        "FireFly $370, ProjecToR $320-420, delta ~= 1.5)",
+    )
+
+
+def test_table1_cost(benchmark):
+    text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    save_result("table1_cost", text)
+    assert STATIC_PORT.total == 215.0
+    assert FIREFLY_PORT.total == 370.0
+    assert PROJECTOR_PORT_LOW.total == 320.0
+    assert PROJECTOR_PORT_HIGH.total == 420.0
+    assert 1.45 < delta_ratio() < 1.55

@@ -1,0 +1,95 @@
+"""§3's topology landscape: structural properties across the families.
+
+Not a numbered figure, but the quantitative backing for two of the
+paper's statements: "there are sizable differences in performance even
+across flat topologies" (Jellyfish/Xpander expand near-optimally) and
+footnote 1's warning that bisection bandwidth is not a sound flexibility
+metric (it can sit a variable factor away from throughput).
+"""
+
+import math
+
+from helpers import save_result
+
+from repro.analysis import format_table
+from repro.throughput import max_concurrent_throughput
+from repro.topologies import (
+    analyze,
+    bisection_bandwidth,
+    fattree,
+    jellyfish,
+    longhop,
+    slimfly,
+    xpander,
+)
+from repro.traffic import longest_matching_tm
+
+
+def measure_properties():
+    topologies = [
+        fattree(6).topology,
+        jellyfish(36, 5, 3, seed=1),
+        xpander(5, 6, 3),
+        slimfly(5, 3),
+        longhop(5, 7, 3),
+    ]
+    return [analyze(t).as_row() for t in topologies]
+
+
+def measure_footnote1():
+    """Bisection-per-server vs LP throughput: the ratio varies."""
+    rows = []
+    for topo in (
+        jellyfish(24, 5, 3, seed=1),
+        xpander(5, 4, 3),
+        longhop(4, 6, 3),
+    ):
+        tm = longest_matching_tm(topo, fraction=1.0, seed=0)
+        t = max_concurrent_throughput(topo, tm).per_server
+        b = bisection_bandwidth(topo) / topo.num_servers
+        rows.append([topo.name, round(b, 4), round(t, 4), round(b / t, 3)])
+    return rows
+
+
+def test_topology_properties(benchmark):
+    rows = benchmark.pedantic(measure_properties, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "topology",
+            "switches",
+            "servers",
+            "diam",
+            "avg path",
+            "spectral gap",
+            "bisection",
+            "bisection/server",
+            "path diversity",
+        ],
+        rows,
+        title="Structural properties across topology families (paper §3)",
+    )
+    save_result("topology_properties", text)
+    by_name = {r[0]: r for r in rows}
+    # Expanders have much shorter average paths than the fat-tree.
+    ft = next(v for k, v in by_name.items() if k.startswith("fat-tree"))
+    xp = next(v for k, v in by_name.items() if k.startswith("xpander"))
+    assert xp[4] < ft[4]
+    # SlimFly's signature: diameter 2.
+    sf = next(v for k, v in by_name.items() if k.startswith("slimfly"))
+    assert sf[3] == 2
+
+
+def test_footnote1_bisection_vs_throughput(benchmark):
+    rows = benchmark.pedantic(measure_footnote1, rounds=1, iterations=1)
+    text = format_table(
+        ["topology", "bisection/server", "LP throughput", "ratio"],
+        rows,
+        title=(
+            "Footnote 1: bisection bandwidth is not throughput — the "
+            "ratio between them varies across topologies"
+        ),
+    )
+    save_result("footnote1_bisection", text)
+    ratios = [r[3] for r in rows]
+    # The paper's point: the factor is not a constant across topologies.
+    assert max(ratios) / min(ratios) > 1.1

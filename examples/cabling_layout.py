@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cabling-friendliness of Xpander (the paper's Fig 3 argument).
+
+Builds the paper's actual Fig 3 instance — an Xpander of 486 24-port
+switches (18 meta-nodes x 27 switches, network degree 17, 3402 servers) —
+and compares its cable-bundle structure against a Jellyfish of identical
+equipment and a fat-tree, using a grid floor plan and the Jupiter-Rising
+~40% bundled-fiber discount.
+
+Run:  python examples/cabling_layout.py
+"""
+
+from repro.analysis import format_table
+from repro.topologies import (
+    fattree,
+    fattree_cabling,
+    flat_cabling,
+    jellyfish,
+    xpander,
+    xpander_cabling,
+)
+
+
+def main() -> None:
+    # The paper's Fig 3 configuration.
+    xp = xpander(17, 27, 7)
+    assert xp.num_switches == 486 and xp.num_servers == 3402
+    jf = jellyfish(486, 17, 7, seed=1)
+    ft = fattree(24)  # 3456 servers, for reference
+
+    reports = [
+        ("Xpander (Fig 3)", xpander_cabling(xp)),
+        ("Jellyfish (same equipment)", flat_cabling(jf)),
+        ("Fat-tree k=24", fattree_cabling(ft)),
+    ]
+    rows = []
+    for label, r in reports:
+        rows.append(
+            [
+                label,
+                r.num_cables,
+                r.num_bundles,
+                round(r.cables_per_bundle, 1),
+                round(r.total_length_m / 1000, 2),
+                round(r.fiber_cost() / 1000, 2),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "network",
+                "cables",
+                "bundles",
+                "cables/bundle",
+                "fiber (km)",
+                "fiber cost ($k)",
+            ],
+            rows,
+            title=(
+                "Fig 3: cable aggregation. Xpander's 18 meta-nodes give "
+                "C(18,2)=153 bundles of 27 cables; a random graph of the "
+                "same gear needs thousands of single-cable runs."
+            ),
+        )
+    )
+    print(
+        "\nTakeaway: deterministic structure (meta-nodes) keeps an "
+        "expander deployable —\nthe cabling objection to random graphs "
+        "does not apply to Xpander."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Failure resilience of static topologies (supporting the paper's §4.2).
+
+One argument for static expanders over both fat-trees and dynamic
+networks is operational robustness: capacity is spread over many
+interchangeable links, so random failures shave throughput smoothly
+instead of knocking out structured capacity.  This example degrades an
+Xpander and a fat-tree with increasing random link failures and measures
+fluid-model throughput and packet-level FCT on the survivors.
+
+Run:  python examples/failure_resilience.py
+"""
+
+from repro.analysis import format_series
+from repro.sim import NetworkParams, run_packet_experiment
+from repro.throughput import max_concurrent_throughput
+from repro.topologies import (
+    fattree,
+    largest_connected_component,
+    random_link_failures,
+    xpander,
+)
+from repro.traffic import FlowSpec, permutation_tm
+
+FAILURES = [0.0, 0.05, 0.1, 0.2]
+
+
+def fluid_throughput(topo, frac: float) -> float:
+    degraded = (
+        topo
+        if frac == 0
+        else largest_connected_component(random_link_failures(topo, frac, seed=7))
+    )
+    tors = [t for t in degraded.tors if degraded.servers_at(t) > 0]
+    tm = permutation_tm(tors, 3, fraction=0.5, seed=0)
+    return max_concurrent_throughput(degraded, tm).per_server
+
+
+def packet_fct_ms(topo, frac: float) -> float:
+    degraded = (
+        topo
+        if frac == 0
+        else largest_connected_component(random_link_failures(topo, frac, seed=7))
+    )
+    servers = sorted(degraded.server_to_tor())
+    flows = [
+        FlowSpec(i, servers[i], servers[-(i + 1)], 100_000, 0.0002 * i)
+        for i in range(min(24, len(servers) // 2))
+    ]
+    stats = run_packet_experiment(
+        degraded,
+        flows,
+        routing="hyb",
+        measure_start=0.0,
+        measure_end=0.02,
+        network_params=NetworkParams(link_rate_bps=1e9),
+    )
+    return stats.avg_fct() * 1e3
+
+
+def main() -> None:
+    xp = xpander(5, 8, 3)  # 48 switches
+    ft = fattree(6)
+
+    fluid = {
+        "Xpander": [fluid_throughput(xp, f) for f in FAILURES],
+        "Fat-tree": [fluid_throughput(ft.topology, f) for f in FAILURES],
+    }
+    print(
+        format_series(
+            "failed links",
+            FAILURES,
+            fluid,
+            title="Fluid-model per-server throughput, Permute(0.5)",
+        )
+    )
+    print()
+    fct = {
+        "Xpander HYB": [packet_fct_ms(xp, f) for f in FAILURES],
+        "Fat-tree": [packet_fct_ms(ft.topology, f) for f in FAILURES],
+    }
+    print(
+        format_series(
+            "failed links",
+            FAILURES,
+            fct,
+            title="Packet-level avg FCT (ms), 100 KB permutation flows",
+        )
+    )
+    print(
+        "\nExpected shape: the expander's throughput declines smoothly "
+        "with failures,\nwhile the fat-tree loses structured capacity "
+        "faster at high failure rates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro: a reproduction of "Beyond fat-trees without antennae, mirrors,
+and disco-balls" (Kassing et al., SIGCOMM 2017).
+
+The package provides:
+
+* :mod:`repro.topologies` — fat-trees, Jellyfish, Xpander, SlimFly,
+  LongHop, and analytic models of dynamic (reconfigurable) networks;
+* :mod:`repro.traffic` — the paper's traffic matrices, pair
+  distributions (A2A, Permute, Skew, ProjecToR-like), flow-size
+  distributions (pFabric web search, Pareto-HULL), and workloads;
+* :mod:`repro.throughput` — fluid-flow throughput: exact and path-based
+  max-concurrent-flow LPs, a Garg–Könemann FPTAS, NSDI'14 upper bounds,
+  and the throughput-proportionality flexibility metric;
+* :mod:`repro.sim` — a packet-level discrete-event simulator with DCTCP
+  and ECMP / VLB / HYB routing;
+* :mod:`repro.flowsim` — a fast flow-level (max-min fair) simulator;
+* :mod:`repro.cost` — Table 1's per-port cost model and equal-cost
+  network sizing;
+* :mod:`repro.analysis` — plain-text rendering of results.
+
+Quickstart::
+
+    from repro.topologies import fattree, xpander_from_budget
+    from repro.traffic import Workload, PoissonArrivals, pfabric_web_search
+    from repro.traffic import permute_pair_distribution
+    from repro.sim import run_packet_experiment
+
+    ft = fattree(8).topology
+    xp = xpander_from_budget(num_switches=53, ports_per_switch=8,
+                             servers_total=ft.num_servers)
+    wl = Workload(permute_pair_distribution(xp, 0.31),
+                  pfabric_web_search(), PoissonArrivals(2000.0))
+    stats = run_packet_experiment(xp, wl, routing="hyb")
+    print(stats.summary())
+"""
+
+from . import analysis, cost, flowsim, sim, throughput, topologies, traffic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "topologies",
+    "traffic",
+    "throughput",
+    "sim",
+    "flowsim",
+    "cost",
+    "analysis",
+    "__version__",
+]

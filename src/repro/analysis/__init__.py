@@ -1,0 +1,5 @@
+"""Result aggregation and plain-text table/series rendering."""
+
+from .tables import format_number, format_series, format_table
+
+__all__ = ["format_table", "format_series", "format_number"]

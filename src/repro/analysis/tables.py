@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness regenerates the paper's tables and figure series as
+aligned ASCII tables, so results can be compared against the paper by eye
+and diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series", "format_number"]
+
+Number = Union[int, float]
+
+
+def format_number(value: object, precision: int = 4) -> str:
+    """Human-friendly fixed-width formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[format_number(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in cells:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    title: str = "",
+) -> str:
+    """Render one x-column and several named y-columns (a 'figure')."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            ys = series[name]
+            row.append(ys[i] if i < len(ys) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

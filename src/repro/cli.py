@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives the library's main workflows a shell entry point, mirroring how the
+paper's Netbench artifact is driven from configs:
+
+* ``topology``   — build a topology and print its structural properties;
+* ``throughput`` — fluid-flow skew sweep (the Fig 5/6 engine);
+* ``simulate``   — packet-level experiment with a chosen workload/routing;
+* ``cost``       — Table 1 port costs and a topology's port cost;
+* ``cabling``    — Fig 3-style cabling/bundling report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_series, format_table
+from .cost import (
+    FIREFLY_PORT,
+    PROJECTOR_PORT_HIGH,
+    PROJECTOR_PORT_LOW,
+    STATIC_PORT,
+    delta_ratio,
+    topology_port_cost,
+)
+from .topologies import (
+    Topology,
+    fattree,
+    fattree_cabling,
+    flat_cabling,
+    jellyfish,
+    longhop,
+    oversubscribed_fattree,
+    slimfly,
+    xpander,
+    xpander_cabling,
+)
+
+__all__ = ["main", "build_topology"]
+
+
+def build_topology(kind: str, args: argparse.Namespace):
+    """Construct the requested topology; returns (Topology, FatTree|None)."""
+    if kind == "fattree":
+        ft = (
+            fattree(args.k, servers_per_edge=args.servers or None)
+            if args.core_fraction >= 1.0
+            else oversubscribed_fattree(
+                args.k, args.core_fraction, servers_per_edge=args.servers or None
+            )
+        )
+        return ft.topology, ft
+    if kind == "jellyfish":
+        return (
+            jellyfish(args.switches, args.degree, args.servers, seed=args.seed),
+            None,
+        )
+    if kind == "xpander":
+        return xpander(args.degree, args.lift, args.servers, seed=args.seed), None
+    if kind == "slimfly":
+        return slimfly(args.q, args.servers), None
+    if kind == "longhop":
+        return longhop(args.n, args.degree, args.servers), None
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+def _add_topology_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "kind",
+        choices=["fattree", "jellyfish", "xpander", "slimfly", "longhop"],
+        help="topology family",
+    )
+    p.add_argument("--k", type=int, default=8, help="fat-tree arity")
+    p.add_argument(
+        "--core-fraction",
+        type=float,
+        default=1.0,
+        help="fat-tree core fraction (oversubscription)",
+    )
+    p.add_argument("--switches", type=int, default=32, help="jellyfish switches")
+    p.add_argument(
+        "--degree", type=int, default=6, help="network degree (jellyfish/xpander/longhop)"
+    )
+    p.add_argument("--lift", type=int, default=8, help="xpander lift size")
+    p.add_argument("--q", type=int, default=5, help="slimfly prime (q = 1 mod 4)")
+    p.add_argument("--n", type=int, default=5, help="longhop log2 switch count")
+    p.add_argument(
+        "--servers", type=int, default=0, help="servers per switch (0 = family default)"
+    )
+    p.add_argument("--seed", type=int, default=0, help="construction seed")
+
+
+def _default_servers(kind: str, args: argparse.Namespace) -> None:
+    if args.servers == 0:
+        args.servers = {"fattree": 0}.get(kind, 4)
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    _default_servers(args.kind, args)
+    topo, _ = build_topology(args.kind, args)
+    rows = [
+        ["name", topo.name],
+        ["switches", topo.num_switches],
+        ["links", topo.num_links],
+        ["servers", topo.num_servers],
+        ["connected", topo.is_connected()],
+        ["diameter", topo.diameter()],
+        ["avg shortest path", round(topo.average_shortest_path_length(), 4)],
+        ["total ports", topo.total_ports()],
+    ]
+    print(format_table(["property", "value"], rows))
+    return 0
+
+
+def cmd_throughput(args: argparse.Namespace) -> int:
+    from .throughput import skew_sweep
+
+    _default_servers(args.kind, args)
+    topo, _ = build_topology(args.kind, args)
+    fractions = [float(x) for x in args.fractions.split(",")]
+    result = skew_sweep(
+        topo,
+        fractions,
+        solver=args.solver,
+        k_paths=args.k_paths,
+        seed=args.seed,
+    )
+    print(
+        format_series(
+            "fraction",
+            result.fractions,
+            {topo.name: result.throughput},
+            title="Per-server throughput under longest-matching TMs",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .sim import NetworkParams, run_packet_experiment
+    from .traffic import (
+        PoissonArrivals,
+        Workload,
+        a2a_pair_distribution,
+        permute_pair_distribution,
+        pfabric_web_search,
+        pareto_hull,
+        skew_pair_distribution,
+    )
+
+    _default_servers(args.kind, args)
+    topo, _ = build_topology(args.kind, args)
+    if args.pattern == "a2a":
+        pairs = a2a_pair_distribution(topo, args.fraction, seed=args.seed)
+    elif args.pattern == "permute":
+        pairs = permute_pair_distribution(topo, args.fraction, seed=args.seed)
+    else:
+        pairs = skew_pair_distribution(topo, 0.1, 0.77, seed=args.seed)
+    sizes = (
+        pfabric_web_search(args.mean_flow_bytes)
+        if args.sizes == "pfabric"
+        else pareto_hull(args.mean_flow_bytes)
+    )
+    workload = Workload(pairs, sizes, PoissonArrivals(args.rate), seed=args.seed)
+    stats = run_packet_experiment(
+        topo,
+        workload,
+        routing=args.routing,
+        measure_start=args.measure_start,
+        measure_end=args.measure_end,
+        network_params=NetworkParams(link_rate_bps=args.link_gbps * 1e9),
+        seed=args.seed,
+    )
+    summary = stats.summary()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[k, round(v, 4) if isinstance(v, float) else v] for k, v in summary.items()],
+            title=f"{topo.name} / {args.routing} / {args.pattern}({args.fraction})",
+        )
+    )
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    rows = [
+        [p.name, round(p.total, 2), round(delta_ratio(p), 3)]
+        for p in (STATIC_PORT, FIREFLY_PORT, PROJECTOR_PORT_LOW, PROJECTOR_PORT_HIGH)
+    ]
+    print(
+        format_table(
+            ["port type", "cost ($)", "delta vs static"],
+            rows,
+            title="Table 1 per-port costs",
+        )
+    )
+    if args.kind:
+        _default_servers(args.kind, args)
+        topo, _ = build_topology(args.kind, args)
+        print(f"\n{topo.name}: total port cost ${topology_port_cost(topo):,.0f}")
+    return 0
+
+
+def cmd_cabling(args: argparse.Namespace) -> int:
+    _default_servers(args.kind, args)
+    topo, ft = build_topology(args.kind, args)
+    if args.kind == "xpander":
+        report = xpander_cabling(topo)
+    elif args.kind == "fattree":
+        report = fattree_cabling(ft)
+    else:
+        report = flat_cabling(topo)
+    rows = [
+        ["cables", report.num_cables],
+        ["bundles", report.num_bundles],
+        ["cables per bundle", round(report.cables_per_bundle, 2)],
+        ["total fiber (m)", round(report.total_length_m, 1)],
+        ["bundled fraction", round(report.bundled_fraction, 3)],
+        ["fiber cost ($, bundling discount)", round(report.fiber_cost(), 2)],
+    ]
+    print(format_table(["property", "value"], rows, title=f"Cabling: {topo.name}"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topology", help="build and describe a topology")
+    _add_topology_args(p)
+    p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser("throughput", help="fluid-flow skew sweep")
+    _add_topology_args(p)
+    p.add_argument("--fractions", default="0.2,0.4,0.6,0.8,1.0")
+    p.add_argument("--solver", choices=["exact", "paths"], default="exact")
+    p.add_argument("--k-paths", type=int, default=8)
+    p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser("simulate", help="packet-level experiment")
+    _add_topology_args(p)
+    p.add_argument(
+        "--routing",
+        choices=["ecmp", "vlb", "hyb", "chyb", "aecmp", "ksp"],
+        default="hyb",
+    )
+    p.add_argument("--pattern", choices=["a2a", "permute", "skew"], default="permute")
+    p.add_argument("--fraction", type=float, default=0.3)
+    p.add_argument("--sizes", choices=["pfabric", "hull"], default="pfabric")
+    p.add_argument("--mean-flow-bytes", type=float, default=200_000)
+    p.add_argument("--rate", type=float, default=2000.0, help="flow starts/s")
+    p.add_argument("--link-gbps", type=float, default=1.0)
+    p.add_argument("--measure-start", type=float, default=0.02)
+    p.add_argument("--measure-end", type=float, default=0.06)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("cost", help="Table 1 costs (+ optional topology cost)")
+    p.add_argument("--kind", default="", help="optionally price a topology")
+    _add_topology_args_optional(p)
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser("cabling", help="Fig 3-style cabling report")
+    _add_topology_args(p)
+    p.set_defaults(func=cmd_cabling)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+def _add_topology_args_optional(p: argparse.ArgumentParser) -> None:
+    """Topology args without the positional kind (for `cost`)."""
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--core-fraction", type=float, default=1.0)
+    p.add_argument("--switches", type=int, default=32)
+    p.add_argument("--degree", type=int, default=6)
+    p.add_argument("--lift", type=int, default=8)
+    p.add_argument("--q", type=int, default=5)
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--servers", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Cost model: Table 1 per-port costs and equal-cost sizing."""
+
+from .model import (
+    FIREFLY_PORT,
+    PROJECTOR_PORT_HIGH,
+    PROJECTOR_PORT_LOW,
+    STATIC_PORT,
+    PortCost,
+    delta_ratio,
+    equal_cost_switch_budget,
+    topology_port_cost,
+)
+
+__all__ = [
+    "PortCost",
+    "STATIC_PORT",
+    "FIREFLY_PORT",
+    "PROJECTOR_PORT_LOW",
+    "PROJECTOR_PORT_HIGH",
+    "delta_ratio",
+    "topology_port_cost",
+    "equal_cost_switch_budget",
+]

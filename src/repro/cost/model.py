@@ -1,0 +1,139 @@
+"""Network cost model (paper Table 1 and §4's equal-cost methodology).
+
+Per-port component costs are taken from ProjecToR's published estimates,
+as reproduced in the paper's Table 1:
+
+===================  =======  ========  ===========
+Component            Static   FireFly   ProjecToR
+===================  =======  ========  ===========
+SR transceiver       $80      $80       —
+Optical cable        $45      —         —
+ToR port             $90      $90       $90
+ProjecToR Tx+Rx      —        —         $80 to $180
+DMD                  —        —         $100
+Mirror assembly      —        —         $50
+Galvo mirror         —        $200      —
+Total                $215     $370      $320 to 420
+===================  =======  ========  ===========
+
+Each static cable is accounted at 300 m of $0.3/m fiber, shared over its
+two ports ($45/port).  The flexible-to-static cost ratio δ = 1.5 follows
+from the lowest dynamic estimate (320/215 ≈ 1.49).
+
+Equal-cost comparisons (paper §4): networks must spend the same total on
+ports, so a dynamic network affords only ``1/δ`` times the ports of a
+static network, and an Xpander at "33% lower cost" than a fat-tree gets
+2/3 of its switches (same port count each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..topologies.base import Topology
+
+__all__ = [
+    "PortCost",
+    "STATIC_PORT",
+    "FIREFLY_PORT",
+    "PROJECTOR_PORT_LOW",
+    "PROJECTOR_PORT_HIGH",
+    "delta_ratio",
+    "topology_port_cost",
+    "equal_cost_switch_budget",
+]
+
+#: Cable accounting convention: 300 m at $0.3/m, shared over two ports.
+CABLE_LENGTH_M = 300.0
+CABLE_COST_PER_M = 0.3
+
+
+@dataclass(frozen=True)
+class PortCost:
+    """Per-port cost breakdown for one technology."""
+
+    name: str
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total per-port cost in dollars."""
+        return sum(self.components.values())
+
+
+STATIC_PORT = PortCost(
+    "static",
+    {
+        "sr_transceiver": 80.0,
+        "optical_cable": CABLE_LENGTH_M * CABLE_COST_PER_M / 2.0,  # $45
+        "tor_port": 90.0,
+    },
+)
+
+FIREFLY_PORT = PortCost(
+    "firefly",
+    {
+        "sr_transceiver": 80.0,
+        "tor_port": 90.0,
+        "galvo_mirror": 200.0,
+    },
+)
+
+PROJECTOR_PORT_LOW = PortCost(
+    "projector-low",
+    {
+        "tor_port": 90.0,
+        "projector_tx_rx": 80.0,
+        "dmd": 100.0,
+        "mirror_assembly_lens": 50.0,
+    },
+)
+
+PROJECTOR_PORT_HIGH = PortCost(
+    "projector-high",
+    {
+        "tor_port": 90.0,
+        "projector_tx_rx": 180.0,
+        "dmd": 100.0,
+        "mirror_assembly_lens": 50.0,
+    },
+)
+
+
+def delta_ratio(dynamic: PortCost = PROJECTOR_PORT_LOW) -> float:
+    """δ: flexible-port cost normalized to a static port (paper: ≈ 1.5)."""
+    return dynamic.total / STATIC_PORT.total
+
+
+def topology_port_cost(
+    topology: Topology,
+    network_port: PortCost = STATIC_PORT,
+    server_port_cost: Optional[float] = None,
+) -> float:
+    """Total port cost of a static topology.
+
+    Network ports (two per cable) are priced at ``network_port.total``;
+    server-facing ports at ``server_port_cost`` (default: the ToR-port
+    component only, since server links are short copper in both static and
+    dynamic designs and cancel out of comparisons).
+    """
+    if server_port_cost is None:
+        server_port_cost = network_port.components.get("tor_port", 90.0)
+    network_ports = 2 * topology.num_links
+    return network_ports * network_port.total + topology.num_servers * server_port_cost
+
+
+def equal_cost_switch_budget(fattree_switches: int, cost_fraction: float) -> int:
+    """Switch budget for a static network at a fraction of a fat-tree's cost.
+
+    With identical per-switch port counts and port prices, cost scales
+    with switch count; the paper's "Xpander at 33% lower cost" uses
+    ``round(320 * 2/3) = 216`` switches against a k=16 fat-tree's 320.
+    """
+    if not 0 < cost_fraction <= 1:
+        raise ValueError(f"cost_fraction must be in (0, 1], got {cost_fraction}")
+    budget = round(fattree_switches * cost_fraction)
+    if budget < 2:
+        raise ValueError("cost fraction leaves fewer than 2 switches")
+    return budget

@@ -1,0 +1,6 @@
+"""Flow-level (fluid, max-min fair) simulator."""
+
+from .fairshare import max_min_allocation
+from .simulator import FlowLevelSimulation, run_flow_experiment
+
+__all__ = ["max_min_allocation", "FlowLevelSimulation", "run_flow_experiment"]

@@ -1,0 +1,229 @@
+"""Flow-level (fluid) simulator.
+
+Models each flow as a fluid stream on a fixed path with max-min fair
+bandwidth sharing, recomputed at every flow arrival and departure.  It
+ignores packet effects (queueing delay, slow start, retransmissions), so
+absolute FCTs are optimistic, but it tracks bandwidth contention
+faithfully and runs orders of magnitude faster than the packet simulator
+— the cross-check and scale-out companion used for larger sweeps.
+
+Routing approximations mirror the packet simulator's policies:
+
+* ``ecmp`` — each flow picks one uniform-random shortest path.
+* ``vlb``  — each flow picks a random intermediate switch and concatenates
+  two random shortest paths.
+* ``hyb``  — flows smaller than the Q threshold use ``ecmp``; larger
+  flows use ``vlb`` (the paper's HYB switches mid-flow at Q bytes; since
+  Q is small relative to long-flow sizes, classifying whole flows by size
+  is a faithful fluid approximation).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..topologies.base import Topology
+from ..traffic.workload import FlowSpec
+from ..sim.stats import FlowRecord, FlowStats
+from .fairshare import max_min_allocation
+
+__all__ = ["FlowLevelSimulation", "run_flow_experiment"]
+
+
+class _Routes:
+    """Random shortest-path sampler with memoized path sets."""
+
+    def __init__(self, topology: Topology, seed: int, max_paths: int = 16) -> None:
+        self.graph = topology.graph
+        self.rng = random.Random(seed)
+        self.max_paths = max_paths
+        self._cache: Dict[Tuple[int, int], List[List[int]]] = {}
+        self.switches = sorted(self.graph.nodes())
+
+    def _paths(self, src: int, dst: int) -> List[List[int]]:
+        key = (src, dst)
+        if key not in self._cache:
+            paths: List[List[int]] = []
+            for p in nx.all_shortest_paths(self.graph, src, dst):
+                paths.append(list(p))
+                if len(paths) >= self.max_paths:
+                    break
+            self._cache[key] = paths
+        return self._cache[key]
+
+    def shortest(self, src: int, dst: int) -> List[int]:
+        """One uniform-random shortest path (ECMP approximation)."""
+        if src == dst:
+            return [src]
+        return self.rng.choice(self._paths(src, dst))
+
+    def vlb(self, src: int, dst: int) -> List[int]:
+        """A two-segment VLB path through a random intermediate."""
+        if src == dst:
+            return [src]
+        via = self.rng.choice(self.switches)
+        if via in (src, dst):
+            return self.shortest(src, dst)
+        first = self.shortest(src, via)
+        second = self.shortest(via, dst)
+        return first + second[1:]
+
+
+@dataclass
+class _ActiveFlow:
+    record: FlowRecord
+    arcs: List[Tuple[int, int]]
+    remaining: float
+    rate: float = 0.0
+
+
+class FlowLevelSimulation:
+    """Fluid simulation of a flow workload on a topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: str = "ecmp",
+        link_rate_bps: float = 10e9,
+        server_link_rate_bps: Optional[float] = 10e9,
+        hyb_threshold_bytes: int = 100_000,
+        seed: int = 0,
+    ) -> None:
+        if routing not in ("ecmp", "vlb", "hyb"):
+            raise ValueError(f"unknown routing {routing!r}")
+        self.topology = topology
+        self.routing = routing
+        self.hyb_threshold = hyb_threshold_bytes
+        self.routes = _Routes(topology, seed)
+        self.server_to_tor = topology.server_to_tor()
+
+        # Directed arc capacities in bits/s; server access arcs included
+        # unless unconstrained (None).
+        self.capacities: Dict[Tuple[int, int], float] = {}
+        for u, v, data in topology.graph.edges(data=True):
+            cap = link_rate_bps * data.get("capacity", 1.0)
+            self.capacities[(u, v)] = cap
+            self.capacities[(v, u)] = cap
+        self.server_arcs = server_link_rate_bps is not None
+        if self.server_arcs:
+            for server, tor in self.server_to_tor.items():
+                up = ("h", server), tor
+                down = tor, ("h", server)
+                self.capacities[up] = server_link_rate_bps
+                self.capacities[down] = server_link_rate_bps
+
+    def _flow_arcs(self, spec: FlowSpec) -> List[Tuple[int, int]]:
+        src_tor = self.server_to_tor[spec.src_server]
+        dst_tor = self.server_to_tor[spec.dst_server]
+        if self.routing == "ecmp":
+            path = self.routes.shortest(src_tor, dst_tor)
+        elif self.routing == "vlb":
+            path = self.routes.vlb(src_tor, dst_tor)
+        else:  # hyb
+            if spec.size_bytes < self.hyb_threshold:
+                path = self.routes.shortest(src_tor, dst_tor)
+            else:
+                path = self.routes.vlb(src_tor, dst_tor)
+        arcs = list(zip(path[:-1], path[1:]))
+        if self.server_arcs:
+            arcs.insert(0, ((("h", spec.src_server)), src_tor))
+            arcs.append((dst_tor, ("h", spec.dst_server)))
+        return arcs
+
+    def run(
+        self,
+        flows: Sequence[FlowSpec],
+        measure_start: float = 0.0,
+        measure_end: float = float("inf"),
+        max_sim_time: float = 1e9,
+    ) -> FlowStats:
+        """Simulate the flow list and aggregate the paper's metrics."""
+        arrivals = sorted(flows, key=lambda f: f.start_time)
+        records = {
+            f.flow_id: FlowRecord(
+                f.flow_id, f.src_server, f.dst_server, f.size_bytes, f.start_time
+            )
+            for f in arrivals
+        }
+        active: Dict[int, _ActiveFlow] = {}
+        now = 0.0
+        i = 0
+        n = len(arrivals)
+
+        def recompute() -> None:
+            paths = {fid: af.arcs for fid, af in active.items()}
+            rates = max_min_allocation(paths, self.capacities)
+            for fid, af in active.items():
+                af.rate = rates[fid]
+
+        while (i < n or active) and now < max_sim_time:
+            next_arrival = arrivals[i].start_time if i < n else float("inf")
+            # Earliest completion among active flows.
+            next_completion = float("inf")
+            completing: Optional[int] = None
+            for fid, af in active.items():
+                if af.rate > 0:
+                    t = now + af.remaining * 8.0 / af.rate
+                    if t < next_completion:
+                        next_completion = t
+                        completing = fid
+
+            if min(next_arrival, next_completion) > max_sim_time:
+                break  # nothing further happens inside the horizon
+
+            if next_arrival <= next_completion:
+                elapsed = next_arrival - now
+                for af in active.values():
+                    af.remaining -= af.rate * elapsed / 8.0
+                now = next_arrival
+                spec = arrivals[i]
+                i += 1
+                active[spec.flow_id] = _ActiveFlow(
+                    record=records[spec.flow_id],
+                    arcs=self._flow_arcs(spec),
+                    remaining=float(spec.size_bytes),
+                )
+                recompute()
+            elif completing is not None:
+                elapsed = next_completion - now
+                for af in active.values():
+                    af.remaining -= af.rate * elapsed / 8.0
+                now = next_completion
+                done = active.pop(completing)
+                done.record.completion_time = now
+                recompute()
+            else:
+                break  # no arrivals left and nothing can progress
+
+        measured = [
+            r
+            for r in records.values()
+            if measure_start <= r.start_time < measure_end
+        ]
+        return FlowStats(records=measured)
+
+
+def run_flow_experiment(
+    topology: Topology,
+    flows: Sequence[FlowSpec],
+    routing: str = "ecmp",
+    link_rate_bps: float = 10e9,
+    server_link_rate_bps: Optional[float] = 10e9,
+    measure_start: float = 0.0,
+    measure_end: float = float("inf"),
+    seed: int = 0,
+) -> FlowStats:
+    """Convenience wrapper around :class:`FlowLevelSimulation`."""
+    sim = FlowLevelSimulation(
+        topology,
+        routing=routing,
+        link_rate_bps=link_rate_bps,
+        server_link_rate_bps=server_link_rate_bps,
+        seed=seed,
+    )
+    return sim.run(flows, measure_start=measure_start, measure_end=measure_end)

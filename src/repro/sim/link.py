@@ -1,0 +1,139 @@
+"""Simulated unidirectional links with drop-tail queues and ECN marking.
+
+Each physical cable becomes two :class:`Link` objects (one per direction).
+A link serializes packets at ``rate_bps``, holds a FIFO drop-tail queue of
+``queue_bytes`` capacity, and implements DCTCP's marking rule: a packet is
+marked if the queue occupancy at its enqueue instant exceeds the marking
+threshold K (paper §6.4: K = 20 full-sized packets).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from .engine import Engine
+from .packet import MSS, HEADER_BYTES, Packet
+
+__all__ = ["Link", "DEFAULT_ECN_THRESHOLD_BYTES", "DEFAULT_QUEUE_BYTES"]
+
+#: The paper's DCTCP marking threshold: 20 full-sized packets.
+DEFAULT_ECN_THRESHOLD_BYTES = 20 * (MSS + HEADER_BYTES)
+#: Default queue capacity: 100 full-sized packets (netbench-like).
+DEFAULT_QUEUE_BYTES = 100 * (MSS + HEADER_BYTES)
+
+
+class Link:
+    """One direction of a cable.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    rate_bps:
+        Serialization rate in bits per second.
+    prop_delay:
+        Propagation delay in seconds, applied after serialization.
+    sink:
+        Callable receiving each packet at the far end.
+    queue_bytes:
+        Drop-tail queue capacity (bytes); packets arriving to a full queue
+        are dropped.
+    ecn_threshold_bytes:
+        Mark packets whose enqueue-time queue occupancy exceeds this.
+        ``None`` disables marking.
+    """
+
+    __slots__ = (
+        "engine",
+        "rate_bps",
+        "prop_delay",
+        "sink",
+        "queue_bytes",
+        "ecn_threshold",
+        "_queue",
+        "_queued_bytes",
+        "_busy",
+        "dropped_packets",
+        "marked_packets",
+        "transmitted_packets",
+        "transmitted_bytes",
+        "max_queue_bytes",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate_bps: float,
+        prop_delay: float,
+        sink: Callable[[Packet], None],
+        queue_bytes: int = DEFAULT_QUEUE_BYTES,
+        ecn_threshold_bytes: Optional[int] = DEFAULT_ECN_THRESHOLD_BYTES,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if prop_delay < 0:
+            raise ValueError(f"negative propagation delay {prop_delay}")
+        self.engine = engine
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.sink = sink
+        self.queue_bytes = queue_bytes
+        self.ecn_threshold = ecn_threshold_bytes
+        self._queue: Deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self.dropped_packets = 0
+        self.marked_packets = 0
+        self.transmitted_packets = 0
+        self.transmitted_bytes = 0
+        self.max_queue_bytes = 0
+
+    @property
+    def queue_occupancy_bytes(self) -> int:
+        """Bytes currently waiting (excludes the packet being serialized)."""
+        return self._queued_bytes
+
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to this link; queues, marks, or drops it."""
+        if self._busy:
+            if self._queued_bytes + packet.wire_bytes > self.queue_bytes:
+                self.dropped_packets += 1
+                return
+            self._queue.append(packet)
+            self._queued_bytes += packet.wire_bytes
+            if self._queued_bytes > self.max_queue_bytes:
+                self.max_queue_bytes = self._queued_bytes
+            if (
+                self.ecn_threshold is not None
+                and self._queued_bytes > self.ecn_threshold
+            ):
+                packet.ecn_marked = True
+                self.marked_packets += 1
+        else:
+            self._busy = True
+            self._transmit(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        tx_time = packet.wire_bytes * 8.0 / self.rate_bps
+        self.engine.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.transmitted_packets += 1
+        self.transmitted_bytes += packet.wire_bytes
+        if self.prop_delay > 0.0:
+            self.engine.schedule(self.prop_delay, self.sink, packet)
+        else:
+            self.sink(packet)
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._queued_bytes -= nxt.wire_bytes
+            self._transmit(nxt)
+        else:
+            self._busy = False
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds spent transmitting bytes."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.transmitted_bytes * 8.0 / (self.rate_bps * elapsed))

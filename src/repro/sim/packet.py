@@ -1,0 +1,85 @@
+"""Packet model for the discrete-event simulator.
+
+One class covers data packets and ACKs.  VLB encapsulation is modeled by
+the ``via_tor`` field: while set, switches route toward the intermediate
+ToR; the intermediate clears it (decapsulation) and the packet continues
+to its destination — the encap/decap scheme of paper §6.3.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Packet", "HEADER_BYTES", "MSS", "ACK_BYTES"]
+
+#: Protocol overhead per data packet (Ethernet + IP + TCP), bytes.
+HEADER_BYTES = 60
+#: Maximum segment size (payload bytes per data packet).
+MSS = 1460
+#: Wire size of a pure ACK.
+ACK_BYTES = 64
+
+
+class Packet:
+    """A simulated packet.
+
+    Data packets carry ``payload`` bytes of flow data starting at sequence
+    offset ``seq``; ACKs carry ``ack_seq`` (cumulative) and the DCTCP ECN
+    echo.  ``wire_bytes`` is what links charge for transmission.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "src_server",
+        "dst_server",
+        "dst_tor",
+        "via_tor",
+        "flowlet",
+        "src_route",
+        "seq",
+        "payload",
+        "wire_bytes",
+        "is_ack",
+        "ack_seq",
+        "ecn_marked",
+        "ecn_echo",
+        "sent_time",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src_server: int,
+        dst_server: int,
+        dst_tor: int,
+        flowlet: int = 0,
+        seq: int = 0,
+        payload: int = 0,
+        is_ack: bool = False,
+        ack_seq: int = 0,
+        ecn_echo: bool = False,
+        via_tor: int | None = None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.src_server = src_server
+        self.dst_server = dst_server
+        self.dst_tor = dst_tor
+        self.via_tor = via_tor
+        self.flowlet = flowlet
+        #: Remaining source-routed hops (switch ids), or None for
+        #: table-driven forwarding.  Used by KspRouting.
+        self.src_route = None
+        self.seq = seq
+        self.payload = payload
+        self.wire_bytes = ACK_BYTES if is_ack else payload + HEADER_BYTES
+        self.is_ack = is_ack
+        self.ack_seq = ack_seq
+        self.ecn_marked = False
+        self.ecn_echo = ecn_echo
+        self.sent_time = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ACK" if self.is_ack else "DATA"
+        return (
+            f"Packet({kind} flow={self.flow_id} seq={self.seq} "
+            f"payload={self.payload} {self.src_server}->{self.dst_server}"
+            f"{f' via {self.via_tor}' if self.via_tor is not None else ''})"
+        )

@@ -1,0 +1,113 @@
+"""Flow statistics: the paper's three metrics (§6.4).
+
+Statistics are computed over flows *started* inside a measurement window
+(paper: [0.5 s, 1.5 s)), and the experiment runs until all such flows
+finish:
+
+* average FCT over all measured flows,
+* 99th-percentile FCT over short flows (< 100 KB),
+* average throughput (size / FCT) over the remaining (long) flows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["FlowRecord", "FlowStats", "SHORT_FLOW_BYTES", "percentile"]
+
+#: The paper's short-flow boundary.
+SHORT_FLOW_BYTES = 100_000
+
+
+@dataclass
+class FlowRecord:
+    """Lifecycle record of one simulated flow."""
+
+    flow_id: int
+    src_server: int
+    dst_server: int
+    size_bytes: int
+    start_time: float
+    completion_time: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time in seconds."""
+        if self.completion_time is None:
+            raise ValueError(f"flow {self.flow_id} has not completed")
+        return self.completion_time - self.start_time
+
+    @property
+    def throughput_bps(self) -> float:
+        """Achieved goodput: size / FCT in bits per second."""
+        return self.size_bytes * 8.0 / self.fct
+
+
+def percentile(values: List[float], pct: float) -> float:
+    """The ``pct``-th percentile (nearest-rank) of a non-empty list."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class FlowStats:
+    """Aggregated metrics over a set of completed flows."""
+
+    records: List[FlowRecord] = field(default_factory=list)
+    short_flow_bytes: int = SHORT_FLOW_BYTES
+
+    def completed(self) -> List[FlowRecord]:
+        """Flows that finished."""
+        return [r for r in self.records if r.finished]
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_unfinished(self) -> int:
+        return sum(1 for r in self.records if not r.finished)
+
+    def avg_fct(self) -> float:
+        """Mean FCT over all completed flows (seconds)."""
+        done = self.completed()
+        if not done:
+            return math.nan
+        return sum(r.fct for r in done) / len(done)
+
+    def short_flow_p99_fct(self) -> float:
+        """99th-percentile FCT over completed short flows (seconds)."""
+        short = [r.fct for r in self.completed() if r.size_bytes < self.short_flow_bytes]
+        if not short:
+            return math.nan
+        return percentile(short, 99.0)
+
+    def long_flow_avg_throughput_bps(self) -> float:
+        """Mean goodput over completed long (>= threshold) flows."""
+        long_flows = [
+            r for r in self.completed() if r.size_bytes >= self.short_flow_bytes
+        ]
+        if not long_flows:
+            return math.nan
+        return sum(r.throughput_bps for r in long_flows) / len(long_flows)
+
+    def summary(self) -> dict:
+        """All three paper metrics plus counts, as a dict."""
+        return {
+            "flows": self.num_flows,
+            "unfinished": self.num_unfinished,
+            "avg_fct_ms": self.avg_fct() * 1e3,
+            "short_p99_fct_ms": self.short_flow_p99_fct() * 1e3,
+            "long_avg_throughput_gbps": self.long_flow_avg_throughput_bps() / 1e9,
+        }

@@ -1,0 +1,65 @@
+"""Output-queued switches.
+
+A switch owns one outgoing :class:`~repro.sim.link.Link` per neighbor
+(switch or locally attached host).  On packet arrival it either delivers
+to a local host port (when the packet has reached its destination ToR and
+the host is attached here) or asks the routing policy for the ECMP next
+hop and forwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .link import Link
+from .packet import Packet
+from .routing import RoutingPolicy
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """One switch in the simulated network."""
+
+    __slots__ = ("switch_id", "routing", "switch_ports", "host_ports", "forwarded")
+
+    def __init__(self, switch_id: int, routing: RoutingPolicy) -> None:
+        self.switch_id = switch_id
+        self.routing = routing
+        self.switch_ports: Dict[int, Link] = {}  # neighbor switch id -> link
+        self.host_ports: Dict[int, Link] = {}  # local server id -> link
+        self.forwarded = 0
+
+    def attach_switch_port(self, neighbor: int, link: Link) -> None:
+        """Register the outgoing link toward a neighboring switch."""
+        self.switch_ports[neighbor] = link
+
+    def attach_host_port(self, server_id: int, link: Link) -> None:
+        """Register the outgoing link toward a locally attached server."""
+        self.host_ports[server_id] = link
+
+    def receive(self, packet: Packet) -> None:
+        """Forward a packet one hop (or deliver it to a local host)."""
+        self.forwarded += 1
+        # Source-routed packets (KSP routing) carry their remaining hops.
+        if packet.src_route:
+            nxt = packet.src_route.pop(0)
+            self.switch_ports[nxt].send(packet)
+            return
+        # Deliver locally once the packet is at its destination ToR and is
+        # not still detouring via a VLB intermediate.
+        if (
+            packet.dst_tor == self.switch_id
+            and (packet.via_tor is None or packet.via_tor == self.switch_id)
+        ):
+            packet.via_tor = None
+            port = self.host_ports.get(packet.dst_server)
+            if port is None:
+                raise RuntimeError(
+                    f"switch {self.switch_id} has no port for server "
+                    f"{packet.dst_server}"
+                )
+            port.send(packet)
+            return
+        nxt = self.routing.next_hop(self.switch_id, packet)
+        self.switch_ports[nxt].send(packet)

@@ -1,0 +1,384 @@
+"""DCTCP transport (Alizadeh et al., SIGCOMM 2010), the paper's congestion
+control (§6.4), over a window-based reliable byte stream.
+
+Sender: slow start / congestion avoidance, fast retransmit on three
+duplicate ACKs, go-back-N on RTO, and DCTCP's ECN reaction — the marked
+fraction estimator ``alpha`` (gain 1/16) and the proportional window
+decrease ``cwnd *= 1 - alpha/2`` at most once per window.
+
+Receiver: cumulative ACKs with per-packet ECN echo; flow completion is
+recorded when the last byte arrives in order.
+
+Flowlet bookkeeping also lives in the sender: a gap of more than
+``flowlet_gap`` (paper: 50 us) since the previous transmission starts a
+new flowlet, at which point the routing policy re-decides the VLB
+intermediate (paper §6.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+from .engine import Engine, EventHandle
+from .packet import MSS, Packet
+from .routing import RoutingPolicy
+
+__all__ = ["TransportParams", "DctcpSender", "DctcpReceiver"]
+
+
+class TransportParams:
+    """Tunable transport constants.
+
+    Defaults follow the paper (flowlet gap 50 us) and common DCTCP
+    practice (g = 1/16, initial window 10 MSS).
+    """
+
+    __slots__ = (
+        "init_cwnd_bytes",
+        "min_rto",
+        "initial_rto",
+        "flowlet_gap",
+        "dctcp_g",
+        "use_ecn",
+    )
+
+    def __init__(
+        self,
+        init_cwnd_packets: int = 10,
+        min_rto: float = 1e-3,
+        initial_rto: float = 10e-3,
+        flowlet_gap: float = 50e-6,
+        dctcp_g: float = 1.0 / 16.0,
+        use_ecn: bool = True,
+    ) -> None:
+        self.init_cwnd_bytes = init_cwnd_packets * MSS
+        self.min_rto = min_rto
+        self.initial_rto = initial_rto
+        self.flowlet_gap = flowlet_gap
+        self.dctcp_g = dctcp_g
+        self.use_ecn = use_ecn
+
+
+class DctcpSender:
+    """Sending half of one flow."""
+
+    __slots__ = (
+        "engine",
+        "params",
+        "routing",
+        "transmit",
+        "flow_id",
+        "src_server",
+        "dst_server",
+        "src_tor",
+        "dst_tor",
+        "total_bytes",
+        "snd_una",
+        "snd_nxt",
+        "cwnd",
+        "ssthresh",
+        "alpha",
+        "acked_window",
+        "marked_window",
+        "window_end",
+        "cut_end",
+        "dupacks",
+        "recover",
+        "srtt",
+        "rttvar",
+        "rto",
+        "_rto_handle",
+        "_rtt_probe",
+        "last_send_time",
+        "flowlet_id",
+        "current_via",
+        "current_route",
+        "completed",
+        "retransmissions",
+        "on_complete",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        params: TransportParams,
+        routing: RoutingPolicy,
+        transmit: Callable[[Packet], None],
+        flow_id: int,
+        src_server: int,
+        dst_server: int,
+        src_tor: int,
+        dst_tor: int,
+        total_bytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if total_bytes <= 0:
+            raise ValueError("flow must carry at least one byte")
+        self.engine = engine
+        self.params = params
+        self.routing = routing
+        self.transmit = transmit
+        self.flow_id = flow_id
+        self.src_server = src_server
+        self.dst_server = dst_server
+        self.src_tor = src_tor
+        self.dst_tor = dst_tor
+        self.total_bytes = total_bytes
+
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = float(params.init_cwnd_bytes)
+        self.ssthresh = math.inf
+        self.alpha = 1.0
+        self.acked_window = 0
+        self.marked_window = 0
+        self.window_end = 0
+        self.cut_end = 0
+        self.dupacks = 0
+        self.recover = -1
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = params.initial_rto
+        self._rto_handle: Optional[EventHandle] = None
+        self._rtt_probe: Optional[tuple] = None  # (expected_ack, send_time)
+        self.last_send_time = -math.inf
+        self.flowlet_id = 0
+        self.current_via: Optional[int] = None
+        self.current_route: Optional[list] = None
+        self.completed = False
+        self.retransmissions = 0
+        self.on_complete = on_complete
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting the flow."""
+        self._send_available()
+
+    def extend(self, extra_bytes: int) -> None:
+        """Grow the flow by ``extra_bytes`` and resume sending.
+
+        Used by the MPTCP scheduler to hand a finished subflow its next
+        chunk: congestion state (cwnd, alpha, RTT estimates) carries over,
+        as it would on a real persistent subflow.
+        """
+        if extra_bytes <= 0:
+            raise ValueError("extra_bytes must be positive")
+        self.total_bytes += extra_bytes
+        self.completed = False
+        self._send_available()
+
+    def _in_flight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    def _send_available(self) -> None:
+        while self.snd_nxt < self.total_bytes and self._in_flight() < self.cwnd:
+            length = min(MSS, self.total_bytes - self.snd_nxt)
+            self._send_segment(self.snd_nxt, length)
+            self.snd_nxt += length
+        self._arm_rto()
+
+    def _send_segment(self, seq: int, length: int, retransmission: bool = False) -> None:
+        now = self.engine.now
+        if now - self.last_send_time >= self.params.flowlet_gap:
+            self.flowlet_id += 1
+            self.current_via = self.routing.choose_via(
+                self.flow_id, max(self.snd_nxt, seq), self.src_tor, self.dst_tor
+            )
+            choose_route = getattr(self.routing, "choose_route", None)
+            if choose_route is not None:
+                self.current_route = choose_route(
+                    self.flow_id, self.flowlet_id, self.src_tor, self.dst_tor
+                )
+        self.last_send_time = now
+        pkt = Packet(
+            flow_id=self.flow_id,
+            src_server=self.src_server,
+            dst_server=self.dst_server,
+            dst_tor=self.dst_tor,
+            flowlet=self.flowlet_id,
+            seq=seq,
+            payload=length,
+            via_tor=self.current_via,
+        )
+        if self.current_route is not None:
+            pkt.src_route = list(self.current_route)
+        pkt.sent_time = now
+        if retransmission:
+            self.retransmissions += 1
+        elif self._rtt_probe is None:
+            self._rtt_probe = (seq + length, now)
+        self.transmit(pkt)
+
+    # ------------------------------------------------------------------
+    def on_ack(self, ack_seq: int, ecn_echo: bool) -> None:
+        """Process a cumulative ACK (with DCTCP ECN echo)."""
+        if self.completed:
+            return
+        if ecn_echo:
+            self.routing.note_ecn(self.flow_id)
+        if ack_seq > self.snd_una:
+            newly = ack_seq - self.snd_una
+            self.snd_una = ack_seq
+            self.dupacks = 0
+            self._update_rtt(ack_seq)
+            self._dctcp_account(newly, ecn_echo)
+            if ecn_echo and self.params.use_ecn and self.snd_una > self.cut_end:
+                self.cwnd = max(MSS, self.cwnd * (1.0 - self.alpha / 2.0))
+                self.ssthresh = self.cwnd
+                self.cut_end = self.snd_nxt
+            else:
+                self._grow_window(newly)
+            if self.snd_una >= self.total_bytes:
+                self.completed = True
+                self._cancel_rto()
+                self.routing.flow_done(self.flow_id)
+                if self.on_complete is not None:
+                    self.on_complete()
+                return
+            self._arm_rto(reset=True)
+            self._send_available()
+        else:
+            self.dupacks += 1
+            if self.dupacks == 3 and self.snd_una > self.recover:
+                # Fast retransmit (simplified NewReno: no inflation).
+                self.ssthresh = max(self._in_flight() / 2.0, 2 * MSS)
+                self.cwnd = self.ssthresh
+                self.recover = self.snd_nxt
+                length = min(MSS, self.total_bytes - self.snd_una)
+                self._send_segment(self.snd_una, length, retransmission=True)
+                self._arm_rto(reset=True)
+
+    def _dctcp_account(self, newly_acked: int, ecn_echo: bool) -> None:
+        self.acked_window += newly_acked
+        if ecn_echo:
+            self.marked_window += newly_acked
+        if self.snd_una >= self.window_end:
+            if self.acked_window > 0:
+                frac = self.marked_window / self.acked_window
+                g = self.params.dctcp_g
+                self.alpha = (1.0 - g) * self.alpha + g * frac
+            self.acked_window = 0
+            self.marked_window = 0
+            self.window_end = self.snd_nxt
+
+    def _grow_window(self, newly_acked: int) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked  # slow start
+        else:
+            self.cwnd += MSS * newly_acked / self.cwnd  # congestion avoidance
+
+    def _update_rtt(self, ack_seq: int) -> None:
+        if self._rtt_probe is None:
+            return
+        expected, sent_at = self._rtt_probe
+        if ack_seq < expected:
+            return
+        sample = self.engine.now - sent_at
+        self._rtt_probe = None
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = max(self.params.min_rto, self.srtt + 4.0 * self.rttvar)
+
+    # ------------------------------------------------------------------
+    def _arm_rto(self, reset: bool = False) -> None:
+        if self.completed or self.snd_una >= self.snd_nxt:
+            return
+        if self._rto_handle is not None:
+            if not reset:
+                return
+            self._rto_handle.cancel()
+        self._rto_handle = self.engine.schedule_cancellable(self.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+
+    def _on_rto(self) -> None:
+        self._rto_handle = None
+        if self.completed or self.snd_una >= self.total_bytes:
+            return
+        # Go-back-N: rewind and restart from the last cumulative ACK.
+        self.ssthresh = max(self._in_flight() / 2.0, 2 * MSS)
+        self.cwnd = float(MSS)
+        self.snd_nxt = self.snd_una
+        self.rto = min(self.rto * 2.0, 1.0)
+        self.dupacks = 0
+        self.recover = -1
+        self._rtt_probe = None
+        self.retransmissions += 1
+        self._send_available()
+
+
+class DctcpReceiver:
+    """Receiving half of one flow: cumulative ACKs + ECN echo."""
+
+    __slots__ = (
+        "engine",
+        "transmit",
+        "flow_id",
+        "src_server",
+        "dst_server",
+        "src_tor",
+        "total_bytes",
+        "rcv_nxt",
+        "_ooo",
+        "completed",
+        "completion_time",
+        "on_complete",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        transmit: Callable[[Packet], None],
+        flow_id: int,
+        src_server: int,
+        dst_server: int,
+        src_tor: int,
+        total_bytes: int,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.transmit = transmit
+        self.flow_id = flow_id
+        self.src_server = src_server
+        self.dst_server = dst_server
+        self.src_tor = src_tor  # ToR of the *sender*; ACKs go back there
+        self.total_bytes = total_bytes
+        self.rcv_nxt = 0
+        self._ooo: Dict[int, int] = {}
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self.on_complete = on_complete
+
+    def on_data(self, pkt: Packet) -> None:
+        """Handle an in-network data packet; emit a cumulative ACK."""
+        if pkt.seq == self.rcv_nxt:
+            self.rcv_nxt += pkt.payload
+            while self.rcv_nxt in self._ooo:
+                self.rcv_nxt += self._ooo.pop(self.rcv_nxt)
+        elif pkt.seq > self.rcv_nxt:
+            existing = self._ooo.get(pkt.seq, 0)
+            self._ooo[pkt.seq] = max(existing, pkt.payload)
+        ack = Packet(
+            flow_id=self.flow_id,
+            src_server=self.dst_server,
+            dst_server=self.src_server,
+            dst_tor=self.src_tor,
+            flowlet=pkt.flowlet,
+            is_ack=True,
+            ack_seq=self.rcv_nxt,
+            ecn_echo=pkt.ecn_marked,
+        )
+        self.transmit(ack)
+        if not self.completed and self.rcv_nxt >= self.total_bytes:
+            self.completed = True
+            self.completion_time = self.engine.now
+            if self.on_complete is not None:
+                self.on_complete(self.engine.now)

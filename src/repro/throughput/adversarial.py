@@ -1,0 +1,201 @@
+"""Adversarial traffic-matrix search (paper §2 and §5).
+
+The paper evaluates static networks under *longest-matching* TMs as a
+near-worst-case heuristic and notes two open questions: whether
+throughput proportionality binds over all hose TMs (Conjecture 2.3) and
+whether permutations are worst-case TMs (Conjecture 2.4).  This module
+provides the machinery to probe both:
+
+* :func:`random_hose_tm` — uniform-ish random TMs saturating the hose
+  constraints (Sinkhorn-normalized), the comparison class for
+  Conjecture 2.4;
+* :func:`adversarial_matching_tm` — an iterated refinement of
+  longest-matching: solve the throughput LP, inflate edge lengths by the
+  optimum's link utilization, re-match by the new distances, and keep the
+  worst TM found;
+* :func:`conjecture_2_4_evidence` — sampled evidence for "permutations
+  are worst case": worst sampled permutation vs worst sampled hose TM.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..topologies.base import Topology
+from ..traffic.matrix import TrafficMatrix
+from ..traffic.patterns import longest_matching_tm, permutation_tm
+from .lp import max_concurrent_throughput
+
+__all__ = [
+    "random_hose_tm",
+    "adversarial_matching_tm",
+    "conjecture_2_4_evidence",
+    "Conjecture24Evidence",
+]
+
+
+def random_hose_tm(
+    tors: List[int],
+    servers_per_tor: int,
+    seed: int = 0,
+    sinkhorn_iters: int = 50,
+) -> TrafficMatrix:
+    """A random TM saturating every ToR's hose constraint.
+
+    Draws a random positive rack-pair matrix and Sinkhorn-normalizes it so
+    every row and column sums to ``servers_per_tor`` — a (near-)extreme
+    point of the hose polytope with dense, unstructured demands.
+    """
+    n = len(tors)
+    if n < 2:
+        raise ValueError("need at least two ToRs")
+    rng = np.random.default_rng(seed)
+    m = rng.exponential(1.0, size=(n, n))
+    np.fill_diagonal(m, 0.0)
+    for _ in range(sinkhorn_iters):
+        m *= servers_per_tor / np.maximum(m.sum(axis=1, keepdims=True), 1e-300)
+        m *= servers_per_tor / np.maximum(m.sum(axis=0, keepdims=True), 1e-300)
+    # Sinkhorn converges only in the limit; scale down so no row or column
+    # exceeds the hose cap, guaranteeing strict feasibility.
+    worst = max(m.sum(axis=1).max(), m.sum(axis=0).max())
+    if worst > 0:
+        m *= servers_per_tor / worst
+    demands: Dict[Tuple[int, int], float] = {}
+    for i, a in enumerate(tors):
+        for j, b in enumerate(tors):
+            if i != j and m[i, j] > 1e-9:
+                demands[(a, b)] = float(m[i, j])
+    return TrafficMatrix(demands)
+
+
+def adversarial_matching_tm(
+    topology: Topology,
+    fraction: float = 1.0,
+    iterations: int = 3,
+    seed: int = 0,
+    servers_per_tor: Optional[int] = None,
+) -> Tuple[TrafficMatrix, float]:
+    """Iteratively refined worst-case matching TM.
+
+    Round 0 is the paper's longest-matching TM.  Each further round
+    solves the exact throughput LP, sets every edge's length to
+    ``1 + utilization`` at the optimum (so hot regions look "longer"),
+    re-computes the distance-maximizing matching under those lengths, and
+    keeps whichever TM achieved the lowest throughput.
+
+    Returns ``(worst_tm, worst_throughput)``.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    rng = random.Random(seed)
+    tors = topology.tors
+    count = max(2, round(fraction * len(tors)))
+    active = sorted(rng.sample(tors, min(count, len(tors))))
+    if len(active) % 2 == 1:
+        active = active[:-1]
+
+    def tm_from_matching(weights: nx.Graph) -> TrafficMatrix:
+        matching = nx.max_weight_matching(weights, maxcardinality=True)
+        demands: Dict[Tuple[int, int], float] = {}
+        for a, b in matching:
+            load = float(
+                servers_per_tor
+                if servers_per_tor is not None
+                else min(topology.servers_at(a), topology.servers_at(b))
+            )
+            demands[(a, b)] = load
+            demands[(b, a)] = load
+        return TrafficMatrix(demands)
+
+    best_tm = longest_matching_tm(
+        topology, fraction=fraction, seed=seed, servers_per_tor=servers_per_tor
+    )
+    best_result = max_concurrent_throughput(topology, best_tm)
+    best_t = best_result.throughput
+
+    lengths = {tuple(sorted(e)): 1.0 for e in topology.graph.edges()}
+    last_result = best_result
+    for _ in range(iterations - 1):
+        # Inflate lengths by the previous optimum's utilization.
+        for (u, v), util in (last_result.link_utilization or {}).items():
+            key = tuple(sorted((u, v)))
+            lengths[key] = max(lengths[key], 1.0 + util)
+        weighted_graph = nx.Graph()
+        for (u, v), l in lengths.items():
+            weighted_graph.add_edge(u, v, weight=l)
+        dist = {
+            s: nx.single_source_dijkstra_path_length(weighted_graph, s)
+            for s in active
+        }
+        weights = nx.Graph()
+        for i, a in enumerate(active):
+            for b in active[i + 1 :]:
+                weights.add_edge(a, b, weight=dist[a][b])
+        tm = tm_from_matching(weights)
+        result = max_concurrent_throughput(topology, tm)
+        last_result = result
+        if result.throughput < best_t:
+            best_t = result.throughput
+            best_tm = tm
+    return best_tm, best_t
+
+
+@dataclass
+class Conjecture24Evidence:
+    """Sampled worst-case throughputs for the two TM families."""
+
+    worst_permutation: float
+    worst_hose: float
+    permutation_samples: List[float]
+    hose_samples: List[float]
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the samples are consistent with Conjecture 2.4.
+
+        The conjecture says some permutation is at least as hard as any
+        TM, so the sampled permutation minimum should not exceed the
+        sampled hose minimum (up to solver tolerance).
+        """
+        return self.worst_permutation <= self.worst_hose + 1e-6
+
+
+def conjecture_2_4_evidence(
+    topology: Topology,
+    servers_per_tor: int,
+    trials: int = 5,
+    seed: int = 0,
+) -> Conjecture24Evidence:
+    """Sampled evidence for Conjecture 2.4 on one topology.
+
+    Solves the exact throughput LP for ``trials`` random permutation TMs
+    and ``trials`` random saturating hose TMs and compares the minima.
+    Sampling can only *refute* the conjecture (if a hose TM beat every
+    permutation it would be a counterexample candidate); consistency is
+    evidence, not proof.
+    """
+    perm = [
+        max_concurrent_throughput(
+            topology,
+            permutation_tm(topology.tors, servers_per_tor, 1.0, seed=seed + i),
+        ).throughput
+        for i in range(trials)
+    ]
+    hose = [
+        max_concurrent_throughput(
+            topology,
+            random_hose_tm(topology.tors, servers_per_tor, seed=seed + i),
+        ).throughput
+        for i in range(trials)
+    ]
+    return Conjecture24Evidence(
+        worst_permutation=min(perm),
+        worst_hose=min(hose),
+        permutation_samples=perm,
+        hose_samples=hose,
+    )

@@ -1,0 +1,73 @@
+"""Throughput upper bounds (Singla et al., NSDI 2014; paper §4.1, §5).
+
+Two flavors:
+
+* :func:`tm_throughput_upper_bound` — for a *given* topology and TM: the
+  flows must consume at least ``sum(demand_k * dist(s_k, d_k))`` units of
+  capacity per unit of concurrent throughput, and only
+  ``sum(2 * capacity_e)`` units exist.
+* :func:`best_static_throughput_bound` — over *all possible* topologies
+  with ``n`` switches of network degree ``r``: replace true distances by
+  the Moore-bound lower bound on the mean shortest-path length.  This is
+  the bound the paper uses for the restricted dynamic model (§4.1's 80%
+  figure for the 9-rack toy example).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import networkx as nx
+
+from ..topologies.base import Topology
+from ..topologies.dynamic import moore_bound_mean_distance
+from ..traffic.matrix import TrafficMatrix
+
+__all__ = [
+    "tm_throughput_upper_bound",
+    "best_static_throughput_bound",
+    "moore_bound_mean_distance",
+]
+
+
+def tm_throughput_upper_bound(topology: Topology, tm: TrafficMatrix) -> float:
+    """Cut-free upper bound on concurrent throughput of ``tm`` on ``topology``.
+
+    ``t * sum_k d_k * dist(s_k, t_k) <= 2 * sum_e c_e`` (each cable carries
+    capacity in both directions).  Exact shortest-path distances are used.
+    """
+    if tm.num_flows == 0:
+        return float("inf")
+    total_capacity = 2.0 * sum(
+        data["capacity"] for _, _, data in topology.graph.edges(data=True)
+    )
+    sources = {s for (s, _) in tm.demands}
+    dist = {
+        s: nx.single_source_shortest_path_length(topology.graph, s) for s in sources
+    }
+    consumed = 0.0
+    for (s, d), val in tm.demands.items():
+        if d not in dist[s]:
+            return 0.0
+        consumed += val * dist[s][d]
+    if consumed == 0:
+        return float("inf")
+    return total_capacity / consumed
+
+
+def best_static_throughput_bound(
+    num_tors: int, network_ports: int, servers_per_tor: int
+) -> float:
+    """Per-server throughput bound over all degree-r topologies on n ToRs.
+
+    All-to-all traffic with each ToR sourcing ``servers_per_tor`` units:
+    ``t <= r / (s * moore_mean_distance(n, r))``, clamped to [0, 1].
+    This is the paper's restricted-dynamic-model evaluation device.
+    """
+    if num_tors < 2 or servers_per_tor <= 0:
+        return 1.0
+    dbar = moore_bound_mean_distance(num_tors, network_ports)
+    if math.isinf(dbar) or dbar == 0:
+        return 0.0 if math.isinf(dbar) else 1.0
+    return min(1.0, network_ports / (servers_per_tor * dbar))

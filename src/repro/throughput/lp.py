@@ -1,0 +1,284 @@
+"""Fluid-flow throughput via linear programming (paper §2.2, §5).
+
+The paper's throughput metric: a network supports a traffic matrix M with
+throughput t if every demand can simultaneously achieve a t fraction of its
+requested rate without violating link capacities — the optimum of the
+classic *maximum concurrent flow* problem.  Two formulations are provided:
+
+* :func:`max_concurrent_throughput` — exact, destination-aggregated
+  edge-flow LP.  Commodities are grouped by destination, so the variable
+  count is ``(#destinations) x (#arcs)`` rather than
+  ``(#pairs) x (#arcs)``; optimal value is unchanged (flows to the same
+  destination can always be merged).
+* :func:`path_throughput` — restricted to k shortest paths per demand
+  (a lower bound on the exact optimum, asymptotically tight as k grows);
+  much smaller LPs on large networks.
+
+Both use scipy's HiGHS solver with sparse constraint matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+from ..topologies.base import Topology
+from ..traffic.matrix import TrafficMatrix
+from .paths import k_shortest_paths, path_edges
+
+__all__ = [
+    "ThroughputResult",
+    "max_concurrent_throughput",
+    "path_throughput",
+]
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of a fluid-flow throughput computation.
+
+    Attributes
+    ----------
+    throughput:
+        The concurrent-flow fraction t: every demand simultaneously
+        achieves ``t x`` its requested rate.
+    per_server:
+        ``t`` normalized per server: when the TM saturates every active
+        server's hose constraint, equals throughput per server as a
+        fraction of line rate (the paper's y-axis).
+    link_utilization:
+        Mapping of directed arc to carried-load fraction at optimum
+        (``None`` for solvers that do not expose flows).
+    """
+
+    throughput: float
+    per_server: float
+    link_utilization: Optional[Dict[Tuple[int, int], float]] = None
+
+
+def _arcs(topology: Topology) -> Tuple[List[Tuple[int, int]], np.ndarray]:
+    """Directed arcs (both orientations of every cable) and their capacities."""
+    arcs: List[Tuple[int, int]] = []
+    caps: List[float] = []
+    for u, v, data in topology.graph.edges(data=True):
+        arcs.append((u, v))
+        caps.append(data["capacity"])
+        arcs.append((v, u))
+        caps.append(data["capacity"])
+    return arcs, np.asarray(caps, dtype=float)
+
+
+def max_concurrent_throughput(
+    topology: Topology,
+    tm: TrafficMatrix,
+    per_server_demand: float = 1.0,
+) -> ThroughputResult:
+    """Exact max-concurrent-flow throughput of ``tm`` on ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        The switch-level network (capacities in server line-rate units).
+    tm:
+        Rack-to-rack demands in line-rate units.
+    per_server_demand:
+        Demand each active server requests (line-rate fraction); used only
+        to normalize ``per_server`` in the result.
+
+    Notes
+    -----
+    Destination-aggregated arc-flow LP: variables ``f[d, a]`` (flow bound
+    for destination ToR ``d`` on arc ``a``) plus the concurrency ``t``;
+    conservation at every node except the destination; arc capacity sums
+    over destinations.
+    """
+    if tm.num_flows == 0:
+        return ThroughputResult(throughput=float("inf"), per_server=1.0)
+
+    arcs, caps = _arcs(topology)
+    arc_index = {a: i for i, a in enumerate(arcs)}
+    nodes = topology.switches
+    node_index = {v: i for i, v in enumerate(nodes)}
+    num_arcs = len(arcs)
+
+    dests = sorted({d for (_, d) in tm.demands})
+    dest_index = {d: i for i, d in enumerate(dests)}
+    num_dests = len(dests)
+
+    # demand[d][v] = demand from node v toward destination d
+    demand_to: Dict[int, Dict[int, float]] = {d: {} for d in dests}
+    for (s, d), val in tm.demands.items():
+        demand_to[d][s] = demand_to[d].get(s, 0.0) + val
+
+    num_vars = num_dests * num_arcs + 1  # + t
+    t_var = num_vars - 1
+
+    def fvar(d_idx: int, a_idx: int) -> int:
+        return d_idx * num_arcs + a_idx
+
+    # Equality: conservation per (dest, node != dest):
+    #   sum(out arcs) - sum(in arcs) - t * demand(v -> d) = 0
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    row = 0
+    out_arcs: Dict[int, List[int]] = {v: [] for v in nodes}
+    in_arcs: Dict[int, List[int]] = {v: [] for v in nodes}
+    for i, (u, v) in enumerate(arcs):
+        out_arcs[u].append(i)
+        in_arcs[v].append(i)
+
+    for d in dests:
+        di = dest_index[d]
+        for v in nodes:
+            if v == d:
+                continue
+            for a in out_arcs[v]:
+                eq_rows.append(row)
+                eq_cols.append(fvar(di, a))
+                eq_vals.append(1.0)
+            for a in in_arcs[v]:
+                eq_rows.append(row)
+                eq_cols.append(fvar(di, a))
+                eq_vals.append(-1.0)
+            dem = demand_to[d].get(v, 0.0)
+            if dem:
+                eq_rows.append(row)
+                eq_cols.append(t_var)
+                eq_vals.append(-dem)
+            row += 1
+    a_eq = sp.csr_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(row, num_vars)
+    )
+    b_eq = np.zeros(row)
+
+    # Inequality: per-arc capacity, sum over destinations.
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    for a in range(num_arcs):
+        for di in range(num_dests):
+            ub_rows.append(a)
+            ub_cols.append(fvar(di, a))
+            ub_vals.append(1.0)
+    a_ub = sp.csr_matrix(
+        (ub_vals, (ub_rows, ub_cols)), shape=(num_arcs, num_vars)
+    )
+    b_ub = caps
+
+    c = np.zeros(num_vars)
+    c[t_var] = -1.0
+    bounds = [(0, None)] * num_vars
+
+    res = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs"
+    )
+    if not res.success:
+        raise RuntimeError(f"throughput LP failed: {res.message}")
+    t = float(res.x[t_var])
+
+    utilization: Dict[Tuple[int, int], float] = {}
+    flows = res.x[:-1].reshape(num_dests, num_arcs).sum(axis=0)
+    for a, (u, v) in enumerate(arcs):
+        utilization[(u, v)] = float(flows[a] / caps[a]) if caps[a] else 0.0
+
+    return ThroughputResult(
+        throughput=t,
+        per_server=min(1.0, t * per_server_demand),
+        link_utilization=utilization,
+    )
+
+
+def path_throughput(
+    topology: Topology,
+    tm: TrafficMatrix,
+    k: int = 8,
+    per_server_demand: float = 1.0,
+) -> ThroughputResult:
+    """Max-concurrent-flow restricted to k shortest paths per demand.
+
+    A lower bound on :func:`max_concurrent_throughput`; the LP has one
+    variable per (demand, path) plus ``t``, and one capacity row per
+    directed arc, so it scales to networks where the exact LP does not.
+    """
+    if tm.num_flows == 0:
+        return ThroughputResult(throughput=float("inf"), per_server=1.0)
+
+    arcs, caps = _arcs(topology)
+    arc_index = {a: i for i, a in enumerate(arcs)}
+    num_arcs = len(arcs)
+
+    demands = tm.items()
+    var_paths: List[List[Tuple[int, int]]] = []  # arc lists
+    var_owner: List[int] = []  # demand index
+    for di, ((s, d), _) in enumerate(demands):
+        paths = k_shortest_paths(topology.graph, s, d, k)
+        if not paths:
+            return ThroughputResult(throughput=0.0, per_server=0.0)
+        for p in paths:
+            var_paths.append([arc_index[e] for e in path_edges(p)])
+            var_owner.append(di)
+
+    num_path_vars = len(var_paths)
+    num_vars = num_path_vars + 1
+    t_var = num_vars - 1
+
+    # Equality: per demand, sum of path flows = t * demand.
+    eq_rows, eq_cols, eq_vals = [], [], []
+    for pi, di in enumerate(var_owner):
+        eq_rows.append(di)
+        eq_cols.append(pi)
+        eq_vals.append(1.0)
+    for di, ((_, _), val) in enumerate(demands):
+        eq_rows.append(di)
+        eq_cols.append(t_var)
+        eq_vals.append(-val)
+    a_eq = sp.csr_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(len(demands), num_vars)
+    )
+    b_eq = np.zeros(len(demands))
+
+    # Inequality: per-arc capacity.
+    ub_rows, ub_cols, ub_vals = [], [], []
+    for pi, arc_list in enumerate(var_paths):
+        for a in arc_list:
+            ub_rows.append(a)
+            ub_cols.append(pi)
+            ub_vals.append(1.0)
+    a_ub = sp.csr_matrix(
+        (ub_vals, (ub_rows, ub_cols)), shape=(num_arcs, num_vars)
+    )
+
+    c = np.zeros(num_vars)
+    c[t_var] = -1.0
+
+    res = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=caps,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0, None)] * num_vars,
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"path throughput LP failed: {res.message}")
+    t = float(res.x[t_var])
+
+    flows = np.zeros(num_arcs)
+    for pi, arc_list in enumerate(var_paths):
+        for a in arc_list:
+            flows[a] += res.x[pi]
+    utilization = {
+        arcs[a]: float(flows[a] / caps[a]) if caps[a] else 0.0
+        for a in range(num_arcs)
+    }
+    return ThroughputResult(
+        throughput=t,
+        per_server=min(1.0, t * per_server_demand),
+        link_utilization=utilization,
+    )

@@ -1,0 +1,80 @@
+"""Path utilities: k-shortest paths (Yen's algorithm) and ECMP path sets.
+
+Used by the path-based throughput LP and by the routing layer of the
+packet simulator (ECMP next-hop sets, VLB segments).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "k_shortest_paths",
+    "all_shortest_paths",
+    "ecmp_next_hops",
+    "path_edges",
+]
+
+
+def path_edges(path: Sequence[int]) -> List[Tuple[int, int]]:
+    """Directed edge list of a node path."""
+    return list(zip(path[:-1], path[1:]))
+
+
+def k_shortest_paths(
+    graph: nx.Graph, src: int, dst: int, k: int, weight: Optional[str] = None
+) -> List[List[int]]:
+    """Yen's algorithm: the k shortest loopless paths from src to dst.
+
+    Delegates to :func:`networkx.shortest_simple_paths` (an implementation
+    of Yen's algorithm) and truncates at ``k`` paths.  With ``weight=None``
+    paths are compared by hop count.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    paths: List[List[int]] = []
+    try:
+        for p in nx.shortest_simple_paths(graph, src, dst, weight=weight):
+            paths.append(list(p))
+            if len(paths) == k:
+                break
+    except nx.NetworkXNoPath:
+        return []
+    return paths
+
+
+def all_shortest_paths(
+    graph: nx.Graph, src: int, dst: int, limit: Optional[int] = None
+) -> List[List[int]]:
+    """All shortest (hop-count) paths from src to dst, optionally capped."""
+    out: List[List[int]] = []
+    try:
+        for p in nx.all_shortest_paths(graph, src, dst):
+            out.append(list(p))
+            if limit is not None and len(out) >= limit:
+                break
+    except nx.NetworkXNoPath:
+        return []
+    return out
+
+
+def ecmp_next_hops(graph: nx.Graph, dst: int) -> Dict[int, List[int]]:
+    """ECMP next-hop sets toward ``dst`` for every node.
+
+    A neighbor ``w`` of ``v`` is a valid ECMP next hop iff
+    ``dist(w, dst) == dist(v, dst) - 1``.  Next hops are sorted for
+    deterministic hashing.  The destination maps to an empty list.
+    """
+    dist = nx.single_source_shortest_path_length(graph, dst)
+    table: Dict[int, List[int]] = {}
+    for v in graph.nodes():
+        if v == dst or v not in dist:
+            table[v] = []
+            continue
+        table[v] = sorted(
+            w for w in graph.neighbors(v) if dist.get(w, float("inf")) == dist[v] - 1
+        )
+    return table

@@ -1,0 +1,190 @@
+"""Core topology abstraction shared by every network in the library.
+
+A :class:`Topology` is a switch-level graph: vertices are switches, edges are
+bidirectional switch-to-switch cables.  Servers are not graph vertices;
+instead each switch records how many servers hang off it (``servers_at``),
+which matches how the paper reasons about networks (top-of-rack switches with
+server ports and network ports).  The packet simulator expands servers into
+real simulated hosts when it builds a network from a topology.
+
+All link capacities are expressed as multiples of the server line rate, so a
+throughput of ``1.0`` per server means line-rate connectivity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "Topology",
+    "TopologyError",
+]
+
+
+class TopologyError(ValueError):
+    """Raised when a topology is misconfigured or structurally invalid."""
+
+
+@dataclass
+class Topology:
+    """A statically-wired switch-level network.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"fat-tree(k=8)"``.
+    graph:
+        Undirected multigraph-free :class:`networkx.Graph` of switches.  Edge
+        attribute ``capacity`` (default 1.0) is the link capacity in units of
+        the server line rate.
+    servers_per_switch:
+        Mapping from switch id to the number of servers attached there.
+        Switches absent from the mapping host zero servers (e.g. fat-tree
+        aggregation and core switches).
+    """
+
+    name: str
+    graph: nx.Graph
+    servers_per_switch: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.graph.number_of_nodes() == 0:
+            raise TopologyError("topology must contain at least one switch")
+        for node, count in self.servers_per_switch.items():
+            if node not in self.graph:
+                raise TopologyError(f"server host switch {node!r} not in graph")
+            if count < 0:
+                raise TopologyError(f"negative server count at switch {node!r}")
+        for u, v, data in self.graph.edges(data=True):
+            data.setdefault("capacity", 1.0)
+            if data["capacity"] <= 0:
+                raise TopologyError(f"non-positive capacity on link {u}-{v}")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_switches(self) -> int:
+        """Number of switches in the network."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        """Number of bidirectional switch-to-switch cables."""
+        return self.graph.number_of_edges()
+
+    @property
+    def num_servers(self) -> int:
+        """Total number of servers across all switches."""
+        return sum(self.servers_per_switch.values())
+
+    @property
+    def switches(self) -> List[int]:
+        """All switch ids, sorted for determinism."""
+        return sorted(self.graph.nodes())
+
+    @property
+    def tors(self) -> List[int]:
+        """Switches that host at least one server (top-of-rack switches)."""
+        return sorted(s for s, n in self.servers_per_switch.items() if n > 0)
+
+    def servers_at(self, switch: int) -> int:
+        """Number of servers attached to ``switch`` (0 if none)."""
+        return self.servers_per_switch.get(switch, 0)
+
+    def network_degree(self, switch: int) -> int:
+        """Number of network (switch-facing) ports used at ``switch``."""
+        return self.graph.degree(switch)
+
+    def total_ports(self) -> int:
+        """Total switch ports in use: two per cable plus one per server."""
+        return 2 * self.num_links + self.num_servers
+
+    def capacity(self, u: int, v: int) -> float:
+        """Capacity of the link between switches ``u`` and ``v``."""
+        return self.graph.edges[u, v]["capacity"]
+
+    # ------------------------------------------------------------------
+    # Structural checks
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether every switch can reach every other switch."""
+        return nx.is_connected(self.graph)
+
+    def validate_port_budget(self, ports_per_switch: int) -> None:
+        """Check that no switch uses more ports than physically available.
+
+        Raises :class:`TopologyError` listing the first offending switch.
+        """
+        for s in self.graph.nodes():
+            used = self.graph.degree(s) + self.servers_at(s)
+            if used > ports_per_switch:
+                raise TopologyError(
+                    f"switch {s} uses {used} ports "
+                    f"(degree {self.graph.degree(s)} + "
+                    f"{self.servers_at(s)} servers) "
+                    f"but only {ports_per_switch} are available"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def shortest_path_lengths(
+        self, sources: Optional[Iterable[int]] = None
+    ) -> Dict[int, Dict[int, int]]:
+        """Hop-count distances from each source switch to all switches."""
+        if sources is None:
+            sources = self.graph.nodes()
+        return {s: nx.single_source_shortest_path_length(self.graph, s) for s in sources}
+
+    def average_shortest_path_length(self) -> float:
+        """Mean hop count over all ordered switch pairs."""
+        return nx.average_shortest_path_length(self.graph)
+
+    def diameter(self) -> int:
+        """Maximum hop count between any two switches."""
+        return nx.diameter(self.graph)
+
+    def iter_server_ids(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(server_id, tor_switch)`` pairs with dense sequential ids.
+
+        Servers are numbered 0..num_servers-1, grouped by sorted ToR id, so
+        that the mapping is deterministic across runs.
+        """
+        server_id = itertools.count()
+        for tor in self.tors:
+            for _ in range(self.servers_per_switch[tor]):
+                yield next(server_id), tor
+
+    def server_to_tor(self) -> Dict[int, int]:
+        """Mapping of dense server ids to their ToR switch."""
+        return dict(self.iter_server_ids())
+
+    def tor_to_servers(self) -> Dict[int, List[int]]:
+        """Mapping of ToR switch to the dense server ids it hosts."""
+        out: Dict[int, List[int]] = {}
+        for server, tor in self.iter_server_ids():
+            out.setdefault(tor, []).append(server)
+        return out
+
+    # ------------------------------------------------------------------
+    # Mutation helpers used by generators
+    # ------------------------------------------------------------------
+    def attach_servers_uniformly(self, servers_per_tor: int, tors: Sequence[int]) -> None:
+        """Attach ``servers_per_tor`` servers to each switch in ``tors``."""
+        if servers_per_tor < 0:
+            raise TopologyError("servers_per_tor must be non-negative")
+        for t in tors:
+            if t not in self.graph:
+                raise TopologyError(f"switch {t!r} not in graph")
+            self.servers_per_switch[t] = servers_per_tor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}, switches={self.num_switches}, "
+            f"links={self.num_links}, servers={self.num_servers})"
+        )

@@ -1,0 +1,208 @@
+"""Cabling and physical layout analysis (paper §3, Fig 3).
+
+The paper argues Xpander is *cabling-friendly*: its meta-node structure
+lets all cables between a pair of meta-nodes be aggregated into one
+bundle, and (citing Jupiter Rising) "such bundling can reduce fiber cost
+(capex + opex) by nearly 40%".  This module makes that argument
+quantitative:
+
+* a floor-plan model (racks in rows of meta-nodes/pods, Manhattan cable
+  runs over an overhead tray, as in Fig 3's right panel);
+* per-topology cable enumeration: bundle counts, cable counts, and total
+  fiber length for Xpander (meta-node bundles), fat-trees (edge-agg /
+  agg-core bundles), and arbitrary flat topologies (rack-pair bundles);
+* a bundled-fiber discount model for the cost comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .base import Topology, TopologyError
+from .fattree import AGG, CORE, EDGE, FatTree
+
+__all__ = [
+    "FloorPlan",
+    "CablingReport",
+    "xpander_cabling",
+    "fattree_cabling",
+    "flat_cabling",
+    "BUNDLING_DISCOUNT",
+]
+
+#: Jupiter-Rising-style capex+opex saving for fully bundled fiber runs.
+BUNDLING_DISCOUNT = 0.4
+
+#: Physical constants for the floor-plan model (meters).
+RACK_PITCH = 0.8  # rack-to-rack spacing along a row
+ROW_PITCH = 1.8  # aisle spacing between rows
+SLACK = 4.0  # per-cable service loop + vertical runs
+
+
+@dataclass
+class FloorPlan:
+    """Racks arranged on a grid: ``positions[group] = (row, col)`` slots.
+
+    Groups are layout units — meta-nodes for Xpander, pods for a fat-tree,
+    individual racks for arbitrary flat networks.  Cable length between
+    groups is the Manhattan distance between their slots plus slack.
+    """
+
+    positions: Dict[int, Tuple[int, int]]
+
+    @classmethod
+    def grid(cls, num_groups: int, columns: Optional[int] = None) -> "FloorPlan":
+        """Lay groups out in a near-square grid, row-major."""
+        if num_groups < 1:
+            raise TopologyError("need at least one group")
+        if columns is None:
+            columns = max(1, math.ceil(math.sqrt(num_groups)))
+        positions = {
+            g: (g // columns, g % columns) for g in range(num_groups)
+        }
+        return cls(positions)
+
+    def distance_m(self, a: int, b: int) -> float:
+        """Cable-run length between two groups in meters."""
+        (r1, c1), (r2, c2) = self.positions[a], self.positions[b]
+        return (
+            abs(r1 - r2) * ROW_PITCH + abs(c1 - c2) * RACK_PITCH + SLACK
+        )
+
+
+@dataclass
+class CablingReport:
+    """Cable inventory of one topology under a floor plan."""
+
+    name: str
+    num_cables: int
+    num_bundles: int
+    total_length_m: float
+    bundled_fraction: float
+
+    @property
+    def cables_per_bundle(self) -> float:
+        """Mean bundle thickness."""
+        if self.num_bundles == 0:
+            return 0.0
+        return self.num_cables / self.num_bundles
+
+    def fiber_cost(self, dollars_per_m: float = 0.3) -> float:
+        """Fiber cost with the bundling discount on bundled runs."""
+        discounted = 1.0 - BUNDLING_DISCOUNT * self.bundled_fraction
+        return self.total_length_m * dollars_per_m * discounted
+
+
+def xpander_cabling(
+    topology: Topology, plan: Optional[FloorPlan] = None
+) -> CablingReport:
+    """Cable inventory of an Xpander: one bundle per meta-node pair.
+
+    Every inter-meta-node matching (``lift`` cables) shares a single
+    bundle between the two meta-nodes' rows, as in Fig 3: all of a
+    meta-node's cables leave through its cable aggregator.
+    """
+    metas = {
+        v: topology.graph.nodes[v].get("meta_node")
+        for v in topology.graph.nodes()
+    }
+    if any(m is None for m in metas.values()):
+        raise TopologyError(
+            "topology has no meta_node annotations; build it with xpander()"
+        )
+    groups = sorted(set(metas.values()))
+    if plan is None:
+        plan = FloorPlan.grid(len(groups))
+
+    bundles: Dict[Tuple[int, int], int] = {}
+    total_length = 0.0
+    for u, v in topology.graph.edges():
+        a, b = sorted((metas[u], metas[v]))
+        bundles[(a, b)] = bundles.get((a, b), 0) + 1
+        total_length += plan.distance_m(a, b)
+    return CablingReport(
+        name=topology.name,
+        num_cables=topology.num_links,
+        num_bundles=len(bundles),
+        total_length_m=total_length,
+        bundled_fraction=1.0,
+    )
+
+
+def fattree_cabling(
+    ft: FatTree, plan: Optional[FloorPlan] = None
+) -> CablingReport:
+    """Cable inventory of a fat-tree.
+
+    Intra-pod (edge-agg) cables stay within the pod's floor slot (slack
+    only).  Agg-core cables bundle per (pod, core-group) pair, with the
+    core layer occupying one extra slot.  Everything is bundleable, as in
+    production Clos fabrics (Jupiter).
+    """
+    k = ft.k
+    pods = ft.pods
+    if plan is None:
+        plan = FloorPlan.grid(pods + 1)  # last slot: core switches
+    core_slot = pods
+
+    bundles: Dict[Tuple[int, int, int], int] = {}
+    total_length = 0.0
+    half = k // 2
+    for u, v in ft.topology.graph.edges():
+        lay_u = ft.coordinates[u][0]
+        lay_v = ft.coordinates[v][0]
+        if {lay_u, lay_v} == {EDGE, AGG}:
+            pod = ft.pod_of(u if lay_u == AGG else v)
+            bundles[(0, pod, pod)] = bundles.get((0, pod, pod), 0) + 1
+            total_length += SLACK
+        else:  # agg-core
+            agg = u if lay_u == AGG else v
+            core = v if lay_v == CORE else u
+            pod = ft.pod_of(agg)
+            group = ft.coordinates[core][2] // half
+            key = (1, pod, group)
+            bundles[key] = bundles.get(key, 0) + 1
+            total_length += plan.distance_m(pod, core_slot)
+    return CablingReport(
+        name=ft.topology.name,
+        num_cables=ft.topology.num_links,
+        num_bundles=len(bundles),
+        total_length_m=total_length,
+        bundled_fraction=1.0,
+    )
+
+
+def flat_cabling(
+    topology: Topology, plan: Optional[FloorPlan] = None
+) -> CablingReport:
+    """Cable inventory of an arbitrary flat (ToR-to-ToR) topology.
+
+    Without structural grouping (e.g. Jellyfish), each rack is its own
+    layout group and each connected rack pair is a 'bundle' of however
+    many parallel cables it has — for a random graph, almost all bundles
+    have exactly one cable, which is the cabling-unfriendliness the
+    Xpander paper contrasts against.
+    """
+    racks = topology.switches
+    index = {r: i for i, r in enumerate(racks)}
+    if plan is None:
+        plan = FloorPlan.grid(len(racks))
+    bundles: Dict[Tuple[int, int], int] = {}
+    total_length = 0.0
+    for u, v in topology.graph.edges():
+        a, b = sorted((index[u], index[v]))
+        bundles[(a, b)] = bundles.get((a, b), 0) + 1
+        total_length += plan.distance_m(a, b)
+    singleton = sum(1 for c in bundles.values() if c == 1)
+    bundled_cables = topology.num_links - singleton
+    return CablingReport(
+        name=topology.name,
+        num_cables=topology.num_links,
+        num_bundles=len(bundles),
+        total_length_m=total_length,
+        bundled_fraction=(
+            bundled_cables / topology.num_links if topology.num_links else 0.0
+        ),
+    )

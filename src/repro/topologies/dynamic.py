@@ -1,0 +1,167 @@
+"""Abstract models of dynamic (reconfigurable) network topologies (paper §4).
+
+Instead of modeling any specific reconfigurable design (FireFly, ProjecToR,
+Helios, ...), the paper evaluates two abstractions that bracket them all:
+
+* **Unrestricted** — ignores reconfiguration delay, buffering, and any
+  connectivity constraint: at every instant each ToR's ``r`` flexible ports
+  carry traffic directly to where it is needed.  As long as bottlenecks are
+  not at the servers, per-server throughput is ``min(1, r / s)`` for a ToR
+  with ``r`` network and ``s`` server ports, independent of the traffic
+  matrix and of how many ToRs participate.
+
+* **Restricted** — prioritizes direct connections between communicating
+  ToR pairs and has no buffering, so all flows must be serviced
+  concurrently.  For all-to-all traffic among the active racks this is no
+  better than the *best possible static topology* of the same degree over
+  those racks (paper §4.1), which is upper-bounded by the throughput bound
+  of Singla et al. (NSDI 2014): total link capacity divided by the minimum
+  capacity the flows must consume, with path lengths lower-bounded by the
+  Moore bound.
+
+Both models take δ (the flexible-to-static port cost ratio, ≥ 1, paper
+estimate 1.5) into account via :func:`equal_cost_dynamic_ports`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "moore_bound_mean_distance",
+    "unrestricted_dynamic_throughput",
+    "restricted_dynamic_throughput",
+    "equal_cost_dynamic_ports",
+    "duty_cycle",
+    "DynamicNetworkModel",
+]
+
+
+def duty_cycle(slot_time: float, reconfiguration_time: float) -> float:
+    """Fraction of time a reconfigurable link actually carries traffic.
+
+    Dynamic designs must periodically pause a port to re-point it; with a
+    data slot of ``slot_time`` between reconfigurations costing
+    ``reconfiguration_time``, capacity scales by
+    ``slot / (slot + reconfig)``.  The paper's §4.1 notes ProjecToR's
+    recommended duty cycle "could achieve 90% of full throughput" — e.g.
+    a 90% duty cycle from slots 9x the reconfiguration time.
+    """
+    if slot_time <= 0:
+        raise ValueError("slot_time must be positive")
+    if reconfiguration_time < 0:
+        raise ValueError("reconfiguration_time must be non-negative")
+    return slot_time / (slot_time + reconfiguration_time)
+
+
+def moore_bound_mean_distance(num_nodes: int, degree: int) -> float:
+    """Lower bound on mean shortest-path distance in any degree-``d`` graph.
+
+    From one node, at most ``d`` others lie at distance 1, at most
+    ``d (d-1)`` at distance 2, and so on; fill shells greedily with the
+    ``num_nodes - 1`` other nodes and average the distances.
+    """
+    if num_nodes < 2:
+        return 0.0
+    if degree < 1:
+        return math.inf
+    if degree == 1:
+        # Degree-1 graphs are disjoint edges; only 1 reachable other node.
+        return 1.0 if num_nodes == 2 else math.inf
+    remaining = num_nodes - 1
+    total = 0.0
+    shell = degree
+    dist = 1
+    while remaining > 0:
+        here = min(shell, remaining)
+        total += here * dist
+        remaining -= here
+        shell *= degree - 1
+        dist += 1
+    return total / (num_nodes - 1)
+
+
+def unrestricted_dynamic_throughput(network_ports: int, server_ports: int) -> float:
+    """Per-server throughput of the unrestricted dynamic model: min(1, r/s)."""
+    if server_ports <= 0:
+        return 1.0
+    return min(1.0, network_ports / server_ports)
+
+
+def restricted_dynamic_throughput(
+    active_tors: int, network_ports: int, server_ports: int
+) -> float:
+    """Upper bound on per-server throughput of the restricted dynamic model.
+
+    All-to-all traffic among ``active_tors`` racks, each with ``s`` servers
+    demanding throughput ``t`` and ``r`` network ports: no topology on the
+    active racks can beat ``t <= r / (s * mean_distance)`` with the mean
+    distance Moore-bounded (NSDI'14 bound, reproduced in paper §4.1 where it
+    yields the 80% figure for the 9-rack toy example).
+    """
+    if active_tors < 2:
+        return 1.0
+    if server_ports <= 0:
+        return 1.0
+    dbar = moore_bound_mean_distance(active_tors, network_ports)
+    if math.isinf(dbar):
+        return 0.0
+    bound = network_ports / (server_ports * dbar)
+    return min(1.0, bound)
+
+
+def equal_cost_dynamic_ports(static_ports: int, delta: float = 1.5) -> int:
+    """Flexible ports purchasable for the cost of ``static_ports`` static ones.
+
+    δ is the per-port cost of a flexible (dynamic) port normalized to a
+    static port including its share of cabling (paper Table 1: δ ≈ 1.5).
+    """
+    if delta < 1.0:
+        raise ValueError(f"delta must be >= 1 (flexible ports cost more), got {delta}")
+    return int(static_ports / delta)
+
+
+@dataclass
+class DynamicNetworkModel:
+    """A sized dynamic network for equal-cost comparisons.
+
+    Parameters
+    ----------
+    num_tors:
+        Number of top-of-rack switches.
+    network_ports:
+        Flexible network ports per ToR (already δ-adjusted if comparing
+        against a static design — see :func:`equal_cost_dynamic_ports`).
+    server_ports:
+        Servers per ToR.
+    """
+
+    num_tors: int
+    network_ports: int
+    server_ports: int
+
+    def unrestricted_throughput(self) -> float:
+        """Per-server throughput under the unrestricted model (TM-independent)."""
+        return unrestricted_dynamic_throughput(self.network_ports, self.server_ports)
+
+    def restricted_throughput(self, fraction_active: float) -> float:
+        """Restricted-model throughput bound when ``fraction_active`` of racks talk."""
+        if not 0 < fraction_active <= 1:
+            raise ValueError("fraction_active must be in (0, 1]")
+        active = max(2, round(fraction_active * self.num_tors))
+        return restricted_dynamic_throughput(
+            active, self.network_ports, self.server_ports
+        )
+
+    def unrestricted_throughput_with_duty_cycle(
+        self, slot_time: float, reconfiguration_time: float
+    ) -> float:
+        """Unrestricted-model throughput discounted by the duty cycle.
+
+        §4.1: even the ideal round-robin schedule pays for reconfiguration
+        time (ProjecToR's recommended duty cycle reaches 90%).
+        """
+        return self.unrestricted_throughput() * duty_cycle(
+            slot_time, reconfiguration_time
+        )

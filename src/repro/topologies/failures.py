@@ -1,0 +1,105 @@
+"""Failure injection: degraded topologies for resilience analysis.
+
+The expander-topology literature the paper builds on (Jellyfish, Xpander)
+evaluates resilience to random link and switch failures — expanders
+degrade gracefully (no structural cut-points), fat-trees lose whole
+subtrees.  This module produces degraded copies of a topology so the
+throughput engine and the simulators can measure performance under
+failures; the resilience ablation bench uses it.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .base import Topology, TopologyError
+
+__all__ = [
+    "fail_links",
+    "fail_switches",
+    "random_link_failures",
+    "random_switch_failures",
+    "largest_connected_component",
+]
+
+
+def _copy_topology(topology: Topology, name_suffix: str) -> Topology:
+    g = nx.Graph()
+    g.add_nodes_from(topology.graph.nodes(data=True))
+    g.add_edges_from(topology.graph.edges(data=True))
+    return Topology(
+        name=topology.name + name_suffix,
+        graph=g,
+        servers_per_switch=dict(topology.servers_per_switch),
+    )
+
+
+def fail_links(
+    topology: Topology, links: Sequence[Tuple[int, int]]
+) -> Topology:
+    """A copy of ``topology`` with the given cables removed."""
+    out = _copy_topology(topology, f"-linkfail({len(links)})")
+    for u, v in links:
+        if not out.graph.has_edge(u, v):
+            raise TopologyError(f"link {u}-{v} not present")
+        out.graph.remove_edge(u, v)
+    return out
+
+
+def fail_switches(topology: Topology, switches: Sequence[int]) -> Topology:
+    """A copy of ``topology`` with the given switches (and their servers)
+    removed."""
+    out = _copy_topology(topology, f"-swfail({len(switches)})")
+    for s in switches:
+        if s not in out.graph:
+            raise TopologyError(f"switch {s} not present")
+        out.graph.remove_node(s)
+        out.servers_per_switch.pop(s, None)
+    if out.graph.number_of_nodes() == 0:
+        raise TopologyError("all switches failed")
+    return out
+
+
+def random_link_failures(
+    topology: Topology, fraction: float, seed: int = 0
+) -> Topology:
+    """Fail a uniform-random ``fraction`` of the cables."""
+    if not 0 <= fraction < 1:
+        raise TopologyError(f"failure fraction must be in [0, 1), got {fraction}")
+    rng = random.Random(seed)
+    edges = sorted(tuple(sorted(e)) for e in topology.graph.edges())
+    count = round(fraction * len(edges))
+    return fail_links(topology, rng.sample(edges, count))
+
+
+def random_switch_failures(
+    topology: Topology, fraction: float, seed: int = 0
+) -> Topology:
+    """Fail a uniform-random ``fraction`` of the switches."""
+    if not 0 <= fraction < 1:
+        raise TopologyError(f"failure fraction must be in [0, 1), got {fraction}")
+    rng = random.Random(seed)
+    count = round(fraction * topology.num_switches)
+    return fail_switches(topology, rng.sample(topology.switches, count))
+
+
+def largest_connected_component(topology: Topology) -> Topology:
+    """Restrict a (possibly disconnected) degraded topology to its largest
+    component, dropping stranded switches and their servers.
+
+    Simulations and the LP require a connected graph; after heavy failures
+    this models the operational network (stranded racks are simply down).
+    """
+    if topology.is_connected():
+        return topology
+    giant = max(nx.connected_components(topology.graph), key=len)
+    out = _copy_topology(topology, "-lcc")
+    out.graph.remove_nodes_from(set(out.graph.nodes()) - giant)
+    out.servers_per_switch = {
+        s: n for s, n in out.servers_per_switch.items() if s in giant
+    }
+    return out

@@ -1,0 +1,194 @@
+"""k-ary fat-tree topologies (Al-Fares et al., SIGCOMM 2008).
+
+A full fat-tree built from ``k``-port switches has:
+
+* ``(k/2)^2`` core switches,
+* ``k`` pods, each with ``k/2`` aggregation and ``k/2`` edge (ToR) switches,
+* ``k/2`` servers per edge switch, for ``k^3/4`` servers total.
+
+The network is rearrangeably non-blocking: full bandwidth between every pair
+of servers.  The paper's baseline in every experiment is such a full
+fat-tree; oversubscribed variants (fewer core switches, i.e. the network of
+Fig. 1 and Observation 1) are produced by :func:`oversubscribed_fattree`.
+
+Switch ids are dense integers; use the :class:`FatTree` wrapper to map ids
+back to (layer, pod, index) coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .base import Topology, TopologyError
+
+__all__ = ["FatTree", "fattree", "oversubscribed_fattree"]
+
+CORE = "core"
+AGG = "agg"
+EDGE = "edge"
+
+
+@dataclass
+class FatTree:
+    """A fat-tree :class:`Topology` plus layer/pod coordinate metadata.
+
+    Attributes
+    ----------
+    topology:
+        The underlying switch graph with servers attached to edge switches.
+    k:
+        Switch port count (even).
+    coordinates:
+        Mapping of switch id to ``(layer, pod, index)``; core switches use
+        pod ``-1`` and index ``(group, member)`` flattened to
+        ``group * (k/2) + member``.
+    """
+
+    topology: Topology
+    k: int
+    coordinates: Dict[int, Tuple[str, int, int]]
+
+    @property
+    def pods(self) -> int:
+        """Number of pods."""
+        return self.k
+
+    def switches_in_layer(self, layer: str) -> List[int]:
+        """All switch ids in ``layer`` (one of 'core', 'agg', 'edge')."""
+        return sorted(s for s, (lay, _, _) in self.coordinates.items() if lay == layer)
+
+    def edge_switches_in_pod(self, pod: int) -> List[int]:
+        """Edge (ToR) switch ids within ``pod``."""
+        return sorted(
+            s
+            for s, (lay, p, _) in self.coordinates.items()
+            if lay == EDGE and p == pod
+        )
+
+    def pod_of(self, switch: int) -> int:
+        """Pod number of ``switch`` (-1 for core switches)."""
+        return self.coordinates[switch][1]
+
+
+def fattree(k: int, servers_per_edge: int | None = None) -> FatTree:
+    """Build a full-bandwidth k-ary fat-tree.
+
+    Parameters
+    ----------
+    k:
+        Port count of every switch; must be even and >= 2.
+    servers_per_edge:
+        Servers attached to each edge switch.  Defaults to ``k/2`` (the
+        standard full-bandwidth configuration).  Values above ``k/2``
+        oversubscribe at the ToR.
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"fat-tree arity k must be even and >= 2, got {k}")
+    half = k // 2
+    if servers_per_edge is None:
+        servers_per_edge = half
+    if servers_per_edge < 0:
+        raise TopologyError("servers_per_edge must be non-negative")
+
+    g = nx.Graph()
+    coordinates: Dict[int, Tuple[str, int, int]] = {}
+    next_id = 0
+
+    core_ids: List[List[int]] = []  # core_ids[group][member]
+    for group in range(half):
+        row = []
+        for member in range(half):
+            coordinates[next_id] = (CORE, -1, group * half + member)
+            g.add_node(next_id)
+            row.append(next_id)
+            next_id += 1
+        core_ids.append(row)
+
+    servers_per_switch: Dict[int, int] = {}
+    for pod in range(k):
+        agg_ids = []
+        for a in range(half):
+            coordinates[next_id] = (AGG, pod, a)
+            g.add_node(next_id)
+            agg_ids.append(next_id)
+            next_id += 1
+        edge_ids = []
+        for e in range(half):
+            coordinates[next_id] = (EDGE, pod, e)
+            g.add_node(next_id)
+            edge_ids.append(next_id)
+            servers_per_switch[next_id] = servers_per_edge
+            next_id += 1
+        # Wire pod internals: complete bipartite agg <-> edge.
+        for agg in agg_ids:
+            for edge in edge_ids:
+                g.add_edge(agg, edge, capacity=1.0)
+        # Wire agg switch a to core group a.
+        for a, agg in enumerate(agg_ids):
+            for core in core_ids[a]:
+                g.add_edge(agg, core, capacity=1.0)
+
+    topo = Topology(
+        name=f"fat-tree(k={k})",
+        graph=g,
+        servers_per_switch=servers_per_switch,
+    )
+    if servers_per_edge <= half:
+        topo.validate_port_budget(k)
+    return FatTree(topology=topo, k=k, coordinates=coordinates)
+
+
+def oversubscribed_fattree(
+    k: int,
+    core_fraction: float,
+    servers_per_edge: int | None = None,
+) -> FatTree:
+    """Build a fat-tree with only a fraction of its core switches.
+
+    This is the oversubscription of Fig. 1 / Observation 1: keeping an
+    ``x`` fraction of the core layer caps pod-to-pod throughput at ``x`` per
+    server even when only two pods (a ``2/k`` fraction of servers) are
+    active.
+
+    Core switches are removed round-robin across the ``k/2`` core groups so
+    every aggregation switch loses uplinks as evenly as possible.
+
+    Parameters
+    ----------
+    k:
+        Switch arity of the underlying full fat-tree.
+    core_fraction:
+        Fraction of core switches to keep, in ``(0, 1]``.
+    servers_per_edge:
+        Servers per edge switch (default ``k/2``).
+    """
+    if not 0 < core_fraction <= 1:
+        raise TopologyError(f"core_fraction must be in (0, 1], got {core_fraction}")
+    ft = fattree(k, servers_per_edge=servers_per_edge)
+    half = k // 2
+    total_core = half * half
+    keep = max(1, round(core_fraction * total_core))
+    if keep == total_core:
+        ft.topology.name = f"fat-tree(k={k})"
+        return ft
+
+    # Enumerate core switches as (member, group) so that removal order cycles
+    # across groups: removing n switches takes ~n/(k/2) from each group.
+    cores = ft.switches_in_layer(CORE)
+    by_member_then_group = sorted(
+        cores,
+        key=lambda s: (ft.coordinates[s][2] % half, ft.coordinates[s][2] // half),
+    )
+    drop = by_member_then_group[keep:]
+    ft.topology.graph.remove_nodes_from(drop)
+    for s in drop:
+        del ft.coordinates[s]
+    ft.topology.name = f"fat-tree(k={k},core={core_fraction:.2f})"
+    if not ft.topology.is_connected():
+        raise TopologyError(
+            "oversubscription disconnected the fat-tree; raise core_fraction"
+        )
+    return ft

@@ -1,0 +1,211 @@
+"""Jellyfish: random regular graph topologies (Singla et al., NSDI 2012).
+
+Jellyfish wires every top-of-rack switch's network ports to other ToRs
+uniformly at random, producing (an approximation of) a random regular graph.
+Random regular graphs are near-optimal expanders with high probability, which
+is the structural property behind Jellyfish's throughput.
+
+Two constructions are offered:
+
+* :func:`jellyfish` — the incremental construction of the Jellyfish paper:
+  repeatedly join random pairs of switches with free ports; when stuck,
+  break an existing link to free ports up.  Works for any (n, r) with
+  ``n * r`` even and ``r < n``.
+* networkx's configuration-model based ``random_regular_graph`` as a
+  fallback for exact regularity (used when ``strict=True``).
+
+Both are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from .base import Topology, TopologyError
+
+__all__ = [
+    "jellyfish",
+    "random_regular_topology",
+    "jellyfish_degree_sequence",
+]
+
+
+def _incremental_random_graph(
+    free: Dict[int, int], rng: random.Random
+) -> nx.Graph:
+    """Jellyfish's incremental random-graph construction.
+
+    ``free`` maps each switch to its number of open network ports (the
+    uniform-degree Jellyfish is the special case of all-equal values).
+    Joins random switch pairs with free ports; when no joinable pair
+    remains but free ports do, removes a random existing edge incident to
+    neither endpoint and splices the free-port switch in.
+    """
+    g = nx.Graph()
+    g.add_nodes_from(free)
+    free = dict(free)
+
+    def add_random_edges() -> None:
+        """Join random free-port pairs until no joinable pair remains."""
+        while True:
+            open_nodes = [v for v, f in free.items() if f > 0]
+            if len(open_nodes) < 2:
+                return
+            # Fast path: random sampling with bounded retries.
+            joined = False
+            for _ in range(64):
+                u, v = rng.sample(open_nodes, 2)
+                if not g.has_edge(u, v):
+                    g.add_edge(u, v)
+                    free[u] -= 1
+                    free[v] -= 1
+                    joined = True
+                    break
+            if joined:
+                continue
+            # Slow path: exhaustive scan for any joinable pair.
+            pair = None
+            for i, u in enumerate(open_nodes):
+                for v in open_nodes[i + 1 :]:
+                    if not g.has_edge(u, v):
+                        pair = (u, v)
+                        break
+                if pair:
+                    break
+            if pair is None:
+                return
+            u, v = pair
+            g.add_edge(u, v)
+            free[u] -= 1
+            free[v] -= 1
+
+    while True:
+        add_random_edges()
+        # All remaining free ports are on switches already adjacent to every
+        # other free-port switch.  Splice into a random existing edge.
+        open_nodes = [v for v, f in free.items() if f >= 2]
+        if not open_nodes:
+            break
+        w = rng.choice(open_nodes)
+        candidates = [
+            (u, v) for u, v in g.edges() if u != w and v != w and not (
+                g.has_edge(u, w) and g.has_edge(v, w)
+            )
+        ]
+        if not candidates:
+            break  # pathological; accept slightly irregular graph
+        u, v = rng.choice(candidates)
+        g.remove_edge(u, v)
+        # Attach w to whichever endpoints it is not yet adjacent to.
+        for x in (u, v):
+            if not g.has_edge(w, x) and free[w] > 0:
+                g.add_edge(w, x)
+                free[w] -= 1
+            else:
+                free[x] += 1
+    return g
+
+
+def random_regular_topology(
+    n: int, r: int, seed: int = 0, strict: bool = False
+) -> nx.Graph:
+    """Random r-regular graph on n nodes, connected, seeded.
+
+    With ``strict=True`` uses networkx's pairing-model generator (exactly
+    regular); otherwise uses the Jellyfish incremental construction (regular
+    except possibly a handful of ports in pathological cases).
+    """
+    if r >= n:
+        raise TopologyError(f"degree r={r} must be < number of switches n={n}")
+    if (n * r) % 2 != 0:
+        raise TopologyError(f"n*r must be even, got n={n}, r={r}")
+    rng = random.Random(seed)
+    for attempt in range(50):
+        if strict:
+            g = nx.random_regular_graph(r, n, seed=rng.randrange(2**31))
+        else:
+            g = _incremental_random_graph({v: r for v in range(n)}, rng)
+        if nx.is_connected(g):
+            return g
+    raise TopologyError(
+        f"failed to build a connected random regular graph (n={n}, r={r})"
+    )
+
+
+def jellyfish_degree_sequence(
+    network_ports: Dict[int, int],
+    servers_per_switch: Dict[int, int],
+    seed: int = 0,
+) -> Topology:
+    """Jellyfish with a non-uniform degree/server layout.
+
+    The incremental random construction naturally generalizes to
+    heterogeneous port counts (Jellyfish §3 notes it handles heterogeneous
+    switches); this is needed for equal-cost comparisons where the server
+    budget does not divide evenly across switches (e.g. the paper's Fig 6
+    configurations), so some switches host one extra server and expose one
+    fewer network port.
+
+    Parameters
+    ----------
+    network_ports:
+        Mapping of switch id to its number of network-facing ports.
+    servers_per_switch:
+        Mapping of switch id to its server count (same key set).
+    """
+    if set(network_ports) != set(servers_per_switch):
+        raise TopologyError("network_ports and servers_per_switch keys differ")
+    if sum(network_ports.values()) % 2 != 0:
+        raise TopologyError("sum of network ports must be even")
+    if any(r < 0 for r in network_ports.values()):
+        raise TopologyError("negative network port count")
+    rng = random.Random(seed)
+    for attempt in range(50):
+        g = _incremental_random_graph(network_ports, rng)
+        if nx.is_connected(g):
+            break
+    else:
+        raise TopologyError("failed to build a connected degree-sequence graph")
+    nx.set_edge_attributes(g, 1.0, "capacity")
+    return Topology(
+        name=f"jellyfish-ds(n={len(network_ports)},seed={seed})",
+        graph=g,
+        servers_per_switch=dict(servers_per_switch),
+    )
+
+
+def jellyfish(
+    num_switches: int,
+    network_ports: int,
+    servers_per_switch: int,
+    seed: int = 0,
+    strict: bool = False,
+) -> Topology:
+    """Build a Jellyfish topology.
+
+    Parameters
+    ----------
+    num_switches:
+        Number of ToR switches.
+    network_ports:
+        Switch-facing ports per switch (the random-regular-graph degree).
+    servers_per_switch:
+        Servers attached to every switch.
+    seed:
+        RNG seed; identical seeds give identical topologies.
+    strict:
+        Use networkx's exactly-regular generator instead of the incremental
+        Jellyfish construction.
+    """
+    g = random_regular_topology(num_switches, network_ports, seed=seed, strict=strict)
+    nx.set_edge_attributes(g, 1.0, "capacity")
+    topo = Topology(
+        name=f"jellyfish(n={num_switches},r={network_ports},seed={seed})",
+        graph=g,
+        servers_per_switch={v: servers_per_switch for v in g.nodes()},
+    )
+    topo.validate_port_budget(network_ports + servers_per_switch)
+    return topo

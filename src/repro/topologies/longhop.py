@@ -1,0 +1,137 @@
+"""LongHop: Cayley-graph topologies over GF(2)^n (Tomic, ANCS 2013).
+
+A LongHop network with ``2^n`` switches and network degree ``d`` is the
+Cayley graph of the group (GF(2)^n, XOR) with a generator set ``G`` of
+``d`` distinct non-zero binary vectors: switch ``i`` connects to switch
+``i XOR g`` for every ``g in G``.  Every generator is its own inverse over
+GF(2), so the graph is undirected and ``d``-regular by construction.  With
+``G`` = the ``n`` unit vectors the graph is the hypercube; LongHop adds
+"long hop" generators derived from error-correcting codes to shrink the
+diameter and raise throughput.
+
+Tomic's paper selects generators from optimal linear-code generator
+matrices (tables not available to us).  **Substitution** (documented in
+DESIGN.md): we keep the exact Cayley structure, node count, and degree, and
+choose the extra generators greedily to maximize the spectral gap.  For
+Cayley graphs over GF(2)^n the full spectrum is available in closed form —
+eigenvalues are the Walsh–Hadamard transform of the generator-set indicator
+vector — so the greedy step is exact and cheap.
+
+The paper's Fig. 5(b) instance is ``2^9 = 512`` ToRs with 10 network ports;
+scaled-down benchmark instances use n = 6 or 7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import networkx as nx
+import numpy as np
+
+from .base import Topology, TopologyError
+
+__all__ = ["longhop", "cayley_graph_gf2", "spectral_gap_gf2", "select_generators"]
+
+
+def _walsh_hadamard(values: np.ndarray) -> np.ndarray:
+    """In-place fast Walsh–Hadamard transform of a length-2^n vector."""
+    out = values.astype(float).copy()
+    h = 1
+    n = len(out)
+    while h < n:
+        for i in range(0, n, h * 2):
+            a = out[i : i + h].copy()
+            b = out[i + h : i + 2 * h].copy()
+            out[i : i + h] = a + b
+            out[i + h : i + 2 * h] = a - b
+        h *= 2
+    return out
+
+
+def cayley_spectrum_gf2(n: int, generators: Sequence[int]) -> np.ndarray:
+    """All 2^n eigenvalues of the Cayley graph of GF(2)^n with ``generators``.
+
+    Eigenvalue for character ``s`` is ``sum_g (-1)^{<s, g>}``, i.e. the
+    Walsh–Hadamard transform of the generator indicator vector.
+    """
+    indicator = np.zeros(2**n)
+    for g in generators:
+        indicator[g] = 1.0
+    return _walsh_hadamard(indicator)
+
+
+def spectral_gap_gf2(n: int, generators: Sequence[int]) -> float:
+    """Spectral gap d - max_{s != 0} |lambda_s| of the Cayley graph."""
+    spectrum = cayley_spectrum_gf2(n, generators)
+    d = float(len(generators))
+    return d - float(np.max(np.abs(spectrum[1:])))
+
+
+def select_generators(n: int, degree: int) -> List[int]:
+    """Greedy generator selection: unit vectors + gap-maximizing extras.
+
+    Starts from the ``n`` unit vectors (guaranteeing connectivity) and adds
+    generators one at a time, each time picking the non-zero vector that
+    maximizes the resulting spectral gap (ties broken by smallest vector
+    value for determinism).
+    """
+    if degree < n:
+        raise TopologyError(
+            f"degree {degree} < n={n}: generators could not span GF(2)^{n} "
+            "and the graph would be disconnected"
+        )
+    if degree > 2**n - 1:
+        raise TopologyError(
+            f"degree {degree} exceeds the {2**n - 1} non-zero vectors of GF(2)^{n}"
+        )
+    generators = [1 << b for b in range(n)]
+    candidates = [v for v in range(1, 2**n) if v not in set(generators)]
+    while len(generators) < degree:
+        best_v, best_gap = None, -np.inf
+        for v in candidates:
+            gap = spectral_gap_gf2(n, generators + [v])
+            if gap > best_gap + 1e-12:
+                best_v, best_gap = v, gap
+        assert best_v is not None
+        generators.append(best_v)
+        candidates.remove(best_v)
+    return generators
+
+
+def cayley_graph_gf2(n: int, generators: Sequence[int]) -> nx.Graph:
+    """Cayley graph of (GF(2)^n, XOR) with the given generator set."""
+    gens = sorted(set(generators))
+    if len(gens) != len(list(generators)):
+        raise TopologyError("duplicate generators")
+    if any(g <= 0 or g >= 2**n for g in gens):
+        raise TopologyError("generators must be non-zero n-bit vectors")
+    g = nx.Graph()
+    g.add_nodes_from(range(2**n))
+    for v in range(2**n):
+        for gen in gens:
+            g.add_edge(v, v ^ gen, capacity=1.0)
+    return g
+
+
+def longhop(n: int, network_degree: int, servers_per_switch: int) -> Topology:
+    """Build a LongHop topology with ``2^n`` switches.
+
+    Parameters
+    ----------
+    n:
+        log2 of the switch count (paper: 9 → 512 ToRs).
+    network_degree:
+        Switch-facing ports per switch (paper: 10); must be >= n.
+    servers_per_switch:
+        Servers attached to every switch (paper: 8).
+    """
+    generators = select_generators(n, network_degree)
+    graph = cayley_graph_gf2(n, generators)
+    if not nx.is_connected(graph):  # pragma: no cover - unit vectors span
+        raise TopologyError("LongHop generator set does not span GF(2)^n")
+    topo = Topology(
+        name=f"longhop(n={n},d={network_degree})",
+        graph=graph,
+        servers_per_switch={v: servers_per_switch for v in graph.nodes()},
+    )
+    return topo

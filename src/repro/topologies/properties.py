@@ -1,0 +1,217 @@
+"""Graph-theoretic properties of topologies (paper §3 and footnote 1).
+
+The paper's §3 notes "sizable differences in performance even across flat
+topologies" and attributes Jellyfish/Xpander's strength to their being
+near-optimal expanders; footnote 1 recalls that bisection bandwidth can
+be a logarithmic factor away from throughput and that the gap varies per
+topology — so bisection is *not* a sound flexibility metric.  This module
+computes the structural quantities behind those statements:
+
+* spectral gap / algebraic connectivity (expansion quality),
+* bisection bandwidth (spectral split refined by Kernighan–Lin, reported
+  as an upper bound on the sparsest balanced cut found),
+* path-diversity and distance statistics,
+* a one-call summary used by the properties benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .base import Topology
+
+__all__ = [
+    "spectral_gap",
+    "algebraic_connectivity",
+    "bisection_bandwidth",
+    "path_diversity",
+    "distance_distribution",
+    "TopologyProperties",
+    "analyze",
+]
+
+
+def spectral_gap(topology: Topology) -> float:
+    """d_avg - lambda_2 of the adjacency matrix (expansion quality).
+
+    For regular graphs this is the standard spectral gap; for mildly
+    irregular graphs the mean degree replaces d.  Larger is better; a
+    Ramanujan-quality d-regular expander achieves ~ d - 2 sqrt(d - 1).
+    """
+    g = topology.graph
+    a = nx.to_numpy_array(g, nodelist=topology.switches)
+    eigenvalues = np.sort(np.linalg.eigvalsh(a))[::-1]
+    mean_degree = 2.0 * g.number_of_edges() / g.number_of_nodes()
+    second = max(abs(eigenvalues[1]), abs(eigenvalues[-1]))
+    return float(mean_degree - second)
+
+
+def algebraic_connectivity(topology: Topology) -> float:
+    """Second-smallest Laplacian eigenvalue (Fiedler value)."""
+    lap = nx.laplacian_matrix(
+        topology.graph, nodelist=topology.switches
+    ).toarray()
+    eigenvalues = np.sort(np.linalg.eigvalsh(lap))
+    return float(eigenvalues[1])
+
+
+def _cut_capacity(topology: Topology, side: Set[int]) -> float:
+    return sum(
+        data["capacity"]
+        for u, v, data in topology.graph.edges(data=True)
+        if (u in side) != (v in side)
+    )
+
+
+def _kernighan_lin_refine(
+    topology: Topology, side: Set[int], passes: int = 4
+) -> Set[int]:
+    """Greedy balanced-swap refinement of a bisection."""
+    side = set(side)
+    other = set(topology.switches) - side
+    g = topology.graph
+
+    def gain(v: int, own: Set[int]) -> float:
+        external = internal = 0.0
+        for w in g.neighbors(v):
+            cap = g.edges[v, w]["capacity"]
+            if w in own:
+                internal += cap
+            else:
+                external += cap
+        return external - internal
+
+    for _ in range(passes):
+        best_pair: Optional[Tuple[int, int]] = None
+        best_gain = 1e-12
+        for a in list(side):
+            ga = gain(a, side)
+            if ga <= -best_gain:
+                continue
+            for b in list(other):
+                gb = gain(b, other)
+                cross = (
+                    g.edges[a, b]["capacity"] if g.has_edge(a, b) else 0.0
+                )
+                total = ga + gb - 2 * cross
+                if total > best_gain:
+                    best_gain = total
+                    best_pair = (a, b)
+        if best_pair is None:
+            break
+        a, b = best_pair
+        side.remove(a)
+        side.add(b)
+        other.remove(b)
+        other.add(a)
+    return side
+
+
+def bisection_bandwidth(topology: Topology, refine_passes: int = 4) -> float:
+    """Upper bound on the bisection bandwidth (balanced min cut found).
+
+    Splits the switches by the Fiedler vector's median and refines with
+    Kernighan–Lin swaps.  Exact minimum bisection is NP-hard; this is the
+    standard heuristic and is exact on the structured cases the tests pin
+    down (e.g. a ring).
+    """
+    nodes = topology.switches
+    if len(nodes) < 2:
+        return 0.0
+    lap = nx.laplacian_matrix(topology.graph, nodelist=nodes).toarray()
+    eigenvalues, eigenvectors = np.linalg.eigh(lap)
+    fiedler = eigenvectors[:, 1]
+    order = np.argsort(fiedler)
+    half = len(nodes) // 2
+    side = {nodes[i] for i in order[:half]}
+    side = _kernighan_lin_refine(topology, side, passes=refine_passes)
+    return _cut_capacity(topology, side)
+
+
+def path_diversity(
+    topology: Topology, samples: int = 50, seed: int = 0
+) -> float:
+    """Mean number of distinct shortest paths over sampled switch pairs."""
+    import random
+
+    rng = random.Random(seed)
+    nodes = topology.switches
+    total = 0
+    count = 0
+    for _ in range(samples):
+        a, b = rng.sample(nodes, 2)
+        paths = 0
+        for _ in nx.all_shortest_paths(topology.graph, a, b):
+            paths += 1
+            if paths >= 64:
+                break
+        total += paths
+        count += 1
+    return total / count if count else 0.0
+
+
+def distance_distribution(topology: Topology) -> Dict[int, float]:
+    """Fraction of ordered switch pairs at each hop distance."""
+    counts: Dict[int, int] = {}
+    total = 0
+    for _, dist in nx.all_pairs_shortest_path_length(topology.graph):
+        for target, d in dist.items():
+            if d > 0:
+                counts[d] = counts.get(d, 0) + 1
+                total += 1
+    return {d: c / total for d, c in sorted(counts.items())}
+
+
+@dataclass
+class TopologyProperties:
+    """Structural summary of one topology."""
+
+    name: str
+    switches: int
+    links: int
+    servers: int
+    diameter: int
+    avg_path_length: float
+    spectral_gap: float
+    algebraic_connectivity: float
+    bisection_bandwidth: float
+    bisection_per_server: float
+    path_diversity: float
+
+    def as_row(self) -> List[object]:
+        """Row for the properties table."""
+        return [
+            self.name,
+            self.switches,
+            self.servers,
+            self.diameter,
+            round(self.avg_path_length, 3),
+            round(self.spectral_gap, 3),
+            round(self.bisection_bandwidth, 1),
+            round(self.bisection_per_server, 3),
+            round(self.path_diversity, 2),
+        ]
+
+
+def analyze(topology: Topology, seed: int = 0) -> TopologyProperties:
+    """Compute the full structural summary of a topology."""
+    bisection = bisection_bandwidth(topology)
+    servers = topology.num_servers
+    return TopologyProperties(
+        name=topology.name,
+        switches=topology.num_switches,
+        links=topology.num_links,
+        servers=servers,
+        diameter=topology.diameter(),
+        avg_path_length=topology.average_shortest_path_length(),
+        spectral_gap=spectral_gap(topology),
+        algebraic_connectivity=algebraic_connectivity(topology),
+        bisection_bandwidth=bisection,
+        bisection_per_server=bisection / servers if servers else 0.0,
+        path_diversity=path_diversity(topology, seed=seed),
+    )

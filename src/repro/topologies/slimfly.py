@@ -1,0 +1,137 @@
+"""SlimFly: MMS-graph topologies (Besta & Hoefler, SC 2014).
+
+SlimFly arranges ``2 q^2`` routers as a McKay–Miller–Širáň (MMS) graph over
+the finite field GF(q), achieving diameter 2 with network degree
+``(3q - δ)/2`` where ``q = 4w + δ``.  The paper's Fig. 5(a) uses the
+``q = 17`` instance: 578 ToRs with 25 network ports each.
+
+This module implements the ``δ = +1`` family (``q ≡ 1 (mod 4)``, q prime),
+which covers every configuration used in the paper and in this repository's
+benchmarks (q = 5, 13, 17, 29, ...).  For these q, -1 is a quadratic
+residue, so the quadratic residues X and non-residues X' are both closed
+under negation and the construction below yields a well-defined undirected
+graph:
+
+* vertices ``(0, x, y)`` and ``(1, m, c)`` with ``x, y, m, c ∈ GF(q)``;
+* ``(0, x, y) ~ (0, x, y')``  iff ``y - y' ∈ X`` (quadratic residues);
+* ``(1, m, c) ~ (1, m, c')``  iff ``c - c' ∈ X'`` (non-residues);
+* ``(0, x, y) ~ (1, m, c)``   iff ``y = m x + c``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .base import Topology, TopologyError
+
+__all__ = ["slimfly", "slimfly_network_degree", "is_valid_slimfly_q"]
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 1
+    return True
+
+
+def is_valid_slimfly_q(q: int) -> bool:
+    """Whether q is a prime with q ≡ 1 (mod 4) (the supported MMS family)."""
+    return _is_prime(q) and q % 4 == 1
+
+
+def slimfly_network_degree(q: int) -> int:
+    """Network degree of the δ=+1 MMS graph: (3q - 1) / 2."""
+    return (3 * q - 1) // 2
+
+
+def _primitive_root(q: int) -> int:
+    """Smallest primitive root modulo prime q."""
+    if q == 2:
+        return 1
+    factors = []
+    n = q - 1
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            factors.append(f)
+            while n % f == 0:
+                n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for g in range(2, q):
+        if all(pow(g, (q - 1) // p, q) != 1 for p in factors):
+            return g
+    raise TopologyError(f"no primitive root found modulo {q}")  # pragma: no cover
+
+
+def _generator_sets(q: int) -> Tuple[set, set]:
+    """Quadratic residues X and non-residues X' of GF(q)*, via a primitive root."""
+    xi = _primitive_root(q)
+    powers = [pow(xi, e, q) for e in range(q - 1)]
+    residues = set(powers[0::2])
+    non_residues = set(powers[1::2])
+    return residues, non_residues
+
+
+def slimfly(q: int, servers_per_switch: int) -> Topology:
+    """Build a SlimFly (MMS) topology with ``2 q^2`` switches.
+
+    Parameters
+    ----------
+    q:
+        Prime with ``q ≡ 1 (mod 4)``.  Network degree is ``(3q - 1)/2``.
+    servers_per_switch:
+        Servers attached to every switch (the paper's q=17 instance uses 24).
+    """
+    if not is_valid_slimfly_q(q):
+        raise TopologyError(
+            f"q={q} unsupported: need a prime q ≡ 1 (mod 4) (e.g. 5, 13, 17, 29)"
+        )
+    residues, non_residues = _generator_sets(q)
+
+    def vid(group: int, a: int, b: int) -> int:
+        return group * q * q + a * q + b
+
+    g = nx.Graph()
+    g.add_nodes_from(range(2 * q * q))
+
+    # Intra-group edges.
+    for x in range(q):
+        for y in range(q):
+            for yp in range(y + 1, q):
+                if (y - yp) % q in residues:
+                    g.add_edge(vid(0, x, y), vid(0, x, yp), capacity=1.0)
+    for m in range(q):
+        for c in range(q):
+            for cp in range(c + 1, q):
+                if (c - cp) % q in non_residues:
+                    g.add_edge(vid(1, m, c), vid(1, m, cp), capacity=1.0)
+
+    # Cross-group edges: (0, x, y) ~ (1, m, c) iff y = m*x + c (mod q).
+    for x in range(q):
+        for m in range(q):
+            for c in range(q):
+                y = (m * x + c) % q
+                g.add_edge(vid(0, x, y), vid(1, m, c), capacity=1.0)
+
+    expected_degree = slimfly_network_degree(q)
+    degrees = {d for _, d in g.degree()}
+    if degrees != {expected_degree}:
+        raise TopologyError(
+            f"MMS construction for q={q} produced degrees {sorted(degrees)}, "
+            f"expected uniform {expected_degree}"
+        )
+
+    topo = Topology(
+        name=f"slimfly(q={q})",
+        graph=g,
+        servers_per_switch={v: servers_per_switch for v in g.nodes()},
+    )
+    return topo

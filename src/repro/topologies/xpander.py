@@ -1,0 +1,167 @@
+"""Xpander: deterministic expander topologies (Valadarsky et al., CoNEXT 2016).
+
+An Xpander with network degree ``d`` and lift size ``l`` consists of
+``d + 1`` *meta-nodes*, each containing ``l`` switches.  Every pair of
+meta-nodes is connected by a perfect matching of ``l`` cables, and no two
+switches within a meta-node are connected.  Hence every switch has exactly
+one link into each other meta-node (network degree ``d``), and the graph is
+an ``l``-lift of the complete graph ``K_{d+1}`` — which preserves
+``K_{d+1}``'s excellent spectral expansion when the matchings are chosen
+well.
+
+Two matching styles are provided:
+
+* ``"shift"`` — deterministic: the matching between meta-nodes ``a < b``
+  connects switch ``i`` of ``a`` to switch ``(i + shift(a, b)) mod l`` of
+  ``b``, with distinct shifts per meta-node pair.  Fully reproducible with
+  no RNG, and the style used for the cabling-friendly layout of the paper's
+  Fig. 3 (meta-nodes map to rows of racks, matchings to cable bundles).
+* ``"random"`` — seeded random permutations per meta-node pair, matching
+  the random-lift analysis of the Xpander paper.
+
+The paper's §6 uses an Xpander at 2/3 the cost of a fat-tree; use
+:func:`xpander_from_budget` to size one from a switch budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .base import Topology, TopologyError
+
+__all__ = ["xpander", "xpander_num_switches", "xpander_from_budget"]
+
+
+def xpander_num_switches(network_degree: int, lift: int) -> int:
+    """Switch count of an Xpander with the given degree and lift size."""
+    return (network_degree + 1) * lift
+
+
+def _matching_shift(a: int, b: int, lift: int) -> int:
+    """Deterministic shift for the matching between meta-nodes a < b.
+
+    Distinct meta-node pairs get well-spread shifts; pair (a, b) uses
+    ``(a * b + a + b) mod lift`` which avoids the degenerate all-zero
+    assignment (identity matchings everywhere would create ``l`` disjoint
+    copies of ``K_{d+1}``).
+    """
+    return (a * b + a + b) % lift
+
+
+def xpander(
+    network_degree: int,
+    lift: int,
+    servers_per_switch: int,
+    matching: str = "shift",
+    seed: int = 0,
+) -> Topology:
+    """Build an Xpander topology.
+
+    Parameters
+    ----------
+    network_degree:
+        Switch-facing ports per switch; the Xpander has ``network_degree+1``
+        meta-nodes.
+    lift:
+        Switches per meta-node (the lift size), >= 1.
+    servers_per_switch:
+        Servers attached to every switch.
+    matching:
+        ``"shift"`` (deterministic) or ``"random"`` (seeded permutations).
+    seed:
+        RNG seed, used only for ``matching="random"``.
+    """
+    if network_degree < 1:
+        raise TopologyError("network_degree must be >= 1")
+    if lift < 1:
+        raise TopologyError("lift must be >= 1")
+    if matching not in ("shift", "random"):
+        raise TopologyError(f"unknown matching style {matching!r}")
+
+    d = network_degree
+    meta_nodes = d + 1
+
+    def build(style: str, rng_seed: int) -> nx.Graph:
+        rng = random.Random(rng_seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(meta_nodes * lift))
+        for a in range(meta_nodes):
+            for b in range(a + 1, meta_nodes):
+                if style == "shift":
+                    shift = _matching_shift(a, b, lift)
+                    perm = [(i + shift) % lift for i in range(lift)]
+                else:
+                    perm = list(range(lift))
+                    rng.shuffle(perm)
+                for i, j in enumerate(perm):
+                    g.add_edge(a * lift + i, b * lift + j, capacity=1.0)
+        return g
+
+    # Tiny lifts can produce disconnected lifts for an unlucky matching
+    # assignment; retry with re-seeded random matchings, which connect
+    # with overwhelming probability.
+    g = build(matching, seed)
+    attempts = 0
+    while not nx.is_connected(g) and attempts < 32:
+        attempts += 1
+        g = build("random", seed + attempts)
+    if not nx.is_connected(g):
+        raise TopologyError("random-lift Xpander came out disconnected; change seed")
+
+    topo = Topology(
+        name=f"xpander(d={d},lift={lift},{matching})",
+        graph=g,
+        servers_per_switch={v: servers_per_switch for v in g.nodes()},
+    )
+    topo.validate_port_budget(d + servers_per_switch)
+    # Record meta-node membership for layout/analysis consumers.
+    for v in g.nodes():
+        g.nodes[v]["meta_node"] = v // lift
+    return topo
+
+
+def xpander_from_budget(
+    num_switches: int,
+    ports_per_switch: int,
+    servers_total: int,
+    matching: str = "shift",
+    seed: int = 0,
+) -> Topology:
+    """Size an Xpander from a switch budget and a server requirement.
+
+    Chooses the server/network port split so that ``servers_total`` servers
+    fit on ``num_switches`` switches of ``ports_per_switch`` ports, spending
+    every remaining port on the network, then picks the largest
+    ``(degree + 1) * lift`` switch count not exceeding the budget.
+
+    Returns the built topology; its switch count may be slightly below
+    ``num_switches`` when the budget is not expressible as
+    ``(d + 1) * lift``.
+    """
+    if num_switches < 2:
+        raise TopologyError("need at least 2 switches")
+    servers_per_switch = -(-servers_total // num_switches)  # ceil
+    network_degree = ports_per_switch - servers_per_switch
+    if network_degree < 1:
+        raise TopologyError(
+            f"{servers_total} servers on {num_switches} x "
+            f"{ports_per_switch}-port switches leave no network ports"
+        )
+    meta_nodes = network_degree + 1
+    lift = num_switches // meta_nodes
+    if lift < 1:
+        raise TopologyError(
+            f"budget of {num_switches} switches cannot host "
+            f"{meta_nodes} meta-nodes"
+        )
+    # Flooring the lift can undershoot the server requirement; round up to
+    # the next full lift in that case (the paper does the same: its
+    # 2/3-cost budget of 213 switches becomes 216 = 12 x 18).
+    if lift * meta_nodes * servers_per_switch < servers_total:
+        lift += 1
+    return xpander(
+        network_degree, lift, servers_per_switch, matching=matching, seed=seed
+    )

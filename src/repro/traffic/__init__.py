@@ -1,0 +1,56 @@
+"""Traffic matrices, pair distributions, flow sizes, arrivals, workloads."""
+
+from .arrivals import ArrivalProcess, DeterministicArrivals, PoissonArrivals
+from .flowsize import (
+    EmpiricalCDF,
+    FlowSizeDistribution,
+    ParetoFlowSizes,
+    pareto_hull,
+    pfabric_web_search,
+)
+from .matrix import TrafficMatrix, TrafficMatrixError
+from .patterns import (
+    PairDistribution,
+    RackPairDistribution,
+    a2a_pair_distribution,
+    all_to_all_tm,
+    longest_matching_tm,
+    many_to_one_tm,
+    one_to_many_tm,
+    permutation_tm,
+    permute_pair_distribution,
+    projector_like_pair_distribution,
+    skew_pair_distribution,
+)
+from .trace import TraceStats, read_trace, trace_stats, write_trace
+from .workload import FlowSpec, Workload
+
+__all__ = [
+    "TrafficMatrix",
+    "TrafficMatrixError",
+    "permutation_tm",
+    "longest_matching_tm",
+    "all_to_all_tm",
+    "many_to_one_tm",
+    "one_to_many_tm",
+    "PairDistribution",
+    "RackPairDistribution",
+    "a2a_pair_distribution",
+    "permute_pair_distribution",
+    "skew_pair_distribution",
+    "projector_like_pair_distribution",
+    "FlowSizeDistribution",
+    "EmpiricalCDF",
+    "ParetoFlowSizes",
+    "pfabric_web_search",
+    "pareto_hull",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "FlowSpec",
+    "Workload",
+    "write_trace",
+    "read_trace",
+    "trace_stats",
+    "TraceStats",
+]

@@ -1,0 +1,104 @@
+"""Traffic matrices at rack (ToR) granularity.
+
+The paper's fluid-flow analysis (§2, §5) works with hose-model traffic
+matrices: the sum of demands out of (into) each server is limited by its
+line rate.  At rack granularity that means each ToR's aggregate outgoing
+and incoming demand is capped by ``servers_at(tor) * line_rate``; all
+demands here are expressed in units of the server line rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+__all__ = ["TrafficMatrix", "TrafficMatrixError"]
+
+
+class TrafficMatrixError(ValueError):
+    """Raised for malformed or hose-infeasible traffic matrices."""
+
+
+@dataclass
+class TrafficMatrix:
+    """Rack-to-rack demands in units of the server line rate.
+
+    Parameters
+    ----------
+    demands:
+        Mapping ``(src_tor, dst_tor) -> demand``.  Self-demands and
+        non-positive demands are rejected.
+    """
+
+    demands: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for (s, d), v in self.demands.items():
+            if s == d:
+                raise TrafficMatrixError(f"self-demand at ToR {s}")
+            if v <= 0:
+                raise TrafficMatrixError(f"non-positive demand {v} for {(s, d)}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_flows(self) -> int:
+        """Number of distinct (src, dst) rack pairs with demand."""
+        return len(self.demands)
+
+    @property
+    def total_demand(self) -> float:
+        """Sum of all demands."""
+        return sum(self.demands.values())
+
+    def participants(self) -> Set[int]:
+        """ToRs appearing as a source or destination."""
+        out: Set[int] = set()
+        for s, d in self.demands:
+            out.add(s)
+            out.add(d)
+        return out
+
+    def egress(self, tor: int) -> float:
+        """Total demand sourced at ``tor``."""
+        return sum(v for (s, _), v in self.demands.items() if s == tor)
+
+    def ingress(self, tor: int) -> float:
+        """Total demand destined to ``tor``."""
+        return sum(v for (_, d), v in self.demands.items() if d == tor)
+
+    def validate_hose(self, servers_per_tor: Dict[int, int]) -> None:
+        """Check the hose-model constraints against per-ToR server counts.
+
+        Raises :class:`TrafficMatrixError` naming the first violating ToR.
+        A tiny tolerance absorbs floating-point noise from normalization.
+        """
+        eps = 1e-9
+        for t in self.participants():
+            cap = servers_per_tor.get(t, 0)
+            if self.egress(t) > cap + eps:
+                raise TrafficMatrixError(
+                    f"ToR {t} egress {self.egress(t):.6g} exceeds hose cap {cap}"
+                )
+            if self.ingress(t) > cap + eps:
+                raise TrafficMatrixError(
+                    f"ToR {t} ingress {self.ingress(t):.6g} exceeds hose cap {cap}"
+                )
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy of this TM with every demand multiplied by ``factor``."""
+        if factor <= 0:
+            raise TrafficMatrixError("scale factor must be positive")
+        return TrafficMatrix({k: v * factor for k, v in self.demands.items()})
+
+    def restricted_to_pairs(
+        self, pairs: Iterable[Tuple[int, int]]
+    ) -> "TrafficMatrix":
+        """A copy containing only the demands for the given rack pairs."""
+        wanted = set(pairs)
+        return TrafficMatrix(
+            {k: v for k, v in self.demands.items() if k in wanted}
+        )
+
+    def items(self) -> List[Tuple[Tuple[int, int], float]]:
+        """Demands as a deterministic, sorted list of ((src, dst), value)."""
+        return sorted(self.demands.items())

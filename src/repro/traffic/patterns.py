@@ -1,0 +1,381 @@
+"""Traffic patterns: the paper's traffic matrices and pair distributions.
+
+Two families live here:
+
+* **Fluid-model traffic matrices** (§2, §5) — exact rack-to-rack demand
+  matrices handed to the LP throughput engine: permutation TMs,
+  longest-matching TMs (the empirically-hard near-worst-case TMs of
+  Jyothi et al.), all-to-all, many-to-one and one-to-many.
+
+* **Pair distributions** (§6.4) — probability distributions over
+  (source server, destination server) pairs used by the packet-level
+  simulator to draw each arriving flow's endpoints: A2A(x), Permute(x),
+  Skew(θ, φ), and a synthetic ProjecToR-like distribution with the
+  published skew marginals.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..topologies.base import Topology
+from .matrix import TrafficMatrix, TrafficMatrixError
+
+__all__ = [
+    "permutation_tm",
+    "longest_matching_tm",
+    "all_to_all_tm",
+    "many_to_one_tm",
+    "one_to_many_tm",
+    "PairDistribution",
+    "RackPairDistribution",
+    "a2a_pair_distribution",
+    "permute_pair_distribution",
+    "skew_pair_distribution",
+    "projector_like_pair_distribution",
+]
+
+
+# ----------------------------------------------------------------------
+# Fluid-model traffic matrices
+# ----------------------------------------------------------------------
+def _active_subset(
+    tors: Sequence[int], fraction: float, rng: random.Random
+) -> List[int]:
+    """A random subset of ``fraction`` of the given ToRs (at least 2)."""
+    if not 0 < fraction <= 1:
+        raise TrafficMatrixError(f"fraction must be in (0, 1], got {fraction}")
+    count = max(2, round(fraction * len(tors)))
+    count = min(count, len(tors))
+    return sorted(rng.sample(list(tors), count))
+
+
+def permutation_tm(
+    tors: Sequence[int],
+    servers_per_tor: int,
+    fraction: float = 1.0,
+    seed: int = 0,
+    bidirectional: bool = True,
+) -> TrafficMatrix:
+    """Random permutation TM over a fraction of the racks.
+
+    Each participating rack is matched with exactly one other participating
+    rack and sends it ``servers_per_tor`` units (every server at line rate).
+    With ``bidirectional=True`` (the default, matching the paper's
+    rack-level matchings) both directions of each matched pair carry demand.
+    """
+    rng = random.Random(seed)
+    active = _active_subset(tors, fraction, rng)
+    if len(active) % 2 == 1:
+        active = active[:-1]
+    rng.shuffle(active)
+    demands: Dict[Tuple[int, int], float] = {}
+    for i in range(0, len(active), 2):
+        a, b = active[i], active[i + 1]
+        demands[(a, b)] = float(servers_per_tor)
+        if bidirectional:
+            demands[(b, a)] = float(servers_per_tor)
+    return TrafficMatrix(demands)
+
+
+def longest_matching_tm(
+    topology: Topology,
+    fraction: float = 1.0,
+    seed: int = 0,
+    servers_per_tor: Optional[int] = None,
+) -> TrafficMatrix:
+    """Longest-matching TM (Jyothi et al.): distance-maximizing rack pairing.
+
+    Participating racks are paired by a maximum-weight matching where the
+    weight of a pair is its shortest-path distance, so flows traverse long
+    paths and consolidate into large rack-to-rack demands — empirically a
+    near-worst-case TM for static networks (paper §5).
+    """
+    rng = random.Random(seed)
+    tors = topology.tors
+    active = _active_subset(tors, fraction, rng)
+    if len(active) % 2 == 1:
+        active = active[:-1]
+    dist = {
+        s: nx.single_source_shortest_path_length(topology.graph, s) for s in active
+    }
+    weighted = nx.Graph()
+    for i, a in enumerate(active):
+        for b in active[i + 1 :]:
+            weighted.add_edge(a, b, weight=dist[a][b])
+    matching = nx.max_weight_matching(weighted, maxcardinality=True)
+    demands: Dict[Tuple[int, int], float] = {}
+    for a, b in matching:
+        load = float(
+            servers_per_tor
+            if servers_per_tor is not None
+            else min(topology.servers_at(a), topology.servers_at(b))
+        )
+        demands[(a, b)] = load
+        demands[(b, a)] = load
+    return TrafficMatrix(demands)
+
+
+def all_to_all_tm(
+    tors: Sequence[int],
+    servers_per_tor: int,
+    fraction: float = 1.0,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """All-to-all TM over a fraction of the racks.
+
+    Each active rack spreads its full ``servers_per_tor`` units uniformly
+    over all other active racks (hose-saturating).
+    """
+    rng = random.Random(seed)
+    active = _active_subset(tors, fraction, rng)
+    per_pair = servers_per_tor / (len(active) - 1)
+    demands = {
+        (a, b): per_pair for a in active for b in active if a != b
+    }
+    return TrafficMatrix(demands)
+
+
+def many_to_one_tm(
+    tors: Sequence[int],
+    servers_per_tor: int,
+    fraction: float = 1.0,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """Many-to-one TM: active racks all send to a single sink rack.
+
+    The sink's hose constraint caps each sender's share at
+    ``servers_per_tor / (num_senders)``.
+    """
+    rng = random.Random(seed)
+    active = _active_subset(tors, fraction, rng)
+    sink = active[0]
+    senders = active[1:]
+    share = servers_per_tor / len(senders)
+    return TrafficMatrix({(s, sink): share for s in senders})
+
+
+def one_to_many_tm(
+    tors: Sequence[int],
+    servers_per_tor: int,
+    fraction: float = 1.0,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """One-to-many TM: a single source rack sends to all other active racks."""
+    rng = random.Random(seed)
+    active = _active_subset(tors, fraction, rng)
+    source = active[0]
+    receivers = active[1:]
+    share = servers_per_tor / len(receivers)
+    return TrafficMatrix({(source, r): share for r in receivers})
+
+
+# ----------------------------------------------------------------------
+# Pair distributions for the packet-level simulator
+# ----------------------------------------------------------------------
+class PairDistribution:
+    """Distribution over (source server, destination server) pairs."""
+
+    def sample_pair(self, rng: random.Random) -> Tuple[int, int]:
+        """Draw one (src_server, dst_server) pair, src != dst."""
+        raise NotImplementedError
+
+
+@dataclass
+class RackPairDistribution(PairDistribution):
+    """Pair distribution defined by rack-pair probabilities.
+
+    A rack pair is drawn from ``pair_weights`` (unnormalized), then a
+    uniformly-random server within each rack: this is exactly how the paper
+    maps ProjecToR's rack-to-rack communication probabilities to servers.
+    """
+
+    pair_weights: Dict[Tuple[int, int], float]
+    tor_to_servers: Dict[int, List[int]]
+
+    def __post_init__(self) -> None:
+        if not self.pair_weights:
+            raise TrafficMatrixError("empty pair distribution")
+        items = sorted(self.pair_weights.items())
+        self._pairs = [p for p, _ in items]
+        self._weights = [w for _, w in items]
+        total = sum(self._weights)
+        if total <= 0:
+            raise TrafficMatrixError("pair weights must sum to a positive value")
+        for (s, d), w in items:
+            if w < 0:
+                raise TrafficMatrixError(f"negative weight for pair {(s, d)}")
+            if s == d:
+                raise TrafficMatrixError(f"self-pair {(s, d)}")
+            for t in (s, d):
+                if not self.tor_to_servers.get(t):
+                    raise TrafficMatrixError(f"rack {t} has no servers")
+        # Cumulative weights for O(log n) sampling.
+        self._cum: List[float] = []
+        acc = 0.0
+        for w in self._weights:
+            acc += w
+            self._cum.append(acc)
+
+    def sample_pair(self, rng: random.Random) -> Tuple[int, int]:
+        import bisect
+
+        x = rng.random() * self._cum[-1]
+        idx = bisect.bisect_right(self._cum, x)
+        idx = min(idx, len(self._pairs) - 1)
+        src_tor, dst_tor = self._pairs[idx]
+        src = rng.choice(self.tor_to_servers[src_tor])
+        dst = rng.choice(self.tor_to_servers[dst_tor])
+        while dst == src:  # pragma: no cover - distinct racks, unreachable
+            dst = rng.choice(self.tor_to_servers[dst_tor])
+        return src, dst
+
+    def active_racks(self) -> List[int]:
+        """Racks with positive sampling weight."""
+        active = set()
+        for (s, d), w in zip(self._pairs, self._weights):
+            if w > 0:
+                active.add(s)
+                active.add(d)
+        return sorted(active)
+
+
+def _pick_active(
+    topology: Topology, fraction: float, seed: int, take_first: bool
+) -> List[int]:
+    """Active racks: first x fraction (fat-trees) or a random x fraction."""
+    tors = topology.tors
+    count = max(2, round(fraction * len(tors)))
+    count = min(count, len(tors))
+    if take_first:
+        return tors[:count]
+    return sorted(random.Random(seed).sample(tors, count))
+
+
+def a2a_pair_distribution(
+    topology: Topology, fraction: float, seed: int = 0, take_first: bool = False
+) -> RackPairDistribution:
+    """A2A(x): uniform flows among an x-fraction of racks (paper §6.4).
+
+    ``take_first=True`` reproduces the paper's convention for fat-trees
+    ("the first x fraction are used"); the default random subset is the
+    convention for Xpander.
+    """
+    active = _pick_active(topology, fraction, seed, take_first)
+    weights = {(a, b): 1.0 for a in active for b in active if a != b}
+    return RackPairDistribution(weights, topology.tor_to_servers())
+
+
+def permute_pair_distribution(
+    topology: Topology, fraction: float, seed: int = 0, take_first: bool = False
+) -> RackPairDistribution:
+    """Permute(x): random rack-level permutation among an x-fraction of racks.
+
+    Flows start only between matched rack pairs (both directions), uniform
+    over pairs — the paper's challenging consolidated workload.
+    """
+    rng = random.Random(seed + 1)
+    active = _pick_active(topology, fraction, seed, take_first)
+    if len(active) % 2 == 1:
+        active = active[:-1]
+    shuffled = list(active)
+    rng.shuffle(shuffled)
+    weights: Dict[Tuple[int, int], float] = {}
+    for i in range(0, len(shuffled), 2):
+        a, b = shuffled[i], shuffled[i + 1]
+        weights[(a, b)] = 1.0
+        weights[(b, a)] = 1.0
+    return RackPairDistribution(weights, topology.tor_to_servers())
+
+
+def skew_pair_distribution(
+    topology: Topology,
+    theta: float,
+    phi: float,
+    seed: int = 0,
+) -> RackPairDistribution:
+    """Skew(θ, φ): θ fraction of racks are hot and attract φ of the traffic.
+
+    Per the paper §6.7: each hot rack participates with probability
+    proportional to ``φ / |hot|`` and each cold rack proportional to
+    ``(1 - φ) / |cold|``; a rack pair's probability is the (normalized)
+    product.  Skew(0.04, 0.77) models the ProjecToR Microsoft-cluster TM.
+    """
+    if not 0 < theta < 1:
+        raise TrafficMatrixError(f"theta must be in (0, 1), got {theta}")
+    if not 0 <= phi <= 1:
+        raise TrafficMatrixError(f"phi must be in [0, 1], got {phi}")
+    rng = random.Random(seed)
+    tors = topology.tors
+    num_hot = max(1, round(theta * len(tors)))
+    hot = set(rng.sample(tors, num_hot))
+    cold = [t for t in tors if t not in hot]
+    weight = {}
+    for t in tors:
+        if t in hot:
+            weight[t] = phi / len(hot)
+        else:
+            weight[t] = (1 - phi) / len(cold) if cold else 0.0
+    pair_weights = {
+        (a, b): weight[a] * weight[b]
+        for a in tors
+        for b in tors
+        if a != b and weight[a] * weight[b] > 0
+    }
+    return RackPairDistribution(pair_weights, topology.tor_to_servers())
+
+
+def projector_like_pair_distribution(
+    topology: Topology,
+    hot_pair_fraction: float = 0.04,
+    hot_byte_fraction: float = 0.77,
+    zero_pair_fraction: float = 0.60,
+    hot_rack_fraction: float = 0.25,
+    seed: int = 0,
+) -> RackPairDistribution:
+    """Synthetic ProjecToR-like rack-pair distribution (substitution).
+
+    The actual Microsoft-cluster rack-to-rack probabilities used by the
+    paper are proprietary; this generator reproduces the published
+    marginals instead: ``hot_byte_fraction`` of the traffic concentrated on
+    ``hot_pair_fraction`` of the rack pairs (paper: 77% of bytes between 4%
+    of rack pairs), a large fraction of rack pairs exchanging nothing at
+    all (measurements: 46-99%), and the hot pairs clustered on a
+    ``hot_rack_fraction`` subset of racks (the measured TMs are skewed at
+    rack granularity too — a few racks dominate).  Hot-pair weights are
+    exponentially distributed to mimic the measured heavy tail.
+    """
+    rng = random.Random(seed)
+    tors = topology.tors
+    pairs = [(a, b) for a in tors for b in tors if a != b]
+    rng.shuffle(pairs)
+    n_hot = max(1, round(hot_pair_fraction * len(pairs)))
+    # Cluster the hot pairs on a small subset of racks.
+    n_hot_racks = max(2, round(hot_rack_fraction * len(tors)))
+    hot_racks = set(rng.sample(tors, n_hot_racks))
+    hot_candidates = [
+        p for p in pairs if p[0] in hot_racks and p[1] in hot_racks
+    ]
+    hot = hot_candidates[: min(n_hot, len(hot_candidates))]
+    if len(hot) < n_hot:  # tiny networks: spill over to arbitrary pairs
+        spill = [p for p in pairs if p not in set(hot)]
+        hot = hot + spill[: n_hot - len(hot)]
+    remaining = [p for p in pairs if p not in set(hot)]
+    n_zero = round(zero_pair_fraction * len(pairs))
+    n_zero = min(n_zero, len(remaining))
+    cold = remaining[: len(remaining) - n_zero]
+    weights: Dict[Tuple[int, int], float] = {}
+    hot_raw = [rng.expovariate(1.0) for _ in hot]
+    hot_total = sum(hot_raw) or 1.0
+    for p, w in zip(hot, hot_raw):
+        weights[p] = hot_byte_fraction * w / hot_total
+    if cold:
+        share = (1 - hot_byte_fraction) / len(cold)
+        for p in cold:
+            weights[p] = share
+    return RackPairDistribution(weights, topology.tor_to_servers())

@@ -1,0 +1,162 @@
+"""Flow-trace import/export and trace statistics.
+
+The paper's workloads are synthetic, but the framework is meant as "an
+easy-to-use baseline for future research to compare against" — which
+means users need to bring their own measured traces.  This module
+round-trips flow lists through a simple CSV format and computes the
+summary statistics (byte/flow-count skew, size percentiles) the paper
+uses to characterize workloads (e.g. "77% of bytes between 4% of the
+rack-pairs").
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, TextIO, Tuple, Union
+
+from .workload import FlowSpec
+
+__all__ = [
+    "write_trace",
+    "read_trace",
+    "TraceStats",
+    "trace_stats",
+]
+
+_FIELDS = ["flow_id", "src_server", "dst_server", "size_bytes", "start_time"]
+
+
+def write_trace(flows: Sequence[FlowSpec], target: Union[str, TextIO]) -> None:
+    """Write flows as CSV (header + one row per flow).
+
+    ``target`` may be a path or an open text file.
+    """
+    own = isinstance(target, str)
+    handle = open(target, "w", newline="") if own else target
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for f in flows:
+            writer.writerow(
+                [f.flow_id, f.src_server, f.dst_server, f.size_bytes,
+                 repr(f.start_time)]
+            )
+    finally:
+        if own:
+            handle.close()
+
+
+def read_trace(source: Union[str, TextIO]) -> List[FlowSpec]:
+    """Read flows from CSV written by :func:`write_trace`.
+
+    Validates the header and every row; raises ``ValueError`` on
+    malformed input naming the offending line.
+    """
+    own = isinstance(source, str)
+    handle = open(source, newline="") if own else source
+    try:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _FIELDS:
+            raise ValueError(
+                f"bad trace header {header!r}; expected {_FIELDS!r}"
+            )
+        flows: List[FlowSpec] = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(_FIELDS):
+                raise ValueError(f"line {lineno}: expected {len(_FIELDS)} fields")
+            try:
+                flow = FlowSpec(
+                    flow_id=int(row[0]),
+                    src_server=int(row[1]),
+                    dst_server=int(row[2]),
+                    size_bytes=int(row[3]),
+                    start_time=float(row[4]),
+                )
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: {exc}") from exc
+            if flow.size_bytes <= 0:
+                raise ValueError(f"line {lineno}: non-positive flow size")
+            if flow.src_server == flow.dst_server:
+                raise ValueError(f"line {lineno}: identical endpoints")
+            flows.append(flow)
+        return flows
+    finally:
+        if own:
+            handle.close()
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a flow trace."""
+
+    num_flows: int
+    total_bytes: int
+    mean_size: float
+    median_size: float
+    p99_size: float
+    duration: float
+    mean_rate_flows_per_s: float
+    hot_pair_byte_share: float  # bytes on the top 4% of (src,dst) pairs
+    zero_pair_fraction: float  # pairs (over seen endpoints) with no traffic
+
+    def as_rows(self) -> List[List[object]]:
+        """Rows for table rendering."""
+        return [
+            ["flows", self.num_flows],
+            ["total bytes", self.total_bytes],
+            ["mean size", round(self.mean_size, 1)],
+            ["median size", round(self.median_size, 1)],
+            ["p99 size", round(self.p99_size, 1)],
+            ["duration (s)", round(self.duration, 6)],
+            ["mean arrival rate (/s)", round(self.mean_rate_flows_per_s, 2)],
+            ["byte share of top 4% pairs", round(self.hot_pair_byte_share, 4)],
+            ["zero-traffic pair fraction", round(self.zero_pair_fraction, 4)],
+        ]
+
+
+def trace_stats(flows: Sequence[FlowSpec]) -> TraceStats:
+    """Characterize a trace the way the paper characterizes workloads."""
+    if not flows:
+        raise ValueError("empty trace")
+    sizes = sorted(f.size_bytes for f in flows)
+    total = sum(sizes)
+    times = [f.start_time for f in flows]
+    duration = max(times) - min(times)
+
+    pair_bytes: Dict[Tuple[int, int], int] = {}
+    endpoints = set()
+    for f in flows:
+        pair_bytes[(f.src_server, f.dst_server)] = (
+            pair_bytes.get((f.src_server, f.dst_server), 0) + f.size_bytes
+        )
+        endpoints.add(f.src_server)
+        endpoints.add(f.dst_server)
+    ranked = sorted(pair_bytes.values(), reverse=True)
+    top = max(1, round(0.04 * len(ranked)))
+    hot_share = sum(ranked[:top]) / total if total else 0.0
+    possible_pairs = len(endpoints) * (len(endpoints) - 1)
+    zero_fraction = (
+        1.0 - len(pair_bytes) / possible_pairs if possible_pairs else 0.0
+    )
+
+    def pct(p: float) -> float:
+        idx = min(len(sizes) - 1, max(0, math.ceil(p * len(sizes)) - 1))
+        return float(sizes[idx])
+
+    return TraceStats(
+        num_flows=len(flows),
+        total_bytes=total,
+        mean_size=total / len(flows),
+        median_size=pct(0.5),
+        p99_size=pct(0.99),
+        duration=duration,
+        mean_rate_flows_per_s=(len(flows) / duration if duration > 0 else math.inf),
+        hot_pair_byte_share=hot_share,
+        zero_pair_fraction=zero_fraction,
+    )

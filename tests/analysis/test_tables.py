@@ -1,0 +1,52 @@
+"""Tests for ASCII table rendering."""
+
+import math
+
+from repro.analysis import format_number, format_series, format_table
+
+
+class TestFormatNumber:
+    def test_int_passthrough(self):
+        assert format_number(42) == "42"
+
+    def test_float_precision(self):
+        assert format_number(0.123456) == "0.1235"
+
+    def test_nan_dash(self):
+        assert format_number(float("nan")) == "-"
+
+    def test_inf(self):
+        assert format_number(float("inf")) == "inf"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_number("hyb") == "hyb"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "x"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all lines same width
+
+    def test_title_included(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_all_rows_present(self):
+        out = format_table(["v"], [[i] for i in range(5)])
+        for i in range(5):
+            assert str(i) in out
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        out = format_series("x", [1, 2], {"y1": [10, 20], "y2": [30, 40]})
+        assert "y1" in out and "y2" in out
+        assert "40" in out
+
+    def test_short_series_padded_with_nan(self):
+        out = format_series("x", [1, 2], {"y": [10]})
+        assert out.splitlines()[-1].strip().endswith("-")

@@ -1,0 +1,66 @@
+"""Tests for the Table 1 cost model."""
+
+import pytest
+
+from repro.cost import (
+    FIREFLY_PORT,
+    PROJECTOR_PORT_HIGH,
+    PROJECTOR_PORT_LOW,
+    STATIC_PORT,
+    delta_ratio,
+    equal_cost_switch_budget,
+    topology_port_cost,
+)
+from repro.topologies import fattree, xpander
+
+
+class TestTable1:
+    def test_static_port_total(self):
+        assert STATIC_PORT.total == pytest.approx(215.0)
+
+    def test_firefly_port_total(self):
+        assert FIREFLY_PORT.total == pytest.approx(370.0)
+
+    def test_projector_range(self):
+        assert PROJECTOR_PORT_LOW.total == pytest.approx(320.0)
+        assert PROJECTOR_PORT_HIGH.total == pytest.approx(420.0)
+
+    def test_cable_share(self):
+        # 300 m at $0.3/m shared over two ports = $45.
+        assert STATIC_PORT.components["optical_cable"] == pytest.approx(45.0)
+
+    def test_delta_is_about_1_5(self):
+        assert delta_ratio() == pytest.approx(1.5, abs=0.02)
+
+    def test_firefly_delta_higher(self):
+        assert delta_ratio(FIREFLY_PORT) > delta_ratio(PROJECTOR_PORT_LOW)
+
+
+class TestTopologyCost:
+    def test_port_counting(self):
+        ft = fattree(4).topology
+        cost = topology_port_cost(ft)
+        expected = 2 * ft.num_links * 215.0 + ft.num_servers * 90.0
+        assert cost == pytest.approx(expected)
+
+    def test_xpander_cheaper_than_same_k_fattree(self):
+        ft = fattree(8).topology
+        xp = xpander(5, 9, 2)  # 54 switches vs the fat-tree's 80
+        assert topology_port_cost(xp) < topology_port_cost(ft)
+
+
+class TestEqualCostBudget:
+    def test_paper_sizing(self):
+        # k=16 fat-tree has 320 switches; 33% lower cost -> ~213.
+        assert equal_cost_switch_budget(320, 2 / 3) == 213
+
+    def test_full_fraction(self):
+        assert equal_cost_switch_budget(100, 1.0) == 100
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            equal_cost_switch_budget(100, 0.0)
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(ValueError):
+            equal_cost_switch_budget(2, 0.1)

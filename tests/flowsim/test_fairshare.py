@@ -1,0 +1,78 @@
+"""Tests for max-min fair allocation."""
+
+import pytest
+
+from repro.flowsim import max_min_allocation
+
+
+class TestBasicSharing:
+    def test_equal_split_on_shared_link(self):
+        rates = max_min_allocation(
+            {1: [(0, 1)], 2: [(0, 1)]}, {(0, 1): 10.0}
+        )
+        assert rates == {1: 5.0, 2: 5.0}
+
+    def test_bottlenecked_flow_releases_capacity(self):
+        rates = max_min_allocation(
+            {1: [(0, 1)], 2: [(0, 1), (1, 2)]},
+            {(0, 1): 10.0, (1, 2): 3.0},
+        )
+        assert rates[2] == pytest.approx(3.0)
+        assert rates[1] == pytest.approx(7.0)
+
+    def test_disjoint_flows_full_rate(self):
+        rates = max_min_allocation(
+            {1: [(0, 1)], 2: [(2, 3)]}, {(0, 1): 4.0, (2, 3): 9.0}
+        )
+        assert rates == {1: 4.0, 2: 9.0}
+
+    def test_three_level_waterfill(self):
+        # Classic example: flows a (link1), b (link1+link2), c (link2).
+        rates = max_min_allocation(
+            {"a": [(0, 1)], "b": [(0, 1), (1, 2)], "c": [(1, 2)]},
+            {(0, 1): 10.0, (1, 2): 4.0},
+        )
+        assert rates["b"] == pytest.approx(2.0)
+        assert rates["c"] == pytest.approx(2.0)
+        assert rates["a"] == pytest.approx(8.0)
+
+
+class TestInvariants:
+    def test_no_link_oversubscribed(self):
+        paths = {
+            i: [(0, 1), (1, 2)] if i % 2 else [(0, 1)] for i in range(8)
+        }
+        caps = {(0, 1): 7.0, (1, 2): 2.0}
+        rates = max_min_allocation(paths, caps)
+        load01 = sum(rates[i] for i in paths)
+        load12 = sum(rates[i] for i in paths if i % 2)
+        assert load01 <= 7.0 + 1e-9
+        assert load12 <= 2.0 + 1e-9
+
+    def test_every_flow_has_a_saturated_bottleneck(self):
+        paths = {i: [(0, 1)] if i < 3 else [(1, 2)] for i in range(6)}
+        caps = {(0, 1): 6.0, (1, 2): 3.0}
+        rates = max_min_allocation(paths, caps)
+        # Flows 0-2 share link (0,1): 2.0 each; 3-5 share (1,2): 1.0 each.
+        assert all(rates[i] == pytest.approx(2.0) for i in range(3))
+        assert all(rates[i] == pytest.approx(1.0) for i in range(3, 6))
+
+
+class TestEdgeCases:
+    def test_empty_path_infinite_rate(self):
+        rates = max_min_allocation({1: []}, {})
+        assert rates[1] == float("inf")
+
+    def test_no_flows(self):
+        assert max_min_allocation({}, {(0, 1): 1.0}) == {}
+
+    def test_unknown_arc_rejected(self):
+        with pytest.raises(KeyError):
+            max_min_allocation({1: [(7, 8)]}, {(0, 1): 1.0})
+
+    def test_multiplicity_counted_twice(self):
+        # A VLB detour crossing the same arc twice consumes double there.
+        rates = max_min_allocation(
+            {1: [(0, 1), (1, 0), (0, 1)]}, {(0, 1): 6.0, (1, 0): 6.0}
+        )
+        assert rates[1] == pytest.approx(3.0)

@@ -1,0 +1,63 @@
+"""Tests for the flow-level simulator's route sampler."""
+
+import networkx as nx
+import pytest
+
+from repro.flowsim.simulator import _Routes
+from repro.topologies import xpander
+
+
+@pytest.fixture(scope="module")
+def xp():
+    return xpander(4, 6, 2)
+
+
+class TestShortestSampler:
+    def test_path_is_shortest(self, xp):
+        r = _Routes(xp, seed=0)
+        dist = dict(nx.all_pairs_shortest_path_length(xp.graph))
+        for a in xp.switches[:5]:
+            for b in xp.switches[-5:]:
+                if a == b:
+                    continue
+                p = r.shortest(a, b)
+                assert len(p) - 1 == dist[a][b]
+                assert p[0] == a and p[-1] == b
+
+    def test_same_node(self, xp):
+        r = _Routes(xp, seed=0)
+        assert r.shortest(3, 3) == [3]
+
+    def test_uses_path_diversity(self, xp):
+        r = _Routes(xp, seed=1)
+        # A pair at distance >= 2 should eventually sample several paths.
+        dist = dict(nx.all_pairs_shortest_path_length(xp.graph))
+        pair = next(
+            (a, b)
+            for a in xp.switches
+            for b in xp.switches
+            if dist[a][b] == 2
+            and len(list(nx.all_shortest_paths(xp.graph, a, b))) > 1
+        )
+        paths = {tuple(r.shortest(*pair)) for _ in range(50)}
+        assert len(paths) > 1
+
+
+class TestVlbSampler:
+    def test_path_valid(self, xp):
+        r = _Routes(xp, seed=2)
+        for _ in range(30):
+            p = r.vlb(0, 10)
+            assert p[0] == 0 and p[-1] == 10
+            for u, v in zip(p, p[1:]):
+                assert xp.graph.has_edge(u, v)
+
+    def test_longer_on_average_than_shortest(self, xp):
+        r = _Routes(xp, seed=3)
+        direct = [len(r.shortest(0, 10)) for _ in range(50)]
+        detour = [len(r.vlb(0, 10)) for _ in range(50)]
+        assert sum(detour) / len(detour) > sum(direct) / len(direct)
+
+    def test_same_node(self, xp):
+        r = _Routes(xp, seed=0)
+        assert r.vlb(5, 5) == [5]

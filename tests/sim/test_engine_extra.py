@@ -1,0 +1,53 @@
+"""Additional engine behaviors: cancellable args, interleaving, clocks."""
+
+import pytest
+
+from repro.sim import Engine
+
+
+class TestCancellableWithArgs:
+    def test_arg_delivered(self):
+        e = Engine()
+        got = []
+        e.schedule_cancellable(0.1, got.append, "x")
+        e.run()
+        assert got == ["x"]
+
+    def test_cancel_with_arg(self):
+        e = Engine()
+        got = []
+        h = e.schedule_cancellable(0.1, got.append, "x")
+        h.cancel()
+        e.run()
+        assert got == []
+
+    def test_negative_delay_rejected(self):
+        e = Engine()
+        with pytest.raises(ValueError):
+            e.schedule_cancellable(-1.0, lambda: None)
+
+
+class TestInterleaving:
+    def test_mixed_plain_and_cancellable_order(self):
+        e = Engine()
+        log = []
+        e.schedule(0.2, log.append, "b")
+        e.schedule_cancellable(0.1, log.append, "a")
+        e.schedule(0.3, log.append, "c")
+        e.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until_exactly_event_time(self):
+        e = Engine()
+        log = []
+        e.schedule(0.5, log.append, 1)
+        e.run(until=0.5)
+        assert log == [1]
+
+    def test_clock_monotone_across_runs(self):
+        e = Engine()
+        e.schedule(0.1, lambda: None)
+        e.run(until=0.05)
+        t1 = e.now
+        e.run(until=0.2)
+        assert e.now >= t1

@@ -1,0 +1,103 @@
+"""Tests for source-routed k-shortest-path routing and the duty-cycle model."""
+
+import networkx as nx
+import pytest
+
+from repro.sim import KspRouting, NetworkParams, run_packet_experiment
+from repro.topologies import DynamicNetworkModel, duty_cycle, xpander
+from repro.traffic import FlowSpec
+
+FAST = NetworkParams(link_rate_bps=1e9)
+
+
+@pytest.fixture(scope="module")
+def xp():
+    return xpander(4, 6, 4)
+
+
+class TestKspRoutes:
+    def test_routes_are_valid_paths(self, xp):
+        r = KspRouting(xp.graph, k=4)
+        src, dst = 0, 15
+        for flowlet in range(10):
+            route = r.choose_route(1, flowlet, src, dst)
+            assert route is not None
+            full = [src] + route
+            assert full[-1] == dst
+            for a, b in zip(full, full[1:]):
+                assert xp.graph.has_edge(a, b)
+
+    def test_uses_multiple_paths(self, xp):
+        r = KspRouting(xp.graph, k=4, seed=0)
+        routes = {
+            tuple(r.choose_route(1, fl, 0, 15)) for fl in range(40)
+        }
+        assert len(routes) > 1
+
+    def test_includes_non_minimal_paths(self, xp):
+        # The defining difference from ECMP: k-shortest paths between
+        # adjacent racks include multi-hop detours.
+        u, v = next(iter(xp.graph.edges()))
+        r = KspRouting(xp.graph, k=4)
+        lengths = {
+            len(r.choose_route(1, fl, u, v) or []) for fl in range(40)
+        }
+        assert max(lengths) > 1  # something longer than the direct link
+
+    def test_same_rack_no_route(self, xp):
+        r = KspRouting(xp.graph, k=2)
+        assert r.choose_route(1, 0, 3, 3) is None
+
+    def test_invalid_k(self, xp):
+        with pytest.raises(ValueError):
+            KspRouting(xp.graph, k=0)
+
+
+class TestKspEndToEnd:
+    def test_flows_complete(self, xp):
+        flows = [FlowSpec(i, i, 70 + i, 80_000, 0.0001 * i) for i in range(6)]
+        stats = run_packet_experiment(
+            xp, flows, routing="ksp", measure_start=0.0, measure_end=0.01,
+            network_params=FAST,
+        )
+        assert stats.num_unfinished == 0
+
+    def test_ksp_beats_ecmp_between_adjacent_racks(self, xp):
+        # The §6 claim that motivated MPTCP-over-KSP: extra (non-minimal)
+        # paths relieve the adjacent-rack direct-link bottleneck.
+        u, v = next(iter(xp.graph.edges()))
+        su, sv = xp.tor_to_servers()[u], xp.tor_to_servers()[v]
+        flows = [
+            FlowSpec(i, su[i % 4], sv[(i + 1) % 4], 200_000, 0.0002 * i)
+            for i in range(24)
+        ]
+        ecmp = run_packet_experiment(
+            xp, flows, routing="ecmp", measure_start=0.0, measure_end=0.02,
+            network_params=FAST,
+        )
+        ksp = run_packet_experiment(
+            xp, flows, routing="ksp", measure_start=0.0, measure_end=0.02,
+            network_params=FAST,
+        )
+        assert ksp.avg_fct() < ecmp.avg_fct()
+
+
+class TestDutyCycle:
+    def test_projector_90_percent(self):
+        # Slot 9x the reconfiguration time -> 90% duty cycle (§4.1).
+        assert duty_cycle(9.0, 1.0) == pytest.approx(0.9)
+
+    def test_zero_reconfig_is_full(self):
+        assert duty_cycle(1.0, 0.0) == 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            duty_cycle(0.0, 1.0)
+        with pytest.raises(ValueError):
+            duty_cycle(1.0, -0.5)
+
+    def test_model_integration(self):
+        m = DynamicNetworkModel(num_tors=54, network_ports=6, server_ports=6)
+        assert m.unrestricted_throughput_with_duty_cycle(9.0, 1.0) == (
+            pytest.approx(0.9)
+        )

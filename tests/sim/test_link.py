@@ -1,0 +1,136 @@
+"""Tests for simulated links: serialization, queueing, ECN, drops."""
+
+import pytest
+
+from repro.sim import Engine, Link, Packet
+from repro.sim.packet import HEADER_BYTES
+
+
+def data_packet(payload=1460, flow=0, seq=0):
+    return Packet(
+        flow_id=flow, src_server=0, dst_server=1, dst_tor=0, seq=seq, payload=payload
+    )
+
+
+class TestSerialization:
+    def test_transmission_delay(self):
+        e = Engine()
+        got = []
+        link = Link(e, rate_bps=1e9, prop_delay=0.0, sink=lambda p: got.append(e.now))
+        pkt = data_packet()
+        link.send(pkt)
+        e.run()
+        expected = pkt.wire_bytes * 8 / 1e9
+        assert got == [pytest.approx(expected)]
+
+    def test_propagation_added(self):
+        e = Engine()
+        got = []
+        link = Link(e, rate_bps=1e9, prop_delay=1e-6, sink=lambda p: got.append(e.now))
+        pkt = data_packet()
+        link.send(pkt)
+        e.run()
+        assert got == [pytest.approx(pkt.wire_bytes * 8 / 1e9 + 1e-6)]
+
+    def test_back_to_back_serialized(self):
+        e = Engine()
+        got = []
+        link = Link(e, rate_bps=1e9, prop_delay=0.0, sink=lambda p: got.append(e.now))
+        p1, p2 = data_packet(seq=0), data_packet(seq=1460)
+        link.send(p1)
+        link.send(p2)
+        e.run()
+        per = p1.wire_bytes * 8 / 1e9
+        assert got == [pytest.approx(per), pytest.approx(2 * per)]
+
+    def test_fifo_order(self):
+        e = Engine()
+        got = []
+        link = Link(e, rate_bps=1e9, prop_delay=0.0, sink=lambda p: got.append(p.seq))
+        for s in (0, 1460, 2920):
+            link.send(data_packet(seq=s))
+        e.run()
+        assert got == [0, 1460, 2920]
+
+
+class TestQueueAndDrops:
+    def test_drop_when_full(self):
+        e = Engine()
+        got = []
+        wire = 1460 + HEADER_BYTES
+        link = Link(
+            e,
+            rate_bps=1e9,
+            prop_delay=0.0,
+            sink=lambda p: got.append(p),
+            queue_bytes=2 * wire,
+        )
+        for s in range(5):
+            link.send(data_packet(seq=s * 1460))
+        e.run()
+        # One in flight + two queued; two dropped.
+        assert len(got) == 3
+        assert link.dropped_packets == 2
+
+    def test_occupancy_tracks_bytes(self):
+        e = Engine()
+        link = Link(e, rate_bps=1e9, prop_delay=0.0, sink=lambda p: None)
+        link.send(data_packet())
+        assert link.queue_occupancy_bytes == 0  # first packet in service
+        link.send(data_packet())
+        assert link.queue_occupancy_bytes == 1460 + HEADER_BYTES
+        e.run()
+        assert link.queue_occupancy_bytes == 0
+
+
+class TestEcnMarking:
+    def test_marks_above_threshold(self):
+        e = Engine()
+        got = []
+        wire = 1460 + HEADER_BYTES
+        link = Link(
+            e,
+            rate_bps=1e9,
+            prop_delay=0.0,
+            sink=lambda p: got.append(p),
+            ecn_threshold_bytes=2 * wire,
+        )
+        for s in range(5):
+            link.send(data_packet(seq=s * 1460))
+        e.run()
+        # Packets 0 (in service), 1, 2 unmarked; 3 and 4 exceed threshold.
+        marks = [p.ecn_marked for p in sorted(got, key=lambda p: p.seq)]
+        assert marks == [False, False, False, True, True]
+        assert link.marked_packets == 2
+
+    def test_marking_disabled(self):
+        e = Engine()
+        got = []
+        link = Link(
+            e, rate_bps=1e9, prop_delay=0.0, sink=lambda p: got.append(p),
+            ecn_threshold_bytes=None,
+        )
+        for s in range(10):
+            link.send(data_packet(seq=s * 1460))
+        e.run()
+        assert all(not p.ecn_marked for p in got)
+
+
+class TestAccounting:
+    def test_counters_and_utilization(self):
+        e = Engine()
+        link = Link(e, rate_bps=1e9, prop_delay=0.0, sink=lambda p: None)
+        pkt = data_packet()
+        link.send(pkt)
+        e.run()
+        assert link.transmitted_packets == 1
+        assert link.transmitted_bytes == pkt.wire_bytes
+        busy = pkt.wire_bytes * 8 / 1e9
+        assert link.utilization(busy * 2) == pytest.approx(0.5)
+
+    def test_invalid_configuration(self):
+        e = Engine()
+        with pytest.raises(ValueError):
+            Link(e, rate_bps=0, prop_delay=0.0, sink=lambda p: None)
+        with pytest.raises(ValueError):
+            Link(e, rate_bps=1e9, prop_delay=-1.0, sink=lambda p: None)

@@ -1,0 +1,43 @@
+"""Tests for the packet model."""
+
+from repro.sim import ACK_BYTES, HEADER_BYTES, MSS, Packet
+
+
+class TestWireSizes:
+    def test_data_packet_includes_header(self):
+        p = Packet(flow_id=0, src_server=0, dst_server=1, dst_tor=2, payload=MSS)
+        assert p.wire_bytes == MSS + HEADER_BYTES
+
+    def test_ack_fixed_size(self):
+        a = Packet(
+            flow_id=0, src_server=1, dst_server=0, dst_tor=2, is_ack=True,
+            ack_seq=1460,
+        )
+        assert a.wire_bytes == ACK_BYTES
+
+    def test_small_payload(self):
+        p = Packet(flow_id=0, src_server=0, dst_server=1, dst_tor=2, payload=1)
+        assert p.wire_bytes == 1 + HEADER_BYTES
+
+
+class TestFields:
+    def test_defaults(self):
+        p = Packet(flow_id=3, src_server=0, dst_server=1, dst_tor=2)
+        assert p.via_tor is None
+        assert not p.ecn_marked
+        assert not p.ecn_echo
+        assert p.flowlet == 0
+
+    def test_vlb_encapsulation_field(self):
+        p = Packet(
+            flow_id=3, src_server=0, dst_server=1, dst_tor=2, via_tor=9
+        )
+        assert p.via_tor == 9
+        p.via_tor = None  # decap
+        assert p.via_tor is None
+
+    def test_repr_mentions_kind(self):
+        p = Packet(flow_id=0, src_server=0, dst_server=1, dst_tor=2, payload=10)
+        assert "DATA" in repr(p)
+        a = Packet(flow_id=0, src_server=1, dst_server=0, dst_tor=2, is_ack=True)
+        assert "ACK" in repr(a)

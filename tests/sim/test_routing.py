@@ -1,0 +1,135 @@
+"""Tests for ECMP/VLB/HYB routing policies."""
+
+import networkx as nx
+import pytest
+
+from repro.sim import EcmpRouting, HybRouting, Packet, VlbRouting
+from repro.topologies import xpander
+
+
+def make_packet(flow=1, flowlet=0, dst_tor=0, via=None):
+    return Packet(
+        flow_id=flow,
+        src_server=0,
+        dst_server=1,
+        dst_tor=dst_tor,
+        flowlet=flowlet,
+        via_tor=via,
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return xpander(4, 6, 2).graph
+
+
+class TestEcmpForwarding:
+    def test_next_hop_decreases_distance(self, graph):
+        routing = EcmpRouting(graph)
+        dst = 0
+        dist = nx.single_source_shortest_path_length(graph, dst)
+        for v in graph.nodes():
+            if v == dst:
+                continue
+            pkt = make_packet(dst_tor=dst)
+            nh = routing.next_hop(v, pkt)
+            assert dist[nh] == dist[v] - 1
+
+    def test_same_flowlet_same_choice(self, graph):
+        routing = EcmpRouting(graph)
+        pkt1 = make_packet(flow=9, flowlet=4, dst_tor=0)
+        pkt2 = make_packet(flow=9, flowlet=4, dst_tor=0)
+        v = max(graph.nodes())
+        assert routing.next_hop(v, pkt1) == routing.next_hop(v, pkt2)
+
+    def test_flowlets_spread_over_paths(self, graph):
+        routing = EcmpRouting(graph)
+        v = max(graph.nodes())
+        dst = 0
+        choices = {
+            routing.next_hop(v, make_packet(flow=1, flowlet=fl, dst_tor=dst))
+            for fl in range(64)
+        }
+        valid = routing._tables[dst][v]
+        if len(valid) > 1:
+            assert len(choices) > 1
+        assert choices <= set(valid)
+
+    def test_ecmp_never_uses_via(self, graph):
+        routing = EcmpRouting(graph)
+        assert routing.choose_via(1, 0, 0, 5) is None
+        assert routing.choose_via(1, 10**9, 0, 5) is None
+
+    def test_delivery_walk_terminates(self, graph):
+        # Following next_hop must reach the destination in <= diameter hops.
+        routing = EcmpRouting(graph)
+        dst = 0
+        diameter = nx.diameter(graph)
+        for start in list(graph.nodes())[:10]:
+            pkt = make_packet(flow=3, flowlet=1, dst_tor=dst)
+            v, hops = start, 0
+            while v != dst:
+                v = routing.next_hop(v, pkt)
+                hops += 1
+                assert hops <= diameter
+        assert True
+
+
+class TestVlb:
+    def test_choose_via_valid(self, graph):
+        routing = VlbRouting(graph, seed=1)
+        for _ in range(50):
+            via = routing.choose_via(1, 0, 0, 5)
+            assert via is not None
+            assert via not in (0, 5)
+
+    def test_decap_at_intermediate(self, graph):
+        routing = VlbRouting(graph, seed=0)
+        via = 7
+        pkt = make_packet(dst_tor=0, via=via)
+        # At the via switch itself, the packet decapsulates and heads to dst.
+        nh = routing.next_hop(via, pkt)
+        assert pkt.via_tor is None
+        dist = nx.single_source_shortest_path_length(graph, 0)
+        assert dist[nh] == dist[via] - 1
+
+    def test_routes_toward_via_first(self, graph):
+        routing = VlbRouting(graph, seed=0)
+        via = 7
+        dist_via = nx.single_source_shortest_path_length(graph, via)
+        start = max(graph.nodes())
+        pkt = make_packet(dst_tor=0, via=via)
+        if start != via:
+            nh = routing.next_hop(start, pkt)
+            assert dist_via[nh] == dist_via[start] - 1
+
+    def test_full_walk_visits_via(self, graph):
+        routing = VlbRouting(graph, seed=0)
+        dst, via, start = 0, 9, max(graph.nodes())
+        pkt = make_packet(dst_tor=dst, via=via)
+        v, visited = start, [start]
+        while v != dst:
+            v = routing.next_hop(v, pkt)
+            visited.append(v)
+            assert len(visited) < 50
+        assert via in visited
+
+
+class TestHyb:
+    def test_ecmp_below_threshold(self, graph):
+        routing = HybRouting(graph, q_threshold_bytes=100_000, seed=0)
+        assert routing.choose_via(1, 0, 0, 5) is None
+        assert routing.choose_via(1, 99_999, 0, 5) is None
+
+    def test_vlb_above_threshold(self, graph):
+        routing = HybRouting(graph, q_threshold_bytes=100_000, seed=0)
+        vias = [routing.choose_via(1, 100_000 + i, 0, 5) for i in range(20)]
+        assert all(v is not None for v in vias)
+
+    def test_zero_threshold_is_pure_vlb(self, graph):
+        routing = HybRouting(graph, q_threshold_bytes=0, seed=0)
+        assert routing.choose_via(1, 0, 0, 5) is not None
+
+    def test_negative_threshold_rejected(self, graph):
+        with pytest.raises(ValueError):
+            HybRouting(graph, q_threshold_bytes=-1)

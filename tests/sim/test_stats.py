@@ -1,0 +1,96 @@
+"""Tests for FCT statistics."""
+
+import math
+
+import pytest
+
+from repro.sim import FlowRecord, FlowStats, percentile
+
+
+def record(fid, size, start, end):
+    return FlowRecord(fid, 0, 1, size, start, end)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_p99_of_100(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 99) == 99.0
+
+    def test_p100_is_max(self):
+        assert percentile([5.0, 9.0, 1.0], 100) == 9.0
+
+    def test_p0_is_min(self):
+        assert percentile([5.0, 9.0, 1.0], 0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestFlowRecord:
+    def test_fct(self):
+        r = record(0, 1000, 1.0, 1.5)
+        assert r.fct == pytest.approx(0.5)
+        assert r.finished
+
+    def test_unfinished_raises(self):
+        r = FlowRecord(0, 0, 1, 1000, 1.0)
+        assert not r.finished
+        with pytest.raises(ValueError):
+            _ = r.fct
+
+    def test_throughput(self):
+        r = record(0, 125_000, 0.0, 1.0)  # 1 Mbit in 1 s
+        assert r.throughput_bps == pytest.approx(1e6)
+
+
+class TestFlowStats:
+    def test_avg_fct(self):
+        stats = FlowStats([record(0, 1000, 0, 1), record(1, 1000, 0, 3)])
+        assert stats.avg_fct() == pytest.approx(2.0)
+
+    def test_short_long_split(self):
+        stats = FlowStats(
+            [
+                record(0, 50_000, 0.0, 0.001),  # short
+                record(1, 500_000, 0.0, 1.0),  # long
+            ]
+        )
+        assert stats.short_flow_p99_fct() == pytest.approx(0.001)
+        assert stats.long_flow_avg_throughput_bps() == pytest.approx(500_000 * 8)
+
+    def test_unfinished_excluded_from_metrics(self):
+        stats = FlowStats(
+            [record(0, 1000, 0, 1), FlowRecord(1, 0, 1, 1000, 0.0)]
+        )
+        assert stats.num_unfinished == 1
+        assert stats.avg_fct() == pytest.approx(1.0)
+
+    def test_empty_metrics_are_nan(self):
+        stats = FlowStats([])
+        assert math.isnan(stats.avg_fct())
+        assert math.isnan(stats.short_flow_p99_fct())
+        assert math.isnan(stats.long_flow_avg_throughput_bps())
+
+    def test_boundary_size_counts_as_long(self):
+        stats = FlowStats([record(0, 100_000, 0.0, 0.01)])
+        assert math.isnan(stats.short_flow_p99_fct())
+        assert not math.isnan(stats.long_flow_avg_throughput_bps())
+
+    def test_summary_keys(self):
+        stats = FlowStats([record(0, 1000, 0, 1)])
+        s = stats.summary()
+        assert set(s) == {
+            "flows",
+            "unfinished",
+            "avg_fct_ms",
+            "short_p99_fct_ms",
+            "long_avg_throughput_gbps",
+        }

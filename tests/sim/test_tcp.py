@@ -1,0 +1,217 @@
+"""Tests for the DCTCP transport over a two-link loopback harness."""
+
+import pytest
+
+from repro.sim import Engine, Link, MSS, Packet, TransportParams
+from repro.sim.routing import EcmpRouting
+from repro.sim.tcp import DctcpReceiver, DctcpSender
+
+import networkx as nx
+
+
+class _NullRouting:
+    """Routing stub: no VLB, no tables needed for a point-to-point pipe."""
+
+    def choose_via(self, flow_id, bytes_sent, src_tor, dst_tor):
+        return None
+
+    def note_ecn(self, flow_id):
+        pass
+
+    def flow_done(self, flow_id):
+        pass
+
+
+def make_pipe(
+    total_bytes,
+    rate_bps=1e9,
+    prop_delay=1e-6,
+    queue_bytes=200 * 1520,
+    ecn_threshold=20 * 1520,
+    params=None,
+):
+    """Sender and receiver joined by one link in each direction."""
+    engine = Engine()
+    params = params or TransportParams()
+    done = {}
+
+    receiver_box = {}
+
+    fwd = Link(
+        engine,
+        rate_bps=rate_bps,
+        prop_delay=prop_delay,
+        sink=lambda p: receiver_box["rx"].on_data(p),
+        queue_bytes=queue_bytes,
+        ecn_threshold_bytes=ecn_threshold,
+    )
+    sender_box = {}
+    rev = Link(
+        engine,
+        rate_bps=rate_bps,
+        prop_delay=prop_delay,
+        sink=lambda p: sender_box["tx"].on_ack(p.ack_seq, p.ecn_echo),
+        queue_bytes=queue_bytes,
+        ecn_threshold_bytes=ecn_threshold,
+    )
+    receiver = DctcpReceiver(
+        engine=engine,
+        transmit=rev.send,
+        flow_id=0,
+        src_server=0,
+        dst_server=1,
+        src_tor=0,
+        total_bytes=total_bytes,
+        on_complete=lambda t: done.setdefault("time", t),
+    )
+    receiver_box["rx"] = receiver
+    sender = DctcpSender(
+        engine=engine,
+        params=params,
+        routing=_NullRouting(),
+        transmit=fwd.send,
+        flow_id=0,
+        src_server=0,
+        dst_server=1,
+        src_tor=0,
+        dst_tor=1,
+        total_bytes=total_bytes,
+    )
+    sender_box["tx"] = sender
+    return engine, sender, receiver, fwd, rev, done
+
+
+class TestBasicTransfer:
+    def test_tiny_flow_completes(self):
+        engine, sender, receiver, *_, done = make_pipe(500)
+        sender.start()
+        engine.run(until=1.0)
+        assert receiver.completed
+        assert "time" in done
+
+    def test_large_flow_completes_fully(self):
+        total = 500_000
+        engine, sender, receiver, *_ = make_pipe(total)
+        sender.start()
+        engine.run(until=1.0)
+        assert receiver.rcv_nxt == total
+        assert sender.completed
+
+    def test_fct_close_to_serialization_bound(self):
+        total = 1_000_000
+        engine, sender, receiver, fwd, rev, done = make_pipe(total, rate_bps=1e9)
+        sender.start()
+        engine.run(until=1.0)
+        lower_bound = total * 8 / 1e9
+        assert done["time"] >= lower_bound
+        assert done["time"] < 3 * lower_bound  # slow start overhead only
+
+    def test_throughput_near_line_rate_for_long_flow(self):
+        total = 4_000_000
+        engine, sender, receiver, *_, done = make_pipe(total, rate_bps=1e9)
+        sender.start()
+        engine.run(until=1.0)
+        goodput = total * 8 / done["time"]
+        assert goodput > 0.7e9
+
+
+class TestWindowDynamics:
+    def test_slow_start_doubles(self):
+        total = 10_000_000
+        engine, sender, *_ = make_pipe(total)
+        sender.start()
+        initial = sender.cwnd
+        engine.run(until=0.002)
+        assert sender.cwnd > 1.5 * initial
+
+    def test_ecn_keeps_queue_bounded(self):
+        # With DCTCP + marking at K, the queue should hover near K, far
+        # below the drop-tail limit, and nothing should be dropped.
+        total = 5_000_000
+        engine, sender, receiver, fwd, rev, done = make_pipe(
+            total, queue_bytes=500 * 1520, ecn_threshold=20 * 1520
+        )
+        sender.start()
+        engine.run(until=1.0)
+        assert fwd.dropped_packets == 0
+        assert fwd.marked_packets > 0
+        assert receiver.completed
+
+    def test_alpha_moves_toward_mark_fraction(self):
+        total = 5_000_000
+        engine, sender, *_ = make_pipe(total)
+        sender.start()
+        engine.run(until=1.0)
+        # Persistent congestion on a single bottleneck: alpha must have
+        # moved well below its initial 1.0 (marks are intermittent).
+        assert 0.0 <= sender.alpha < 1.0
+
+    def test_no_ecn_mode_fills_queue(self):
+        total = 5_000_000
+        params = TransportParams(use_ecn=False)
+        engine, sender, receiver, fwd, rev, done = make_pipe(
+            total, ecn_threshold=None, params=params, queue_bytes=2000 * 1520
+        )
+        sender.start()
+        engine.run(until=1.0)
+        assert receiver.completed
+
+
+class TestLossRecovery:
+    def test_completes_despite_tiny_queue(self):
+        # Queue of 3 packets forces drops during slow start; fast
+        # retransmit / RTO must still complete the flow.
+        total = 2_000_000
+        engine, sender, receiver, fwd, rev, done = make_pipe(
+            total, queue_bytes=3 * 1520, ecn_threshold=None,
+            params=TransportParams(use_ecn=False),
+        )
+        sender.start()
+        engine.run(until=5.0)
+        assert receiver.completed
+        assert fwd.dropped_packets > 0
+        assert sender.retransmissions > 0
+
+    def test_in_order_delivery_invariant(self):
+        # rcv_nxt only moves forward and never exceeds total.
+        total = 300_000
+        engine, sender, receiver, *_ = make_pipe(total, queue_bytes=5 * 1520)
+        sender.start()
+        last = 0
+        for _ in range(200):
+            engine.run(max_events=100)
+            assert receiver.rcv_nxt >= last
+            assert receiver.rcv_nxt <= total
+            last = receiver.rcv_nxt
+            if receiver.completed:
+                break
+        engine.run(until=5.0)
+        assert receiver.completed
+
+
+class TestValidation:
+    def test_zero_byte_flow_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            DctcpSender(
+                engine=engine,
+                params=TransportParams(),
+                routing=_NullRouting(),
+                transmit=lambda p: None,
+                flow_id=0,
+                src_server=0,
+                dst_server=1,
+                src_tor=0,
+                dst_tor=1,
+                total_bytes=0,
+            )
+
+    def test_flowlet_increments_after_gap(self):
+        total = 3 * MSS
+        engine, sender, receiver, *_ = make_pipe(
+            total, params=TransportParams(flowlet_gap=50e-6)
+        )
+        sender.start()
+        first = sender.flowlet_id
+        engine.run(until=1.0)
+        assert sender.flowlet_id >= first

@@ -1,0 +1,65 @@
+"""Tests for link telemetry."""
+
+import pytest
+
+from repro.sim import (
+    NetworkParams,
+    PacketSimulation,
+    network_report,
+)
+from repro.topologies import xpander
+from repro.traffic import FlowSpec
+
+FAST = NetworkParams(link_rate_bps=1e9)
+
+
+def run_two_rack_ecmp():
+    xp = xpander(4, 6, 4)
+    u, v = next(iter(xp.graph.edges()))
+    su, sv = xp.tor_to_servers()[u], xp.tor_to_servers()[v]
+    flows = [FlowSpec(i, su[i % 4], sv[(i + 1) % 4], 150_000, 0.0001 * i)
+             for i in range(20)]
+    sim = PacketSimulation(xp, routing="ecmp", network_params=FAST)
+    sim.inject(flows)
+    sim.run(0.0, 0.01)
+    return sim, (u, v)
+
+
+class TestNetworkReport:
+    def test_covers_all_links(self):
+        xp = xpander(3, 4, 2)
+        sim = PacketSimulation(xp, routing="ecmp", network_params=FAST)
+        report = network_report(sim.network, elapsed=1.0)
+        # 2 per cable + 2 per server.
+        assert len(report.links) == 2 * xp.num_links + 2 * xp.num_servers
+
+    def test_idle_network_zero_utilization(self):
+        xp = xpander(3, 4, 2)
+        sim = PacketSimulation(xp, routing="ecmp", network_params=FAST)
+        report = network_report(sim.network, elapsed=1.0)
+        assert report.max_utilization == 0.0
+        assert report.total_drops == 0
+
+    def test_hotspot_is_the_direct_link(self):
+        """§6.1 diagnosis: under two-adjacent-rack ECMP traffic, the
+        single direct link is (one of) the hottest."""
+        sim, (u, v) = run_two_rack_ecmp()
+        report = network_report(sim.network)
+        hottest = report.hottest(4)
+        descriptions = [l.description for l in hottest]
+        assert any(
+            f"switch {u} -> switch {v}" == d or f"switch {v} -> switch {u}" == d
+            for d in descriptions
+        )
+        assert report.max_utilization > 0.5
+
+    def test_marks_accumulated_under_congestion(self):
+        sim, _ = run_two_rack_ecmp()
+        report = network_report(sim.network)
+        assert report.total_marks > 0
+        assert any(l.max_queue_bytes > 0 for l in report.links)
+
+    def test_mean_utilization_bounded(self):
+        sim, _ = run_two_rack_ecmp()
+        report = network_report(sim.network)
+        assert 0.0 < report.mean_utilization <= report.max_utilization <= 1.0

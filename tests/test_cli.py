@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologyCommand:
+    def test_xpander(self, capsys):
+        rc = main(["topology", "xpander", "--degree", "4", "--lift", "5",
+                   "--servers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "xpander(d=4,lift=5,shift)" in out
+        assert "switches" in out and "25" in out
+
+    def test_fattree(self, capsys):
+        rc = main(["topology", "fattree", "--k", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fat-tree(k=4)" in out
+
+    def test_oversubscribed_fattree(self, capsys):
+        rc = main(["topology", "fattree", "--k", "4", "--core-fraction", "0.5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "core=0.50" in out
+
+    def test_slimfly(self, capsys):
+        rc = main(["topology", "slimfly", "--q", "5", "--servers", "2"])
+        assert rc == 0
+        assert "slimfly(q=5)" in capsys.readouterr().out
+
+    def test_longhop(self, capsys):
+        rc = main(["topology", "longhop", "--n", "4", "--degree", "5",
+                   "--servers", "1"])
+        assert rc == 0
+        assert "longhop" in capsys.readouterr().out
+
+    def test_jellyfish(self, capsys):
+        rc = main(["topology", "jellyfish", "--switches", "12", "--degree",
+                   "4", "--servers", "2"])
+        assert rc == 0
+        assert "jellyfish" in capsys.readouterr().out
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "torus"])
+
+
+class TestThroughputCommand:
+    def test_sweep_runs(self, capsys):
+        rc = main([
+            "throughput", "jellyfish", "--switches", "12", "--degree", "4",
+            "--servers", "2", "--fractions", "0.5,1.0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0.5" in out and "fraction" in out
+
+    def test_paths_solver(self, capsys):
+        rc = main([
+            "throughput", "xpander", "--degree", "4", "--lift", "4",
+            "--servers", "2", "--fractions", "0.5", "--solver", "paths",
+        ])
+        assert rc == 0
+
+
+class TestSimulateCommand:
+    def test_small_simulation(self, capsys):
+        rc = main([
+            "simulate", "xpander", "--degree", "4", "--lift", "4",
+            "--servers", "2", "--routing", "hyb", "--pattern", "a2a",
+            "--fraction", "0.5", "--rate", "500",
+            "--measure-start", "0.005", "--measure-end", "0.015",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "avg_fct_ms" in out
+
+
+class TestCostCommand:
+    def test_table_only(self, capsys):
+        rc = main(["cost"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "215" in out and "370" in out
+
+    def test_with_topology(self, capsys):
+        rc = main(["cost", "--kind", "fattree", "--k", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "total port cost" in out
+
+
+class TestCablingCommand:
+    def test_xpander_report(self, capsys):
+        rc = main(["cabling", "xpander", "--degree", "4", "--lift", "5",
+                   "--servers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bundles" in out
+
+    def test_fattree_report(self, capsys):
+        rc = main(["cabling", "fattree", "--k", "4"])
+        assert rc == 0
+
+    def test_jellyfish_report(self, capsys):
+        rc = main(["cabling", "jellyfish", "--switches", "12", "--degree",
+                   "4", "--servers", "2"])
+        assert rc == 0

@@ -1,0 +1,93 @@
+"""Extra coverage: CLI variants, budget round-up, network edge cases."""
+
+import pytest
+
+from repro.cli import main
+from repro.sim import NetworkParams, PacketSimulation
+from repro.topologies import fattree, xpander, xpander_from_budget
+from repro.traffic import FlowSpec
+
+
+class TestCliVariants:
+    def test_simulate_hull_sizes(self, capsys):
+        rc = main([
+            "simulate", "xpander", "--degree", "4", "--lift", "4",
+            "--servers", "2", "--routing", "ecmp", "--pattern", "skew",
+            "--sizes", "hull", "--mean-flow-bytes", "20000",
+            "--rate", "2000", "--measure-start", "0.005",
+            "--measure-end", "0.015",
+        ])
+        assert rc == 0
+        assert "avg_fct_ms" in capsys.readouterr().out
+
+    def test_simulate_ksp_routing(self, capsys):
+        rc = main([
+            "simulate", "xpander", "--degree", "4", "--lift", "4",
+            "--servers", "2", "--routing", "ksp", "--pattern", "a2a",
+            "--fraction", "0.5", "--rate", "500",
+            "--measure-start", "0.005", "--measure-end", "0.012",
+        ])
+        assert rc == 0
+
+    def test_throughput_fattree_oversubscribed(self, capsys):
+        rc = main([
+            "throughput", "fattree", "--k", "4", "--core-fraction", "0.5",
+            "--fractions", "1.0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "core=0.50" in out
+
+
+class TestBudgetRoundUp:
+    def test_server_requirement_always_met(self):
+        # The lift rounds up when flooring would undershoot the servers.
+        for budget, ports, servers in ((213, 16, 1024), (13, 6, 16), (30, 8, 100)):
+            xp = xpander_from_budget(budget, ports, servers)
+            assert xp.num_servers >= servers
+
+    def test_paper_213_rounds_to_216(self):
+        xp = xpander_from_budget(213, 16, 1024)
+        assert xp.num_switches == 216
+
+
+class TestNetworkEdgeCases:
+    def test_unconstrained_links_never_mark(self):
+        xp = xpander(3, 4, 2)
+        sim = PacketSimulation(
+            xp,
+            routing="ecmp",
+            network_params=NetworkParams(
+                link_rate_bps=1e9, server_link_rate_bps=None
+            ),
+        )
+        # Access links must have marking disabled.
+        for host in sim.network.hosts.values():
+            assert host.uplink.ecn_threshold is None
+
+    def test_capacity_attribute_scales_link_rate(self):
+        import networkx as nx
+        from repro.topologies import Topology
+
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=4.0)
+        topo = Topology("fat-link", g, {0: 1, 1: 1})
+        sim = PacketSimulation(
+            topo, routing="ecmp",
+            network_params=NetworkParams(link_rate_bps=1e9),
+        )
+        link = sim.network.switches[0].switch_ports[1]
+        assert link.rate_bps == pytest.approx(4e9)
+
+    def test_flow_between_same_pod_stays_fast(self):
+        ft = fattree(4).topology
+        flows = [FlowSpec(0, 0, 1, 50_000, 0.0)]  # same rack
+        sim = PacketSimulation(
+            ft, routing="hyb",
+            network_params=NetworkParams(link_rate_bps=1e9),
+        )
+        sim.inject(flows)
+        stats = sim.run(0.0, 0.01)
+        assert stats.num_unfinished == 0
+        # Two access-link hops only: close to serialization time.
+        assert stats.records[0].fct < 0.002

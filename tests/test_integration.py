@@ -1,0 +1,162 @@
+"""End-to-end integration tests: the paper's qualitative claims at small
+scale, exercising topologies + workloads + both simulators together."""
+
+import pytest
+
+from repro.sim import NetworkParams, run_packet_experiment
+from repro.flowsim import run_flow_experiment
+from repro.topologies import fattree, xpander, xpander_from_budget
+from repro.traffic import (
+    FlowSpec,
+    PoissonArrivals,
+    Workload,
+    a2a_pair_distribution,
+    pfabric_web_search,
+    permute_pair_distribution,
+)
+
+FAST = NetworkParams(link_rate_bps=1e9)
+
+
+@pytest.fixture(scope="module")
+def ft():
+    return fattree(4).topology
+
+
+@pytest.fixture(scope="module")
+def xp_two_thirds(ft):
+    # 2/3 the fat-tree's 20 switches, same server count.
+    return xpander_from_budget(
+        num_switches=13, ports_per_switch=4 + 2, servers_total=ft.num_servers
+    )
+
+
+class TestEcmpTwoRackPathology:
+    """Paper Fig 7(a/b): between two adjacent Xpander racks, ECMP can only
+    use the single direct link; VLB exploits the rest of the network."""
+
+    def _two_rack_flows(self, xp, n_flows=20, size=100_000):
+        u, v = next(iter(xp.graph.edges()))
+        su = xp.tor_to_servers()[u]
+        sv = xp.tor_to_servers()[v]
+        flows = []
+        t = 0.0
+        for i in range(n_flows):
+            a, b = su[i % len(su)], sv[(i // 2) % len(sv)]
+            if i % 2:
+                a, b = b, a
+            flows.append(FlowSpec(i, a, b, size, t))
+            t += 0.00005
+        return flows
+
+    def test_vlb_beats_ecmp_under_load(self):
+        xp = xpander(4, 6, 4)
+        flows = self._two_rack_flows(xp)
+        ecmp = run_packet_experiment(
+            xp, flows, routing="ecmp", measure_start=0.0, measure_end=0.01,
+            network_params=FAST,
+        )
+        vlb = run_packet_experiment(
+            xp, flows, routing="vlb", measure_start=0.0, measure_end=0.01,
+            network_params=FAST,
+        )
+        assert vlb.avg_fct() < ecmp.avg_fct()
+
+
+class TestVlbAllToAllPathology:
+    """Paper Fig 7(c): under network-wide all-to-all load, VLB's detours
+    waste capacity and ECMP wins."""
+
+    def test_ecmp_beats_vlb_at_high_a2a_load(self):
+        xp = xpander(4, 6, 4)
+        wl = Workload(
+            a2a_pair_distribution(xp, 1.0),
+            pfabric_web_search(150_000),
+            PoissonArrivals(12_000.0),
+            seed=5,
+        )
+        flows = wl.generate(horizon=0.06)
+        ecmp = run_packet_experiment(
+            xp, flows, routing="ecmp", measure_start=0.01, measure_end=0.05,
+            network_params=FAST,
+        )
+        vlb = run_packet_experiment(
+            xp, flows, routing="vlb", measure_start=0.01, measure_end=0.05,
+            network_params=FAST,
+        )
+        assert ecmp.avg_fct() < vlb.avg_fct()
+
+
+class TestHybRobustness:
+    """Paper §6.3/6.5: HYB tracks the better of ECMP and VLB in both
+    corner cases."""
+
+    def test_hyb_close_to_best_on_a2a(self):
+        xp = xpander(4, 6, 4)
+        wl = Workload(
+            a2a_pair_distribution(xp, 1.0),
+            pfabric_web_search(150_000),
+            PoissonArrivals(8_000.0),
+            seed=7,
+        )
+        flows = wl.generate(horizon=0.06)
+        results = {}
+        for routing in ("ecmp", "vlb", "hyb"):
+            stats = run_packet_experiment(
+                xp, flows, routing=routing, measure_start=0.01,
+                measure_end=0.05, network_params=FAST,
+            )
+            results[routing] = stats.avg_fct()
+        best = min(results["ecmp"], results["vlb"])
+        assert results["hyb"] <= best * 2.0
+
+
+class TestEqualCostXpanderVsFatTree:
+    """Paper Figs 9-11: on skewed (small-fraction) workloads, an Xpander at
+    ~2/3 cost matches the full-bandwidth fat-tree."""
+
+    def test_skewed_permute_fct_comparable(self, ft, xp_two_thirds):
+        rate = 3000.0
+        results = {}
+        for topo, routing, name in (
+            (ft, "ecmp", "fattree"),
+            (xp_two_thirds, "hyb", "xpander"),
+        ):
+            wl = Workload(
+                permute_pair_distribution(topo, 0.3, seed=2),
+                pfabric_web_search(200_000),
+                PoissonArrivals(rate),
+                seed=3,
+            )
+            stats = run_packet_experiment(
+                topo, wl, routing=routing, measure_start=0.02,
+                measure_end=0.08, network_params=FAST,
+            )
+            results[name] = stats
+        assert results["xpander"].num_unfinished == 0
+        # Within 2x of the full-bandwidth fat-tree at 2/3 the switches.
+        assert (
+            results["xpander"].avg_fct() <= 2.0 * results["fattree"].avg_fct()
+        )
+
+
+class TestFluidVsPacketConsistency:
+    """The two simulators must agree on relative ordering in clear-cut
+    scenarios (ECMP two-rack congestion vs an idle network)."""
+
+    def test_congested_vs_idle_ordering(self):
+        xp = xpander(4, 6, 4)
+        u, v = next(iter(xp.graph.edges()))
+        su, sv = xp.tor_to_servers()[u], xp.tor_to_servers()[v]
+        congested = [
+            FlowSpec(i, su[i % 4], sv[i % 4], 200_000, 0.0) for i in range(8)
+        ]
+        idle = [FlowSpec(0, su[0], sv[0], 200_000, 0.0)]
+        for runner in (
+            lambda f: run_packet_experiment(
+                xp, f, routing="ecmp", measure_start=0.0, measure_end=0.01,
+                network_params=FAST,
+            ),
+            lambda f: run_flow_experiment(xp, f, routing="ecmp", link_rate_bps=1e9),
+        ):
+            assert runner(congested).avg_fct() > runner(idle).avg_fct()

@@ -1,0 +1,97 @@
+"""Miscellaneous cross-cutting behaviors."""
+
+import math
+
+import pytest
+
+from repro.analysis import format_number
+from repro.flowsim import run_flow_experiment
+from repro.throughput import max_concurrent_throughput
+from repro.topologies import Topology, fattree, xpander
+from repro.traffic import FlowSpec, TrafficMatrix
+
+
+class TestTopologyDerived:
+    def test_shortest_path_lengths_subset(self):
+        xp = xpander(4, 4, 1)
+        lengths = xp.shortest_path_lengths(sources=[0, 1])
+        assert set(lengths) == {0, 1}
+        assert lengths[0][0] == 0
+
+    def test_repr_mentions_counts(self):
+        xp = xpander(3, 4, 2)
+        r = repr(xp)
+        assert "switches=16" in r and "servers=32" in r
+
+
+class TestLpUtilization:
+    def test_optimum_respects_capacities(self):
+        ft = fattree(4).topology
+        from repro.traffic import permutation_tm
+
+        tm = permutation_tm(ft.tors, 2, 1.0, seed=0)
+        res = max_concurrent_throughput(ft, tm)
+        assert all(u <= 1.0 + 1e-6 for u in res.link_utilization.values())
+
+    def test_some_link_saturated_at_optimum(self):
+        # At the LP optimum something must bind (else t could grow).
+        import networkx as nx
+
+        g = nx.path_graph(3)
+        nx.set_edge_attributes(g, 1.0, "capacity")
+        topo = Topology("line", g, {0: 1, 2: 1})
+        res = max_concurrent_throughput(topo, TrafficMatrix({(0, 2): 1.0}))
+        assert max(res.link_utilization.values()) == pytest.approx(1.0)
+
+
+class TestFlowsimLimits:
+    def test_max_sim_time_caps_run(self):
+        ft = fattree(4).topology
+        flows = [FlowSpec(0, 0, 15, 10**9, 0.0)]  # 1 GB flow, ~8 s at 1 Gbps
+        from repro.flowsim import FlowLevelSimulation
+
+        sim = FlowLevelSimulation(ft, link_rate_bps=1e9)
+        stats = sim.run(flows, max_sim_time=0.01)
+        assert stats.num_unfinished == 1
+
+    def test_empty_flow_list(self):
+        ft = fattree(4).topology
+        stats = run_flow_experiment(ft, [])
+        assert stats.num_flows == 0
+
+
+class TestFormatNumberEdges:
+    def test_large_numbers_compact(self):
+        assert "e" in format_number(1.23456789e12) or "1.235" in format_number(1.23456789e12)
+
+    def test_negative(self):
+        assert format_number(-2.5) == "-2.5"
+
+    def test_bool_passthrough(self):
+        assert format_number(True) == "True"
+
+
+class TestPackageSurface:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.cost
+        import repro.flowsim
+        import repro.sim
+        import repro.throughput
+        import repro.topologies
+        import repro.traffic
+
+    def test_all_exports_resolve(self):
+        import repro.sim as sim
+        import repro.throughput as thr
+        import repro.topologies as topo
+        import repro.traffic as tra
+
+        for mod in (sim, thr, topo, tra):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None

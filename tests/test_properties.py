@@ -1,0 +1,258 @@
+"""Property-based tests (hypothesis) over core data structures and invariants."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flowsim import max_min_allocation
+from repro.sim import Engine, percentile
+from repro.throughput import (
+    k_shortest_paths,
+    max_concurrent_throughput,
+    tm_throughput_upper_bound,
+    tp_curve,
+)
+from repro.topologies import (
+    Topology,
+    fattree,
+    jellyfish,
+    moore_bound_mean_distance,
+    xpander,
+)
+from repro.traffic import (
+    EmpiricalCDF,
+    ParetoFlowSizes,
+    TrafficMatrix,
+    all_to_all_tm,
+    longest_matching_tm,
+    permutation_tm,
+)
+
+slow_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ----------------------------------------------------------------------
+# Topology invariants
+# ----------------------------------------------------------------------
+class TestTopologyProperties:
+    @slow_settings
+    @given(
+        d=st.integers(min_value=2, max_value=6),
+        lift=st.integers(min_value=2, max_value=8),
+    )
+    def test_xpander_regular_and_connected(self, d, lift):
+        t = xpander(d, lift, 1)
+        assert all(deg == d for _, deg in t.graph.degree())
+        assert t.is_connected()
+
+    @slow_settings
+    @given(
+        n=st.integers(min_value=6, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_jellyfish_port_budget_never_exceeded(self, n, seed):
+        r = min(4, n - 1)
+        if (n * r) % 2:
+            n += 1
+        t = jellyfish(n, r, 2, seed=seed)
+        for s in t.switches:
+            assert t.network_degree(s) <= r
+
+    @slow_settings
+    @given(
+        n=st.integers(min_value=2, max_value=200),
+        d=st.integers(min_value=2, max_value=30),
+    )
+    def test_moore_bound_at_least_one(self, n, d):
+        assert moore_bound_mean_distance(n, d) >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Traffic invariants
+# ----------------------------------------------------------------------
+class TestTrafficProperties:
+    @slow_settings
+    @given(
+        fraction=st.floats(min_value=0.15, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_permutation_tm_always_hose_feasible(self, fraction, seed):
+        t = xpander(4, 6, 3)
+        tm = permutation_tm(t.tors, 3, fraction=fraction, seed=seed)
+        tm.validate_hose(t.servers_per_switch)
+
+    @slow_settings
+    @given(
+        fraction=st.floats(min_value=0.15, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_a2a_tm_always_hose_feasible(self, fraction, seed):
+        t = xpander(4, 6, 3)
+        tm = all_to_all_tm(t.tors, 3, fraction=fraction, seed=seed)
+        tm.validate_hose(t.servers_per_switch)
+
+    @slow_settings
+    @given(
+        fraction=st.floats(min_value=0.2, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    def test_longest_matching_is_perfect_matching(self, fraction, seed):
+        t = jellyfish(14, 4, 2, seed=0)
+        tm = longest_matching_tm(t, fraction=fraction, seed=seed)
+        outs = [s for s, _ in tm.demands]
+        ins = [d for _, d in tm.demands]
+        assert len(outs) == len(set(outs))
+        assert len(ins) == len(set(ins))
+
+    @slow_settings
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=1, max_value=1e8),
+                st.floats(min_value=0.01, max_value=0.99),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_empirical_cdf_samples_within_support(self, points, seed):
+        sizes = sorted({round(s) for s, _ in points} | {1.0, 1e9})
+        probs = sorted(p for _, p in points)
+        cdf_points = (
+            [(sizes[0], 0.0)]
+            + list(zip(sizes[1:-1], probs[: len(sizes) - 2]))
+            + [(sizes[-1], 1.0)]
+        )
+        d = EmpiricalCDF(cdf_points)
+        rng = random.Random(seed)
+        for _ in range(50):
+            s = d.sample(rng)
+            assert 1 <= s <= sizes[-1] + 1
+
+    @slow_settings
+    @given(
+        shape=st.floats(min_value=1.01, max_value=3.0),
+        mean=st.floats(min_value=1e3, max_value=1e7),
+    )
+    def test_pareto_untruncated_mean_solved_exactly(self, shape, mean):
+        d = ParetoFlowSizes(shape=shape, mean_bytes=mean, cap_bytes=None)
+        assert d.mean() == pytest.approx(mean, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Throughput invariants
+# ----------------------------------------------------------------------
+class TestThroughputProperties:
+    @slow_settings
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_lp_below_upper_bound_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(6, 14)
+        g = nx.gnp_random_graph(n, 0.5, seed=seed)
+        if not nx.is_connected(g):
+            return
+        nx.set_edge_attributes(g, 1.0, "capacity")
+        topo = Topology("rand", g, {v: 1 for v in g.nodes()})
+        tm = permutation_tm(topo.tors, 1, fraction=1.0, seed=seed)
+        if tm.num_flows == 0:
+            return
+        t = max_concurrent_throughput(topo, tm).throughput
+        assert t <= tm_throughput_upper_bound(topo, tm) + 1e-6
+
+    @slow_settings
+    @given(
+        alpha=st.floats(min_value=0.05, max_value=1.0),
+        xs=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=10
+        ),
+    )
+    def test_tp_curve_bounded_and_antitone(self, alpha, xs):
+        xs = sorted(xs)
+        curve = tp_curve(alpha, xs)
+        assert all(0 < v <= 1 for v in curve)
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    @slow_settings
+    @given(
+        k=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_k_shortest_paths_sorted_and_simple(self, k, seed):
+        g = nx.gnp_random_graph(10, 0.4, seed=seed)
+        if not nx.has_path(g, 0, 9) if 9 in g else True:
+            return
+        if 0 not in g or 9 not in g or not nx.has_path(g, 0, 9):
+            return
+        paths = k_shortest_paths(g, 0, 9, k)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        for p in paths:
+            assert len(p) == len(set(p))
+
+
+# ----------------------------------------------------------------------
+# Max-min fairness invariants
+# ----------------------------------------------------------------------
+class TestFairshareProperties:
+    @slow_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        nflows=st.integers(min_value=1, max_value=12),
+    )
+    def test_no_link_oversubscribed_and_work_conserving(self, seed, nflows):
+        rng = random.Random(seed)
+        arcs = [(i, i + 1) for i in range(5)]
+        caps = {a: rng.uniform(1, 10) for a in arcs}
+        paths = {}
+        for f in range(nflows):
+            start = rng.randrange(0, 5)
+            end = rng.randrange(start + 1, 6)
+            paths[f] = arcs[start:end]
+        rates = max_min_allocation(paths, caps)
+        # Capacity respected on every arc.
+        for a in arcs:
+            load = sum(rates[f] for f, p in paths.items() if a in p)
+            assert load <= caps[a] + 1e-6
+        # Every flow is bottlenecked: some arc on its path is saturated.
+        for f, p in paths.items():
+            saturated = any(
+                sum(rates[g] for g, q in paths.items() if a in q)
+                >= caps[a] - 1e-6
+                for a in p
+            )
+            assert saturated
+
+
+# ----------------------------------------------------------------------
+# Engine and stats invariants
+# ----------------------------------------------------------------------
+class TestSimProperties:
+    @slow_settings
+    @given(delays=st.lists(st.floats(min_value=0, max_value=10), max_size=30))
+    def test_engine_processes_in_time_order(self, delays):
+        e = Engine()
+        fired = []
+        for d in delays:
+            e.schedule(d, fired.append, d)
+        e.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @slow_settings
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100
+        ),
+        pct=st.floats(min_value=0, max_value=100),
+    )
+    def test_percentile_within_range(self, values, pct):
+        p = percentile(values, pct)
+        assert min(values) <= p <= max(values)
+        assert p in values

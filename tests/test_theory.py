@@ -1,0 +1,120 @@
+"""Empirical checks of the paper's theory (§2): Observation 1, Lemma 2.2 /
+Theorem 2.1 (no super-proportional throughput scaling), and the §4.1 toy
+example."""
+
+import pytest
+
+from repro.topologies import (
+    fattree,
+    jellyfish,
+    oversubscribed_fattree,
+    restricted_dynamic_throughput,
+    unrestricted_dynamic_throughput,
+    xpander,
+)
+from repro.topologies.dynamic import moore_bound_mean_distance
+from repro.throughput import max_concurrent_throughput
+from repro.traffic import TrafficMatrix, all_to_all_tm, permutation_tm
+from repro.throughput.bounds import best_static_throughput_bound
+
+
+class TestObservation1:
+    """An x-capacity fat-tree caps at x throughput for a 2/k-server TM."""
+
+    @pytest.mark.parametrize("x", [0.25, 0.5, 0.75])
+    def test_pod_pair_limited_to_core_fraction(self, x):
+        k = 4
+        ft = oversubscribed_fattree(k, x)
+        pod_a = ft.edge_switches_in_pod(0)
+        pod_b = ft.edge_switches_in_pod(1)
+        tm = TrafficMatrix(
+            {(a, b): float(k // 2) for a, b in zip(pod_a, pod_b)}
+        )
+        res = max_concurrent_throughput(ft.topology, tm)
+        assert res.per_server == pytest.approx(x, abs=0.02)
+
+    def test_involves_only_2_over_k_servers(self):
+        k = 4
+        ft = fattree(k)
+        two_pods_servers = 2 * (k // 2) * (k // 2)
+        assert two_pods_servers / ft.topology.num_servers == pytest.approx(2 / k)
+
+    def test_full_fattree_unaffected(self):
+        k = 4
+        ft = fattree(k)
+        pod_a = ft.edge_switches_in_pod(0)
+        pod_b = ft.edge_switches_in_pod(1)
+        tm = TrafficMatrix(
+            {(a, b): float(k // 2) for a, b in zip(pod_a, pod_b)}
+        )
+        res = max_concurrent_throughput(ft.topology, tm)
+        assert res.per_server == pytest.approx(1.0)
+
+
+class TestLemma22:
+    """If G supports throughput t on permutations over an x fraction, it
+    supports ~xt on full permutations — so throughput cannot scale more
+    than proportionally (Theorem 2.1).  Verified empirically: for random
+    permutation TMs, t(x) <= t(1) / x within tolerance."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_no_super_proportional_scaling_jellyfish(self, seed):
+        jf = jellyfish(16, 4, 3, seed=seed)
+        full = min(
+            max_concurrent_throughput(
+                jf, permutation_tm(jf.tors, 3, 1.0, seed=s)
+            ).throughput
+            for s in range(3)
+        )
+        for x in (0.25, 0.5):
+            t_x = max_concurrent_throughput(
+                jf, permutation_tm(jf.tors, 3, x, seed=seed)
+            ).throughput
+            # Lemma 2.2: t(x) * x <= t(1) -- up to the worst-case-TM gap
+            # (we sample permutations rather than minimize over them).
+            assert t_x * x <= full * 1.3
+
+    def test_scaling_exact_on_symmetric_ring(self):
+        import networkx as nx
+        from repro.topologies import Topology
+
+        # On a ring, a diametric permutation's throughput scales exactly
+        # proportionally with the number of participating pairs.
+        n = 8
+        g = nx.cycle_graph(n)
+        nx.set_edge_attributes(g, 1.0, "capacity")
+        topo = Topology("ring", g, {v: 1 for v in g.nodes()})
+        # One diametric pair (distance 4, both ring halves available).
+        t1 = max_concurrent_throughput(
+            topo, TrafficMatrix({(0, 4): 1.0})
+        ).throughput
+        # All four diametric pairs at once.
+        t4 = max_concurrent_throughput(
+            topo,
+            TrafficMatrix({(i, i + 4): 1.0 for i in range(4)}),
+        ).throughput
+        assert t4 == pytest.approx(t1 / 4)
+
+
+class TestToyExample:
+    """Paper §4.1: 54 switches, 12 ports (6 servers), 9 active racks."""
+
+    def test_restricted_dynamic_bound_is_80_percent(self):
+        assert restricted_dynamic_throughput(9, 6, 6) == pytest.approx(0.8)
+
+    def test_unrestricted_dynamic_achieves_full(self):
+        assert unrestricted_dynamic_throughput(6, 6) == 1.0
+
+    def test_equal_cost_jellyfish_beats_restricted_dynamic(self):
+        # Jellyfish with 9 network ports per switch (delta = 1.5 cost
+        # parity with the 6-port dynamic design) supports all-to-all
+        # among 9 random racks at full throughput.
+        jf = jellyfish(54, 9, 6, seed=1, strict=True)
+        tm = all_to_all_tm(jf.tors, 6, fraction=9 / 54, seed=0)
+        res = max_concurrent_throughput(jf, tm)
+        assert res.per_server > 0.95
+        assert res.per_server > restricted_dynamic_throughput(9, 6, 6)
+
+    def test_moore_bound_toy_numbers(self):
+        assert moore_bound_mean_distance(9, 6) == pytest.approx(1.25)
+        assert best_static_throughput_bound(9, 6, 6) == pytest.approx(0.8)

@@ -1,0 +1,84 @@
+"""Tests for adversarial TM search and the §2 conjecture probes."""
+
+import pytest
+
+from repro.throughput import max_concurrent_throughput
+from repro.throughput.adversarial import (
+    adversarial_matching_tm,
+    conjecture_2_4_evidence,
+    random_hose_tm,
+)
+from repro.traffic import longest_matching_tm
+from repro.topologies import jellyfish, xpander
+
+
+@pytest.fixture(scope="module")
+def jf():
+    return jellyfish(14, 4, 3, seed=0)
+
+
+class TestRandomHoseTm:
+    def test_hose_feasible(self, jf):
+        tm = random_hose_tm(jf.tors, 3, seed=1)
+        tm.validate_hose({t: 3 for t in jf.tors})
+
+    def test_saturates_hose(self, jf):
+        tm = random_hose_tm(jf.tors, 3, seed=1)
+        for t in jf.tors:
+            assert tm.egress(t) == pytest.approx(3.0, rel=1e-3)
+            assert tm.ingress(t) == pytest.approx(3.0, rel=1e-3)
+
+    def test_dense(self, jf):
+        tm = random_hose_tm(jf.tors, 3, seed=2)
+        n = len(jf.tors)
+        assert tm.num_flows > 0.8 * n * (n - 1)
+
+    def test_deterministic(self, jf):
+        a = random_hose_tm(jf.tors, 3, seed=3)
+        b = random_hose_tm(jf.tors, 3, seed=3)
+        assert a.demands == b.demands
+
+    def test_too_few_tors_rejected(self):
+        with pytest.raises(ValueError):
+            random_hose_tm([1], 2)
+
+
+class TestAdversarialMatching:
+    def test_never_worse_than_longest_matching(self, jf):
+        base_tm = longest_matching_tm(jf, fraction=1.0, seed=0)
+        base_t = max_concurrent_throughput(jf, base_tm).throughput
+        _, adv_t = adversarial_matching_tm(jf, fraction=1.0, iterations=3, seed=0)
+        assert adv_t <= base_t + 1e-9
+
+    def test_returns_valid_tm(self, jf):
+        tm, t = adversarial_matching_tm(jf, fraction=0.5, iterations=2, seed=1)
+        tm.validate_hose({s: 3 for s in jf.tors})
+        assert t > 0
+
+    def test_single_iteration_equals_longest_matching(self, jf):
+        tm, t = adversarial_matching_tm(jf, fraction=1.0, iterations=1, seed=0)
+        base = max_concurrent_throughput(
+            jf, longest_matching_tm(jf, fraction=1.0, seed=0)
+        ).throughput
+        assert t == pytest.approx(base)
+
+    def test_invalid_iterations(self, jf):
+        with pytest.raises(ValueError):
+            adversarial_matching_tm(jf, iterations=0)
+
+
+class TestConjecture24:
+    def test_evidence_on_expander(self):
+        xp = xpander(4, 4, 2)
+        ev = conjecture_2_4_evidence(xp, servers_per_tor=2, trials=3, seed=0)
+        assert len(ev.permutation_samples) == 3
+        assert len(ev.hose_samples) == 3
+        # The paper conjectures permutations are worst-case; random
+        # sampling should at least not refute it on small expanders.
+        assert ev.consistent
+
+    def test_worsts_are_minima(self):
+        xp = xpander(4, 4, 2)
+        ev = conjecture_2_4_evidence(xp, servers_per_tor=2, trials=2, seed=1)
+        assert ev.worst_permutation == min(ev.permutation_samples)
+        assert ev.worst_hose == min(ev.hose_samples)

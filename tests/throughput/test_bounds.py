@@ -1,0 +1,64 @@
+"""Tests for throughput upper bounds."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies import Topology, jellyfish
+from repro.traffic import TrafficMatrix, longest_matching_tm
+from repro.throughput import (
+    best_static_throughput_bound,
+    max_concurrent_throughput,
+    tm_throughput_upper_bound,
+)
+
+
+class TestTmUpperBound:
+    def test_bounds_exact_lp(self):
+        jf = jellyfish(16, 4, 2, seed=0)
+        tm = longest_matching_tm(jf, fraction=1.0, seed=0)
+        exact = max_concurrent_throughput(jf, tm).throughput
+        bound = tm_throughput_upper_bound(jf, tm)
+        assert exact <= bound + 1e-9
+
+    def test_tight_on_line(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=1.0)
+        topo = Topology("edge", g, {0: 1, 1: 1})
+        tm = TrafficMatrix({(0, 1): 1.0, (1, 0): 1.0})
+        # Bound: 2 capacity / (2 flows * distance 1) = 1; LP agrees.
+        assert tm_throughput_upper_bound(topo, tm) == pytest.approx(1.0)
+        assert max_concurrent_throughput(topo, tm).throughput == pytest.approx(1.0)
+
+    def test_empty_tm_infinite(self):
+        jf = jellyfish(8, 3, 1, seed=0)
+        assert tm_throughput_upper_bound(jf, TrafficMatrix({})) == float("inf")
+
+    def test_disconnected_zero(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=1.0)
+        g.add_edge(2, 3, capacity=1.0)
+        topo = Topology("disc", g, {0: 1, 2: 1})
+        assert tm_throughput_upper_bound(topo, TrafficMatrix({(0, 2): 1.0})) == 0.0
+
+
+class TestBestStaticBound:
+    def test_toy_example(self):
+        # Paper §4.1: best static topology over 9 racks with 6 network
+        # ports and 6 servers each tops out at 80%.
+        assert best_static_throughput_bound(9, 6, 6) == pytest.approx(0.8)
+
+    def test_clamped_to_one(self):
+        assert best_static_throughput_bound(3, 10, 1) == 1.0
+
+    def test_no_ports_zero(self):
+        assert best_static_throughput_bound(10, 0, 4) == 0.0
+
+    def test_bounds_real_static_networks(self):
+        # A Jellyfish with the same degree/servers cannot beat the bound.
+        jf = jellyfish(12, 5, 3, seed=1)
+        from repro.traffic import all_to_all_tm
+
+        tm = all_to_all_tm(jf.tors, 3, fraction=1.0, seed=0)
+        exact = max_concurrent_throughput(jf, tm).per_server
+        bound = best_static_throughput_bound(12, 5, 3)
+        assert exact <= bound + 1e-6

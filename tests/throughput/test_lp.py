@@ -1,0 +1,127 @@
+"""Tests for the max-concurrent-flow LPs."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies import Topology, fattree, jellyfish, oversubscribed_fattree
+from repro.traffic import TrafficMatrix, permutation_tm
+from repro.throughput import max_concurrent_throughput, path_throughput
+
+
+def line_topology(capacity=1.0):
+    g = nx.Graph()
+    g.add_edge(0, 1, capacity=capacity)
+    g.add_edge(1, 2, capacity=capacity)
+    return Topology("line", g, {0: 1, 1: 1, 2: 1})
+
+
+def ring(n, capacity=1.0):
+    g = nx.cycle_graph(n)
+    nx.set_edge_attributes(g, capacity, "capacity")
+    return Topology(f"ring{n}", g, {v: 1 for v in g.nodes()})
+
+
+class TestExactLPSmallCases:
+    def test_single_demand_single_path(self):
+        topo = line_topology()
+        res = max_concurrent_throughput(topo, TrafficMatrix({(0, 2): 1.0}))
+        assert res.throughput == pytest.approx(1.0)
+
+    def test_demand_above_capacity_scales_down(self):
+        topo = line_topology()
+        res = max_concurrent_throughput(topo, TrafficMatrix({(0, 2): 4.0}))
+        assert res.throughput == pytest.approx(0.25)
+
+    def test_two_paths_on_ring(self):
+        # On a 4-ring, 0->2 can split across both directions: capacity 2.
+        topo = ring(4)
+        res = max_concurrent_throughput(topo, TrafficMatrix({(0, 2): 1.0}))
+        assert res.throughput == pytest.approx(2.0)
+
+    def test_contending_demands_share(self):
+        topo = line_topology()
+        tm = TrafficMatrix({(0, 2): 1.0, (1, 2): 1.0})
+        res = max_concurrent_throughput(topo, tm)
+        # Link (1,2) carries both demands: each gets half.
+        assert res.throughput == pytest.approx(0.5)
+
+    def test_empty_tm(self):
+        res = max_concurrent_throughput(line_topology(), TrafficMatrix({}))
+        assert res.per_server == 1.0
+
+    def test_link_utilization_reported(self):
+        topo = line_topology()
+        res = max_concurrent_throughput(topo, TrafficMatrix({(0, 2): 1.0}))
+        assert res.link_utilization[(0, 1)] == pytest.approx(1.0)
+        assert res.link_utilization[(1, 0)] == pytest.approx(0.0)
+
+    def test_capacity_attribute_respected(self):
+        topo = line_topology(capacity=2.0)
+        res = max_concurrent_throughput(topo, TrafficMatrix({(0, 2): 1.0}))
+        assert res.throughput == pytest.approx(2.0)
+
+    def test_disconnected_demand_zero(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=1.0)
+        g.add_node(2)
+        g.add_edge(2, 3, capacity=1.0)
+        topo = Topology("disc", g, {0: 1, 2: 1})
+        res = max_concurrent_throughput(topo, TrafficMatrix({(0, 2): 1.0}))
+        assert res.throughput == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFatTreeProperties:
+    def test_full_fattree_nonblocking(self):
+        ft = fattree(4)
+        tm = permutation_tm(ft.topology.tors, 2, fraction=1.0, seed=0)
+        res = max_concurrent_throughput(ft.topology, tm)
+        assert res.per_server == pytest.approx(1.0)
+
+    def test_observation_1(self):
+        """Paper Observation 1: an x-capacity fat-tree is pinned to x
+        throughput by a pod-to-pod TM touching only 2/k of the servers."""
+        k, x = 4, 0.5
+        ov = oversubscribed_fattree(k, x)
+        pod_a = ov.edge_switches_in_pod(0)
+        pod_b = ov.edge_switches_in_pod(1)
+        demands = {
+            (a, b): float(k // 2) for a, b in zip(pod_a, pod_b)
+        }
+        res = max_concurrent_throughput(ov.topology, TrafficMatrix(demands))
+        assert res.per_server == pytest.approx(x, abs=0.02)
+
+
+class TestPathLP:
+    def test_matches_exact_on_line(self):
+        topo = line_topology()
+        tm = TrafficMatrix({(0, 2): 2.0})
+        exact = max_concurrent_throughput(topo, tm)
+        pathed = path_throughput(topo, tm, k=4)
+        assert pathed.throughput == pytest.approx(exact.throughput)
+
+    def test_lower_bounds_exact(self):
+        jf = jellyfish(16, 4, 2, seed=0)
+        tm = permutation_tm(jf.tors, 2, fraction=1.0, seed=1)
+        exact = max_concurrent_throughput(jf, tm)
+        pathed = path_throughput(jf, tm, k=4)
+        assert pathed.throughput <= exact.throughput + 1e-6
+
+    def test_more_paths_never_worse(self):
+        jf = jellyfish(16, 4, 2, seed=0)
+        tm = permutation_tm(jf.tors, 2, fraction=1.0, seed=1)
+        t2 = path_throughput(jf, tm, k=2).throughput
+        t8 = path_throughput(jf, tm, k=8).throughput
+        assert t8 >= t2 - 1e-9
+
+    def test_disconnected_returns_zero(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=1.0)
+        g.add_node(2)
+        g.add_edge(2, 3, capacity=1.0)
+        topo = Topology("disc", g, {0: 1, 2: 1})
+        res = path_throughput(topo, TrafficMatrix({(0, 2): 1.0}), k=2)
+        assert res.throughput == 0.0
+
+    def test_empty_tm(self):
+        res = path_throughput(line_topology(), TrafficMatrix({}), k=2)
+        assert res.per_server == 1.0

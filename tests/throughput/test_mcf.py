@@ -1,0 +1,68 @@
+"""Tests for the Garg–Könemann FPTAS against the exact LP."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies import Topology, jellyfish, xpander
+from repro.traffic import TrafficMatrix, longest_matching_tm, permutation_tm
+from repro.throughput import approx_concurrent_throughput, max_concurrent_throughput
+
+
+def line_topology():
+    g = nx.Graph()
+    g.add_edge(0, 1, capacity=1.0)
+    g.add_edge(1, 2, capacity=1.0)
+    return Topology("line", g, {0: 1, 1: 1, 2: 1})
+
+
+class TestFptasAccuracy:
+    def test_single_path(self):
+        res = approx_concurrent_throughput(
+            line_topology(), TrafficMatrix({(0, 2): 1.0}), epsilon=0.05
+        )
+        assert res.throughput == pytest.approx(1.0, rel=0.15)
+
+    def test_never_exceeds_exact(self):
+        jf = jellyfish(16, 4, 2, seed=0)
+        tm = permutation_tm(jf.tors, 2, fraction=1.0, seed=0)
+        exact = max_concurrent_throughput(jf, tm).throughput
+        approx = approx_concurrent_throughput(jf, tm, epsilon=0.05).throughput
+        assert approx <= exact + 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_within_guarantee(self, seed):
+        xp = xpander(4, 4, 2)
+        tm = longest_matching_tm(xp, fraction=0.5, seed=seed)
+        exact = max_concurrent_throughput(xp, tm).throughput
+        approx = approx_concurrent_throughput(xp, tm, epsilon=0.05).throughput
+        # Garg-Könemann guarantees (1 - O(eps)); allow generous slack.
+        assert approx >= exact * 0.8
+
+    def test_smaller_epsilon_tightens(self):
+        jf = jellyfish(16, 4, 2, seed=1)
+        tm = permutation_tm(jf.tors, 2, fraction=1.0, seed=2)
+        exact = max_concurrent_throughput(jf, tm).throughput
+        loose = approx_concurrent_throughput(jf, tm, epsilon=0.3).throughput
+        tight = approx_concurrent_throughput(jf, tm, epsilon=0.03).throughput
+        assert abs(tight - exact) <= abs(loose - exact) + 0.05 * exact
+
+
+class TestFptasEdgeCases:
+    def test_empty_tm(self):
+        res = approx_concurrent_throughput(line_topology(), TrafficMatrix({}))
+        assert res.per_server == 1.0
+
+    def test_disconnected_zero(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=1.0)
+        g.add_node(2)
+        g.add_edge(2, 3, capacity=1.0)
+        topo = Topology("disc", g, {0: 1, 2: 1})
+        res = approx_concurrent_throughput(topo, TrafficMatrix({(0, 2): 1.0}))
+        assert res.throughput == 0.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            approx_concurrent_throughput(
+                line_topology(), TrafficMatrix({(0, 2): 1.0}), epsilon=0.9
+            )

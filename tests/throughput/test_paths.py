@@ -1,0 +1,87 @@
+"""Tests for path utilities."""
+
+import networkx as nx
+import pytest
+
+from repro.throughput import all_shortest_paths, ecmp_next_hops, k_shortest_paths, path_edges
+
+
+@pytest.fixture()
+def grid():
+    return nx.grid_2d_graph(3, 3)
+
+
+class TestKShortestPaths:
+    def test_returns_k(self):
+        g = nx.complete_graph(5)
+        paths = k_shortest_paths(g, 0, 4, 3)
+        assert len(paths) == 3
+
+    def test_sorted_by_length(self):
+        g = nx.cycle_graph(5)
+        paths = k_shortest_paths(g, 0, 2, 2)
+        assert len(paths[0]) <= len(paths[1])
+        assert paths[0] == [0, 1, 2]
+
+    def test_paths_are_simple(self):
+        g = nx.complete_graph(6)
+        for p in k_shortest_paths(g, 0, 5, 10):
+            assert len(p) == len(set(p))
+
+    def test_no_path(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(2)
+        assert k_shortest_paths(g, 0, 2, 3) == []
+
+    def test_invalid_k(self):
+        g = nx.complete_graph(3)
+        with pytest.raises(ValueError):
+            k_shortest_paths(g, 0, 1, 0)
+
+
+class TestAllShortestPaths:
+    def test_counts_on_four_cycle(self):
+        g = nx.cycle_graph(4)
+        assert len(all_shortest_paths(g, 0, 2)) == 2
+
+    def test_limit_respected(self):
+        g = nx.complete_bipartite_graph(4, 4)
+        # 0 and 1 are on the same side: 4 two-hop paths.
+        assert len(all_shortest_paths(g, 0, 1, limit=2)) == 2
+
+    def test_no_path(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        assert all_shortest_paths(g, 0, 1) == []
+
+
+class TestEcmpNextHops:
+    def test_distance_decreasing(self):
+        g = nx.random_regular_graph(3, 12, seed=0)
+        dst = 0
+        dist = nx.single_source_shortest_path_length(g, dst)
+        table = ecmp_next_hops(g, dst)
+        for v, hops in table.items():
+            if v == dst:
+                assert hops == []
+                continue
+            for w in hops:
+                assert dist[w] == dist[v] - 1
+
+    def test_all_valid_hops_included(self):
+        g = nx.cycle_graph(4)
+        table = ecmp_next_hops(g, 2)
+        assert sorted(table[0]) == [1, 3]  # both directions equal length
+
+    def test_deterministic_order(self):
+        g = nx.complete_graph(5)
+        assert ecmp_next_hops(g, 0) == ecmp_next_hops(g, 0)
+
+
+class TestPathEdges:
+    def test_basic(self):
+        assert path_edges([1, 2, 3]) == [(1, 2), (2, 3)]
+
+    def test_single_node(self):
+        assert path_edges([7]) == []

@@ -1,0 +1,130 @@
+"""Tests for the Topology abstraction."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies import Topology, TopologyError
+
+
+def triangle(capacity: float = 1.0) -> Topology:
+    g = nx.Graph()
+    g.add_edge(0, 1, capacity=capacity)
+    g.add_edge(1, 2, capacity=capacity)
+    g.add_edge(0, 2, capacity=capacity)
+    return Topology("tri", g, {0: 2, 1: 2, 2: 0})
+
+
+class TestConstruction:
+    def test_counts(self):
+        t = triangle()
+        assert t.num_switches == 3
+        assert t.num_links == 3
+        assert t.num_servers == 4
+
+    def test_default_capacity_filled(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        t = Topology("x", g)
+        assert t.capacity(0, 1) == 1.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology("empty", nx.Graph())
+
+    def test_server_on_missing_switch_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        with pytest.raises(TopologyError, match="not in graph"):
+            Topology("x", g, {7: 3})
+
+    def test_negative_server_count_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        with pytest.raises(TopologyError, match="negative"):
+            Topology("x", g, {0: -1})
+
+    def test_nonpositive_capacity_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=0.0)
+        with pytest.raises(TopologyError, match="capacity"):
+            Topology("x", g)
+
+
+class TestAccessors:
+    def test_tors_excludes_serverless_switches(self):
+        t = triangle()
+        assert t.tors == [0, 1]
+
+    def test_servers_at(self):
+        t = triangle()
+        assert t.servers_at(0) == 2
+        assert t.servers_at(2) == 0
+        assert t.servers_at(99) == 0
+
+    def test_network_degree(self):
+        t = triangle()
+        assert t.network_degree(0) == 2
+
+    def test_total_ports(self):
+        t = triangle()
+        # 3 cables * 2 + 4 servers
+        assert t.total_ports() == 10
+
+    def test_connectivity(self):
+        t = triangle()
+        assert t.is_connected()
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert not Topology("disc", g).is_connected()
+
+    def test_diameter_and_average_path(self):
+        t = triangle()
+        assert t.diameter() == 1
+        assert t.average_shortest_path_length() == 1.0
+
+
+class TestPortBudget:
+    def test_within_budget(self):
+        t = triangle()
+        t.validate_port_budget(4)  # degree 2 + 2 servers
+
+    def test_over_budget_raises(self):
+        t = triangle()
+        with pytest.raises(TopologyError, match="switch 0"):
+            t.validate_port_budget(3)
+
+
+class TestServerIds:
+    def test_dense_and_grouped_by_tor(self):
+        t = triangle()
+        ids = list(t.iter_server_ids())
+        assert ids == [(0, 0), (1, 0), (2, 1), (3, 1)]
+
+    def test_server_to_tor_roundtrip(self):
+        t = triangle()
+        s2t = t.server_to_tor()
+        t2s = t.tor_to_servers()
+        for server, tor in s2t.items():
+            assert server in t2s[tor]
+
+    def test_deterministic_across_calls(self):
+        t = triangle()
+        assert list(t.iter_server_ids()) == list(t.iter_server_ids())
+
+
+class TestMutation:
+    def test_attach_servers_uniformly(self):
+        t = triangle()
+        t.attach_servers_uniformly(5, [2])
+        assert t.servers_at(2) == 5
+
+    def test_attach_to_missing_switch_raises(self):
+        t = triangle()
+        with pytest.raises(TopologyError):
+            t.attach_servers_uniformly(1, [42])
+
+    def test_attach_negative_raises(self):
+        t = triangle()
+        with pytest.raises(TopologyError):
+            t.attach_servers_uniformly(-1, [0])

@@ -1,0 +1,105 @@
+"""Tests for the cabling/layout module (paper Fig 3)."""
+
+import pytest
+
+from repro.topologies import (
+    BUNDLING_DISCOUNT,
+    CablingReport,
+    FloorPlan,
+    TopologyError,
+    fattree,
+    fattree_cabling,
+    flat_cabling,
+    jellyfish,
+    xpander,
+    xpander_cabling,
+)
+
+
+class TestFloorPlan:
+    def test_grid_layout(self):
+        plan = FloorPlan.grid(6, columns=3)
+        assert plan.positions[0] == (0, 0)
+        assert plan.positions[5] == (1, 2)
+
+    def test_distance_symmetric(self):
+        plan = FloorPlan.grid(9)
+        assert plan.distance_m(0, 8) == plan.distance_m(8, 0)
+
+    def test_distance_includes_slack(self):
+        plan = FloorPlan.grid(4)
+        assert plan.distance_m(0, 0) == pytest.approx(4.0)  # slack only
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            FloorPlan.grid(0)
+
+
+class TestXpanderCabling:
+    def test_one_bundle_per_meta_node_pair(self):
+        d, lift = 5, 6
+        xp = xpander(d, lift, 2)
+        report = xpander_cabling(xp)
+        meta_pairs = (d + 1) * d // 2
+        assert report.num_bundles == meta_pairs
+        assert report.cables_per_bundle == pytest.approx(lift)
+        assert report.bundled_fraction == 1.0
+
+    def test_cable_count_matches_topology(self):
+        xp = xpander(4, 5, 2)
+        assert xpander_cabling(xp).num_cables == xp.num_links
+
+    def test_requires_meta_node_annotations(self):
+        jf = jellyfish(12, 4, 2, seed=0)
+        with pytest.raises(TopologyError, match="meta_node"):
+            xpander_cabling(jf)
+
+
+class TestFatTreeCabling:
+    def test_fully_bundled(self):
+        ft = fattree(6)
+        report = fattree_cabling(ft)
+        assert report.bundled_fraction == 1.0
+        assert report.num_cables == ft.topology.num_links
+
+    def test_bundle_structure(self):
+        k = 6
+        ft = fattree(k)
+        report = fattree_cabling(ft)
+        # One intra-pod bundle per pod plus one (pod, core-group) bundle
+        # per pod and group.
+        assert report.num_bundles == k + k * (k // 2)
+
+
+class TestFlatCabling:
+    def test_random_graph_mostly_singletons(self):
+        jf = jellyfish(30, 6, 2, seed=0)
+        report = flat_cabling(jf)
+        # A sparse random graph virtually never has parallel rack pairs.
+        assert report.bundled_fraction < 0.05
+        assert report.num_bundles == jf.num_links
+
+    def test_cabling_friendliness_comparison(self):
+        """The paper's Fig 3 argument: Xpander bundles, Jellyfish can't."""
+        xp = xpander(5, 6, 2)  # 36 switches
+        jf = jellyfish(36, 5, 2, seed=1)
+        xp_report = xpander_cabling(xp)
+        jf_report = flat_cabling(jf)
+        assert xp_report.cables_per_bundle > 3 * jf_report.cables_per_bundle
+
+
+class TestCostModel:
+    def test_bundling_discount_applied(self):
+        r = CablingReport("x", num_cables=10, num_bundles=2,
+                          total_length_m=100.0, bundled_fraction=1.0)
+        assert r.fiber_cost(1.0) == pytest.approx(100.0 * (1 - BUNDLING_DISCOUNT))
+
+    def test_unbundled_pays_full(self):
+        r = CablingReport("x", num_cables=10, num_bundles=10,
+                          total_length_m=100.0, bundled_fraction=0.0)
+        assert r.fiber_cost(1.0) == pytest.approx(100.0)
+
+    def test_xpander_fiber_cheaper_than_jellyfish(self):
+        xp = xpander(5, 6, 2)
+        jf = jellyfish(36, 5, 2, seed=1)
+        assert xpander_cabling(xp).fiber_cost() < flat_cabling(jf).fiber_cost()

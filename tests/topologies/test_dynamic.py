@@ -1,0 +1,105 @@
+"""Tests for the dynamic-network models (paper §4)."""
+
+import math
+
+import pytest
+
+from repro.topologies import (
+    DynamicNetworkModel,
+    equal_cost_dynamic_ports,
+    moore_bound_mean_distance,
+    restricted_dynamic_throughput,
+    unrestricted_dynamic_throughput,
+)
+
+
+class TestMooreBound:
+    def test_complete_graph_case(self):
+        # Degree >= n-1: everyone at distance 1.
+        assert moore_bound_mean_distance(5, 4) == 1.0
+
+    def test_toy_example_value(self):
+        # Paper §4.1: 9 racks, degree 6 -> (6*1 + 2*2)/8 = 1.25.
+        assert moore_bound_mean_distance(9, 6) == pytest.approx(1.25)
+
+    def test_grows_with_nodes(self):
+        assert moore_bound_mean_distance(100, 4) > moore_bound_mean_distance(20, 4)
+
+    def test_shrinks_with_degree(self):
+        assert moore_bound_mean_distance(50, 10) < moore_bound_mean_distance(50, 4)
+
+    def test_trivial_cases(self):
+        assert moore_bound_mean_distance(1, 3) == 0.0
+        assert moore_bound_mean_distance(2, 1) == 1.0
+        assert math.isinf(moore_bound_mean_distance(3, 1))
+        assert math.isinf(moore_bound_mean_distance(5, 0))
+
+    def test_is_a_lower_bound_for_real_graphs(self):
+        # Any actual degree-r graph has mean distance >= the Moore bound.
+        import networkx as nx
+
+        g = nx.random_regular_graph(4, 30, seed=1)
+        real = nx.average_shortest_path_length(g)
+        assert real >= moore_bound_mean_distance(30, 4) - 1e-9
+
+
+class TestUnrestrictedModel:
+    def test_full_when_ports_match(self):
+        assert unrestricted_dynamic_throughput(8, 8) == 1.0
+
+    def test_ratio_when_oversubscribed(self):
+        assert unrestricted_dynamic_throughput(6, 8) == pytest.approx(0.75)
+
+    def test_capped_at_line_rate(self):
+        assert unrestricted_dynamic_throughput(16, 8) == 1.0
+
+    def test_no_servers(self):
+        assert unrestricted_dynamic_throughput(4, 0) == 1.0
+
+
+class TestRestrictedModel:
+    def test_paper_toy_example_80_percent(self):
+        # §4.1: 9 active racks, 6 network ports, 6 servers -> exactly 0.8.
+        assert restricted_dynamic_throughput(9, 6, 6) == pytest.approx(0.8)
+
+    def test_never_exceeds_unrestricted(self):
+        for n in (4, 9, 20, 50):
+            r = restricted_dynamic_throughput(n, 6, 8)
+            assert r <= unrestricted_dynamic_throughput(6, 8) + 1e-12
+
+    def test_degrades_with_more_active_racks(self):
+        values = [restricted_dynamic_throughput(n, 6, 6) for n in (5, 10, 30, 60)]
+        assert values == sorted(values, reverse=True)
+
+    def test_single_rack_full(self):
+        assert restricted_dynamic_throughput(1, 4, 8) == 1.0
+
+
+class TestEqualCost:
+    def test_delta_1_5(self):
+        assert equal_cost_dynamic_ports(9, delta=1.5) == 6
+
+    def test_delta_1_identity(self):
+        assert equal_cost_dynamic_ports(7, delta=1.0) == 7
+
+    def test_delta_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            equal_cost_dynamic_ports(8, delta=0.5)
+
+
+class TestDynamicNetworkModel:
+    def test_unrestricted(self):
+        m = DynamicNetworkModel(num_tors=54, network_ports=6, server_ports=6)
+        assert m.unrestricted_throughput() == 1.0
+
+    def test_restricted_fraction(self):
+        m = DynamicNetworkModel(num_tors=54, network_ports=6, server_ports=6)
+        # 9 of 54 racks active = 1/6 fraction -> the 0.8 toy bound.
+        assert m.restricted_throughput(9 / 54) == pytest.approx(0.8)
+
+    def test_invalid_fraction_rejected(self):
+        m = DynamicNetworkModel(10, 4, 4)
+        with pytest.raises(ValueError):
+            m.restricted_throughput(0.0)
+        with pytest.raises(ValueError):
+            m.restricted_throughput(1.5)

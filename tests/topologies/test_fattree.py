@@ -1,0 +1,116 @@
+"""Tests for fat-tree construction and oversubscription."""
+
+import pytest
+
+from repro.topologies import TopologyError, fattree, oversubscribed_fattree
+from repro.topologies.fattree import AGG, CORE, EDGE
+
+
+class TestFullFatTree:
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_switch_count(self, k):
+        ft = fattree(k)
+        # (k/2)^2 core + k pods * (k/2 agg + k/2 edge) = 5k^2/4
+        assert ft.topology.num_switches == 5 * k * k // 4
+
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_server_count(self, k):
+        ft = fattree(k)
+        assert ft.topology.num_servers == k**3 // 4
+
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_link_count(self, k):
+        ft = fattree(k)
+        # Each of 3 layers contributes k * (k/2)^2 / ... : edge-agg and
+        # agg-core are each k pods * (k/2)*(k/2) links.
+        expected = 2 * k * (k // 2) ** 2
+        assert ft.topology.num_links == expected
+
+    def test_all_switches_use_k_ports(self):
+        k = 4
+        ft = fattree(k)
+        ft.topology.validate_port_budget(k)
+        # Core and agg use exactly k ports as network links.
+        for s in ft.switches_in_layer(CORE):
+            assert ft.topology.network_degree(s) == k
+        for s in ft.switches_in_layer(AGG):
+            assert ft.topology.network_degree(s) == k
+        for s in ft.switches_in_layer(EDGE):
+            assert ft.topology.network_degree(s) == k // 2
+            assert ft.topology.servers_at(s) == k // 2
+
+    def test_connected(self):
+        assert fattree(4).topology.is_connected()
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            fattree(5)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(TopologyError):
+            fattree(0)
+
+    def test_diameter_is_four(self):
+        # ToR -> agg -> core -> agg -> ToR.
+        assert fattree(4).topology.diameter() == 4
+
+    def test_pod_coordinates(self):
+        ft = fattree(4)
+        for pod in range(4):
+            edges = ft.edge_switches_in_pod(pod)
+            assert len(edges) == 2
+            for e in edges:
+                assert ft.pod_of(e) == pod
+
+    def test_custom_servers_per_edge(self):
+        ft = fattree(4, servers_per_edge=5)
+        assert ft.topology.num_servers == 8 * 5
+
+    def test_negative_servers_rejected(self):
+        with pytest.raises(TopologyError):
+            fattree(4, servers_per_edge=-1)
+
+    def test_servers_only_on_edge_layer(self):
+        ft = fattree(6)
+        tors = set(ft.topology.tors)
+        assert tors == set(ft.switches_in_layer(EDGE))
+
+
+class TestOversubscribedFatTree:
+    def test_full_fraction_is_noop(self):
+        ft = oversubscribed_fattree(4, 1.0)
+        assert ft.topology.num_switches == fattree(4).topology.num_switches
+
+    def test_half_core_removed(self):
+        k = 8
+        full_core = (k // 2) ** 2
+        ft = oversubscribed_fattree(k, 0.5)
+        assert len(ft.switches_in_layer(CORE)) == full_core // 2
+
+    def test_removal_spread_across_groups(self):
+        k = 8
+        ft = oversubscribed_fattree(k, 0.5)
+        half = k // 2
+        groups = [0] * half
+        for s in ft.switches_in_layer(CORE):
+            groups[ft.coordinates[s][2] // half] += 1
+        # Every agg group keeps the same number of core switches.
+        assert max(groups) - min(groups) <= 1
+
+    def test_still_connected(self):
+        assert oversubscribed_fattree(8, 0.3).topology.is_connected()
+
+    def test_servers_untouched(self):
+        ft = oversubscribed_fattree(4, 0.5)
+        assert ft.topology.num_servers == 16
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(TopologyError):
+            oversubscribed_fattree(4, 0.0)
+        with pytest.raises(TopologyError):
+            oversubscribed_fattree(4, 1.5)
+
+    def test_at_least_one_core_kept(self):
+        ft = oversubscribed_fattree(4, 0.01)
+        assert len(ft.switches_in_layer(CORE)) >= 1
+        assert ft.topology.is_connected()

@@ -1,0 +1,108 @@
+"""Tests for Jellyfish random regular graphs."""
+
+import pytest
+
+from repro.topologies import TopologyError, jellyfish, random_regular_topology
+
+
+class TestRandomRegularGraph:
+    @pytest.mark.parametrize("n,r", [(10, 3), (20, 5), (32, 6), (50, 7)])
+    def test_connected(self, n, r):
+        g = random_regular_topology(n, r, seed=1)
+        import networkx as nx
+
+        assert nx.is_connected(g)
+
+    @pytest.mark.parametrize("n,r", [(16, 4), (30, 5)])
+    def test_nearly_regular(self, n, r):
+        g = random_regular_topology(n, r, seed=0)
+        degrees = [d for _, d in g.degree()]
+        assert max(degrees) <= r
+        # The incremental construction may strand a handful of ports.
+        assert sum(degrees) >= n * r - 4
+
+    def test_strict_mode_exactly_regular(self):
+        g = random_regular_topology(24, 5, seed=3, strict=True)
+        assert all(d == 5 for _, d in g.degree())
+
+    def test_seed_determinism(self):
+        g1 = random_regular_topology(20, 4, seed=7)
+        g2 = random_regular_topology(20, 4, seed=7)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_different_seeds_differ(self):
+        g1 = random_regular_topology(20, 4, seed=1)
+        g2 = random_regular_topology(20, 4, seed=2)
+        assert sorted(g1.edges()) != sorted(g2.edges())
+
+    def test_degree_ge_n_rejected(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(5, 5)
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(5, 3)
+
+
+class TestJellyfishTopology:
+    def test_servers_attached_everywhere(self):
+        t = jellyfish(16, 4, 3, seed=0)
+        assert t.num_servers == 48
+        assert all(t.servers_at(s) == 3 for s in t.switches)
+
+    def test_no_self_loops_or_multi_edges(self):
+        t = jellyfish(30, 6, 2, seed=5)
+        for u, v in t.graph.edges():
+            assert u != v
+
+    def test_port_budget_respected(self):
+        t = jellyfish(20, 5, 4, seed=2)
+        t.validate_port_budget(9)
+
+    def test_name_encodes_parameters(self):
+        t = jellyfish(16, 4, 1, seed=9)
+        assert "n=16" in t.name and "r=4" in t.name and "seed=9" in t.name
+
+
+class TestDegreeSequenceJellyfish:
+    def _build(self, seed=1):
+        from repro.topologies import jellyfish_degree_sequence
+
+        ports = {i: (4 if i < 8 else 5) for i in range(40)}
+        servers = {i: (4 if i < 8 else 3) for i in range(40)}
+        return jellyfish_degree_sequence(ports, servers, seed=seed), ports
+
+    def test_realizes_degree_sequence(self):
+        topo, ports = self._build()
+        for s in topo.switches:
+            assert topo.network_degree(s) <= ports[s]
+        total = sum(topo.network_degree(s) for s in topo.switches)
+        assert total >= sum(ports.values()) - 4
+
+    def test_connected_and_server_counts(self):
+        topo, _ = self._build()
+        assert topo.is_connected()
+        assert topo.num_servers == 8 * 4 + 32 * 3
+
+    def test_deterministic(self):
+        a, _ = self._build(seed=3)
+        b, _ = self._build(seed=3)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_mismatched_keys_rejected(self):
+        from repro.topologies import TopologyError, jellyfish_degree_sequence
+
+        with pytest.raises(TopologyError):
+            jellyfish_degree_sequence({0: 2, 1: 2}, {0: 1})
+
+    def test_odd_port_sum_rejected(self):
+        from repro.topologies import TopologyError, jellyfish_degree_sequence
+
+        with pytest.raises(TopologyError):
+            jellyfish_degree_sequence({0: 1, 1: 2}, {0: 1, 1: 1})
+
+    def test_negative_ports_rejected(self):
+        from repro.topologies import TopologyError, jellyfish_degree_sequence
+
+        with pytest.raises(TopologyError):
+            jellyfish_degree_sequence({0: -1, 1: 1}, {0: 1, 1: 1})

@@ -1,0 +1,96 @@
+"""Tests for LongHop Cayley-graph topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies import (
+    TopologyError,
+    cayley_graph_gf2,
+    longhop,
+    select_generators,
+    spectral_gap_gf2,
+)
+from repro.topologies.longhop import cayley_spectrum_gf2
+
+
+class TestCayleyGraph:
+    def test_hypercube_from_unit_vectors(self):
+        n = 3
+        g = cayley_graph_gf2(n, [1, 2, 4])
+        h = nx.hypercube_graph(n)
+        assert nx.is_isomorphic(g, h)
+
+    def test_regularity(self):
+        g = cayley_graph_gf2(4, [1, 2, 4, 8, 15])
+        assert all(d == 5 for _, d in g.degree())
+
+    def test_vertex_transitive_distances(self):
+        # Cayley graphs are vertex-transitive: every node sees the same
+        # sorted distance profile.
+        g = cayley_graph_gf2(4, [1, 2, 4, 8, 7])
+        profiles = set()
+        for v in g.nodes():
+            dist = nx.single_source_shortest_path_length(g, v)
+            profiles.add(tuple(sorted(dist.values())))
+        assert len(profiles) == 1
+
+    def test_duplicate_generators_rejected(self):
+        with pytest.raises(TopologyError):
+            cayley_graph_gf2(3, [1, 1, 2])
+
+    def test_out_of_range_generator_rejected(self):
+        with pytest.raises(TopologyError):
+            cayley_graph_gf2(3, [0, 1])
+        with pytest.raises(TopologyError):
+            cayley_graph_gf2(3, [8])
+
+
+class TestSpectrum:
+    def test_hypercube_spectrum(self):
+        # Q3 eigenvalues are {3, 1, -1, -3} with binomial multiplicities.
+        spec = sorted(cayley_spectrum_gf2(3, [1, 2, 4]))
+        assert spec == [-3, -1, -1, -1, 1, 1, 1, 3]
+
+    def test_gap_increases_with_long_hop(self):
+        # Adding a good long-hop generator strictly improves Q4's gap.
+        base = spectral_gap_gf2(4, [1, 2, 4, 8])
+        gens = select_generators(4, 5)
+        assert spectral_gap_gf2(4, gens) > base
+
+
+class TestSelectGenerators:
+    def test_includes_unit_vectors(self):
+        gens = select_generators(4, 6)
+        for b in range(4):
+            assert (1 << b) in gens
+
+    def test_degree_below_n_rejected(self):
+        with pytest.raises(TopologyError):
+            select_generators(4, 3)
+
+    def test_degree_above_space_rejected(self):
+        with pytest.raises(TopologyError):
+            select_generators(3, 8)
+
+    def test_deterministic(self):
+        assert select_generators(5, 7) == select_generators(5, 7)
+
+
+class TestLonghopTopology:
+    def test_dimensions(self):
+        t = longhop(5, 7, 3)
+        assert t.num_switches == 32
+        assert all(d == 7 for _, d in t.graph.degree())
+        assert t.num_servers == 96
+
+    def test_connected(self):
+        assert longhop(4, 5, 1).is_connected()
+
+    def test_smaller_diameter_than_hypercube(self):
+        hyper = longhop(6, 6, 1)  # degree 6 = pure hypercube
+        lh = longhop(6, 9, 1)
+        assert lh.diameter() < hyper.diameter()
+
+    def test_paper_scale_dimensions(self):
+        # Paper Fig 5(b): 512 ToRs with 10 network ports -> n=9, degree 10.
+        assert 2**9 == 512

@@ -1,0 +1,136 @@
+"""Tests for the graph-properties module (paper §3, footnote 1)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.topologies import (
+    Topology,
+    algebraic_connectivity,
+    analyze,
+    bisection_bandwidth,
+    distance_distribution,
+    fattree,
+    jellyfish,
+    path_diversity,
+    spectral_gap,
+    xpander,
+)
+
+
+def ring(n):
+    g = nx.cycle_graph(n)
+    nx.set_edge_attributes(g, 1.0, "capacity")
+    return Topology(f"ring{n}", g, {v: 1 for v in g.nodes()})
+
+
+def complete(n):
+    g = nx.complete_graph(n)
+    nx.set_edge_attributes(g, 1.0, "capacity")
+    return Topology(f"K{n}", g, {v: 1 for v in g.nodes()})
+
+
+class TestSpectralGap:
+    def test_complete_graph(self):
+        # K_n adjacency eigenvalues: n-1 and -1; gap = (n-1) - 1 = n - 2.
+        assert spectral_gap(complete(6)) == pytest.approx(4.0)
+
+    def test_ring_small_gap(self):
+        # Rings are terrible expanders: gap -> 0 with size.
+        assert spectral_gap(ring(24)) < 0.5
+
+    def test_xpander_near_ramanujan(self):
+        d = 5
+        xp = xpander(d, 8, 1)
+        # Ramanujan bound: lambda_2 <= 2 sqrt(d-1) -> gap >= d - 2 sqrt(d-1).
+        assert spectral_gap(xp) >= d - 2 * math.sqrt(d - 1) - 0.5
+
+    def test_jellyfish_expands_better_than_ring(self):
+        jf = jellyfish(24, 4, 1, seed=0)
+        assert spectral_gap(jf) > 4 * spectral_gap(ring(24))
+
+
+class TestAlgebraicConnectivity:
+    def test_positive_iff_connected(self):
+        assert algebraic_connectivity(ring(8)) > 0
+
+    def test_complete_graph_value(self):
+        # K_n has Fiedler value n.
+        assert algebraic_connectivity(complete(5)) == pytest.approx(5.0)
+
+
+class TestBisectionBandwidth:
+    def test_ring_bisection_is_two(self):
+        # Any balanced split of a ring cuts exactly 2 edges.
+        assert bisection_bandwidth(ring(12)) == pytest.approx(2.0)
+
+    def test_complete_graph(self):
+        # K_n balanced split cuts (n/2)^2 edges.
+        assert bisection_bandwidth(complete(8)) == pytest.approx(16.0)
+
+    def test_dumbbell_finds_the_thin_waist(self):
+        g = nx.complete_graph(4)
+        h = nx.complete_graph(4)
+        g = nx.disjoint_union(g, h)
+        g.add_edge(0, 4)
+        nx.set_edge_attributes(g, 1.0, "capacity")
+        topo = Topology("dumbbell", g, {v: 1 for v in g.nodes()})
+        assert bisection_bandwidth(topo) == pytest.approx(1.0)
+
+    def test_respects_capacities(self):
+        g = nx.cycle_graph(6)
+        nx.set_edge_attributes(g, 2.0, "capacity")
+        topo = Topology("fatring", g, {v: 1 for v in g.nodes()})
+        assert bisection_bandwidth(topo) == pytest.approx(4.0)
+
+    def test_expander_bisection_scales_with_edges(self):
+        xp = xpander(5, 6, 1)
+        # A good expander's bisection is a constant fraction of its edges.
+        assert bisection_bandwidth(xp) >= 0.15 * xp.num_links
+
+
+class TestPathDiversityAndDistances:
+    def test_fattree_has_high_diversity(self):
+        ft = fattree(4).topology
+        ring_div = path_diversity(ring(20), samples=30)
+        ft_div = path_diversity(ft, samples=30)
+        assert ft_div > ring_div
+
+    def test_distance_distribution_sums_to_one(self):
+        dist = distance_distribution(ring(10))
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_ring_distances(self):
+        dist = distance_distribution(ring(8))
+        # On C8: distances 1..4; distance 4 pairs are half as common.
+        assert dist[1] == dist[2] == dist[3] == pytest.approx(2 / 7)
+        assert dist[4] == pytest.approx(1 / 7)
+
+
+class TestAnalyze:
+    def test_summary_fields(self):
+        xp = xpander(4, 5, 2)
+        props = analyze(xp)
+        assert props.switches == 25
+        assert props.servers == 50
+        assert props.diameter >= 2
+        assert props.bisection_per_server == pytest.approx(
+            props.bisection_bandwidth / 50
+        )
+        assert len(props.as_row()) == 9
+
+    def test_footnote_1_shape(self):
+        """Footnote 1: bisection bandwidth ranks topologies differently
+        than throughput can — a ring and a star-ish tree may have equal
+        bisection but very different throughput.  Here: check that
+        bisection alone does not determine average path length."""
+        a = ring(16)
+        g = nx.barbell_graph(8, 0)
+        nx.set_edge_attributes(g, 1.0, "capacity")
+        b = Topology("barbell", g, {v: 1 for v in g.nodes()})
+        # Similar (tiny) bisection, very different distance structure.
+        assert abs(bisection_bandwidth(a) - bisection_bandwidth(b)) <= 1.0
+        assert abs(
+            a.average_shortest_path_length() - b.average_shortest_path_length()
+        ) > 0.5

@@ -1,0 +1,60 @@
+"""Tests for the SlimFly MMS construction."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies import (
+    TopologyError,
+    is_valid_slimfly_q,
+    slimfly,
+    slimfly_network_degree,
+)
+
+
+class TestValidity:
+    def test_valid_qs(self):
+        assert is_valid_slimfly_q(5)
+        assert is_valid_slimfly_q(13)
+        assert is_valid_slimfly_q(17)
+        assert is_valid_slimfly_q(29)
+
+    def test_invalid_qs(self):
+        assert not is_valid_slimfly_q(4)  # not prime
+        assert not is_valid_slimfly_q(7)  # 7 % 4 == 3
+        assert not is_valid_slimfly_q(9)  # prime power, unsupported
+        assert not is_valid_slimfly_q(1)
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(TopologyError):
+            slimfly(7, 1)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("q", [5, 13])
+    def test_switch_count(self, q):
+        t = slimfly(q, 1)
+        assert t.num_switches == 2 * q * q
+
+    @pytest.mark.parametrize("q", [5, 13])
+    def test_uniform_degree(self, q):
+        t = slimfly(q, 1)
+        expected = slimfly_network_degree(q)
+        assert all(d == expected for _, d in t.graph.degree())
+        assert expected == (3 * q - 1) // 2
+
+    @pytest.mark.parametrize("q", [5, 13])
+    def test_diameter_two(self, q):
+        # The defining property of MMS graphs.
+        assert slimfly(q, 1).diameter() == 2
+
+    def test_connected(self):
+        assert slimfly(5, 1).is_connected()
+
+    def test_paper_configuration_dimensions(self):
+        # Paper Fig 5(a): q=17 gives 578 ToRs with 25 network ports.
+        assert 2 * 17 * 17 == 578
+        assert slimfly_network_degree(17) == 25
+
+    def test_servers(self):
+        t = slimfly(5, 4)
+        assert t.num_servers == 200

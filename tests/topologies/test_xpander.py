@@ -1,0 +1,93 @@
+"""Tests for the Xpander construction."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies import (
+    TopologyError,
+    xpander,
+    xpander_from_budget,
+    xpander_num_switches,
+)
+
+
+class TestXpanderStructure:
+    @pytest.mark.parametrize("d,lift", [(3, 4), (5, 8), (7, 10)])
+    def test_switch_count(self, d, lift):
+        t = xpander(d, lift, 1)
+        assert t.num_switches == xpander_num_switches(d, lift) == (d + 1) * lift
+
+    @pytest.mark.parametrize("d,lift", [(3, 4), (5, 8)])
+    def test_d_regular(self, d, lift):
+        t = xpander(d, lift, 1)
+        assert all(deg == d for _, deg in t.graph.degree())
+
+    def test_no_intra_meta_node_edges(self):
+        d, lift = 5, 6
+        t = xpander(d, lift, 1)
+        for u, v in t.graph.edges():
+            assert u // lift != v // lift
+
+    def test_one_edge_per_meta_node_pair_per_switch(self):
+        d, lift = 4, 5
+        t = xpander(d, lift, 1)
+        for v in t.graph.nodes():
+            neighbor_metas = sorted(w // lift for w in t.graph.neighbors(v))
+            own = v // lift
+            expected = sorted(m for m in range(d + 1) if m != own)
+            assert neighbor_metas == expected
+
+    def test_connected(self):
+        assert xpander(5, 8, 2).is_connected()
+
+    def test_meta_node_annotation(self):
+        t = xpander(3, 4, 1)
+        for v in t.graph.nodes():
+            assert t.graph.nodes[v]["meta_node"] == v // 4
+
+    def test_random_matching_connected_and_regular(self):
+        t = xpander(5, 8, 2, matching="random", seed=4)
+        assert t.is_connected()
+        assert all(deg == 5 for _, deg in t.graph.degree())
+
+    def test_shift_deterministic(self):
+        t1 = xpander(5, 8, 2)
+        t2 = xpander(5, 8, 2)
+        assert sorted(t1.graph.edges()) == sorted(t2.graph.edges())
+
+    def test_good_expansion(self):
+        # The Xpander should have much smaller diameter than a ring of the
+        # same size: 48 switches at degree 5 must reach everything in a
+        # few hops.
+        t = xpander(5, 8, 2)
+        assert t.diameter() <= 4
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(TopologyError):
+            xpander(0, 4, 1)
+        with pytest.raises(TopologyError):
+            xpander(3, 0, 1)
+        with pytest.raises(TopologyError):
+            xpander(3, 4, 1, matching="bogus")
+
+
+class TestXpanderFromBudget:
+    def test_respects_budget(self):
+        t = xpander_from_budget(num_switches=216, ports_per_switch=16, servers_total=1080)
+        assert t.num_switches <= 216
+        assert t.num_servers >= 1080
+
+    def test_paper_config_packs_servers(self):
+        # Paper §6.4: 216 switches x 16 ports, 1080 servers (5 per switch,
+        # 11 network ports).
+        t = xpander_from_budget(216, 16, 1080)
+        assert all(t.servers_at(s) == 5 for s in t.switches)
+        assert all(t.network_degree(s) == 11 for s in t.switches)
+
+    def test_no_network_ports_rejected(self):
+        with pytest.raises(TopologyError):
+            xpander_from_budget(4, 4, 16)
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(TopologyError):
+            xpander_from_budget(1, 8, 4)

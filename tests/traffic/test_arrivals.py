@@ -1,0 +1,50 @@
+"""Tests for arrival processes."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.traffic import DeterministicArrivals, PoissonArrivals
+
+
+class TestPoisson:
+    def test_rate_recovered(self):
+        p = PoissonArrivals(1000.0)
+        rng = random.Random(0)
+        times = list(itertools.islice(p.iter_times(rng), 20_000))
+        measured_rate = len(times) / times[-1]
+        assert measured_rate == pytest.approx(1000.0, rel=0.05)
+
+    def test_monotone(self):
+        p = PoissonArrivals(50.0)
+        rng = random.Random(1)
+        times = list(itertools.islice(p.iter_times(rng), 500))
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_exponential_gaps(self):
+        # CV of exponential inter-arrivals is 1.
+        p = PoissonArrivals(100.0)
+        rng = random.Random(2)
+        times = list(itertools.islice(p.iter_times(rng), 20_000))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        cv = var**0.5 / mean
+        assert cv == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestDeterministic:
+    def test_even_spacing(self):
+        d = DeterministicArrivals(10.0)
+        rng = random.Random(0)
+        times = list(itertools.islice(d.iter_times(rng), 5))
+        assert times == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals(-1.0)

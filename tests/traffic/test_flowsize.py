@@ -1,0 +1,109 @@
+"""Tests for flow-size distributions (Fig 8)."""
+
+import random
+
+import pytest
+
+from repro.traffic import EmpiricalCDF, ParetoFlowSizes, pareto_hull, pfabric_web_search
+
+
+class TestEmpiricalCDF:
+    def test_mean_matches_target(self):
+        d = pfabric_web_search()
+        assert d.mean() == pytest.approx(2_400_000, rel=1e-9)
+
+    def test_sample_mean_converges(self):
+        d = pfabric_web_search()
+        rng = random.Random(0)
+        samples = [d.sample(rng) for _ in range(30_000)]
+        assert sum(samples) / len(samples) == pytest.approx(2_400_000, rel=0.05)
+
+    def test_cdf_monotone(self):
+        d = pfabric_web_search()
+        xs = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8]
+        values = [d.cdf(x) for x in xs]
+        assert values == sorted(values)
+        assert d.cdf(0) == 0.0
+        assert d.cdf(1e12) == 1.0
+
+    def test_sample_within_support(self):
+        d = pfabric_web_search()
+        rng = random.Random(1)
+        for _ in range(1000):
+            s = d.sample(rng)
+            assert 1 <= s <= d._sizes[-1] + 1
+
+    def test_inverse_transform_consistency(self):
+        # P(X <= median sample) should be near 0.5.
+        d = pfabric_web_search()
+        rng = random.Random(2)
+        samples = sorted(d.sample(rng) for _ in range(10_001))
+        median = samples[5000]
+        assert d.cdf(median) == pytest.approx(0.5, abs=0.03)
+
+    def test_scaled_to_mean(self):
+        d = pfabric_web_search().scaled_to_mean(100_000)
+        assert d.mean() == pytest.approx(100_000, rel=1e-9)
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(10, 0.5)])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(10, 0.5), (5, 1.0)])  # sizes decrease
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(10, 0.5), (20, 0.4)])  # probs decrease
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(10, 0.0), (20, 0.9)])  # does not reach 1
+
+
+class TestParetoHull:
+    def test_untruncated_mean_exact(self):
+        d = ParetoFlowSizes(shape=1.05, mean_bytes=100_000, cap_bytes=None)
+        assert d.mean() == pytest.approx(100_000, rel=1e-9)
+
+    def test_shape_preserving_percentiles(self):
+        # Paper Fig 8: 90th percentile of Pareto-HULL < 100 KB.
+        d = pareto_hull()
+        rng = random.Random(0)
+        samples = sorted(d.sample(rng) for _ in range(20_000))
+        p90 = samples[int(0.9 * len(samples))]
+        assert p90 < 100_000
+
+    def test_cap_enforced(self):
+        d = pareto_hull(cap_bytes=1_000_000)
+        rng = random.Random(3)
+        assert all(d.sample(rng) <= 1_000_000 for _ in range(5000))
+
+    def test_mean_preserving_mode(self):
+        d = ParetoFlowSizes(
+            shape=1.05, mean_bytes=100_000, cap_bytes=10_000_000, preserve="mean"
+        )
+        assert d.mean() == pytest.approx(100_000, rel=1e-3)
+
+    def test_cdf_properties(self):
+        d = pareto_hull()
+        assert d.cdf(0) == 0.0
+        assert d.cdf(d.scale) == pytest.approx(0.0, abs=1e-9)
+        assert d.cdf(1e12) == 1.0
+        assert 0 < d.cdf(50_000) < 1
+
+    def test_most_flows_short(self):
+        # The HULL workload is dominated by short flows.
+        d = pareto_hull()
+        assert d.cdf(100_000) > 0.9
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ParetoFlowSizes(shape=1.0)
+
+    def test_invalid_preserve_rejected(self):
+        with pytest.raises(ValueError):
+            ParetoFlowSizes(preserve="bogus")
+
+
+class TestPaperContrast:
+    def test_web_search_much_heavier_than_hull(self):
+        # Fig 8's point: web search mean ~2.4MB vs HULL's ~100KB nominal.
+        ws = pfabric_web_search()
+        hull = pareto_hull(cap_bytes=None)
+        assert ws.mean() > 20 * hull.mean()

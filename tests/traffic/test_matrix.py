@@ -1,0 +1,85 @@
+"""Tests for TrafficMatrix."""
+
+import pytest
+
+from repro.traffic import TrafficMatrix, TrafficMatrixError
+
+
+class TestConstruction:
+    def test_basic(self):
+        tm = TrafficMatrix({(0, 1): 2.0, (1, 0): 1.0})
+        assert tm.num_flows == 2
+        assert tm.total_demand == 3.0
+
+    def test_self_demand_rejected(self):
+        with pytest.raises(TrafficMatrixError, match="self-demand"):
+            TrafficMatrix({(3, 3): 1.0})
+
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(TrafficMatrixError):
+            TrafficMatrix({(0, 1): 0.0})
+        with pytest.raises(TrafficMatrixError):
+            TrafficMatrix({(0, 1): -2.0})
+
+    def test_empty_is_valid(self):
+        tm = TrafficMatrix({})
+        assert tm.num_flows == 0
+        assert tm.participants() == set()
+
+
+class TestAccounting:
+    def test_egress_ingress(self):
+        tm = TrafficMatrix({(0, 1): 2.0, (0, 2): 1.0, (2, 0): 4.0})
+        assert tm.egress(0) == 3.0
+        assert tm.ingress(0) == 4.0
+        assert tm.egress(1) == 0.0
+        assert tm.ingress(1) == 2.0
+
+    def test_participants(self):
+        tm = TrafficMatrix({(0, 1): 1.0, (5, 9): 1.0})
+        assert tm.participants() == {0, 1, 5, 9}
+
+
+class TestHoseValidation:
+    def test_within_hose_passes(self):
+        tm = TrafficMatrix({(0, 1): 4.0, (1, 0): 4.0})
+        tm.validate_hose({0: 4, 1: 4})
+
+    def test_egress_violation(self):
+        tm = TrafficMatrix({(0, 1): 5.0})
+        with pytest.raises(TrafficMatrixError, match="egress"):
+            tm.validate_hose({0: 4, 1: 8})
+
+    def test_ingress_violation(self):
+        tm = TrafficMatrix({(0, 2): 3.0, (1, 2): 3.0})
+        with pytest.raises(TrafficMatrixError, match="ingress"):
+            tm.validate_hose({0: 4, 1: 4, 2: 4})
+
+    def test_missing_tor_counts_as_zero(self):
+        tm = TrafficMatrix({(0, 1): 1.0})
+        with pytest.raises(TrafficMatrixError):
+            tm.validate_hose({0: 4})
+
+    def test_float_noise_tolerated(self):
+        per_pair = 4.0 / 3.0
+        tm = TrafficMatrix({(0, i): per_pair for i in (1, 2, 3)})
+        tm.validate_hose({0: 4, 1: 4, 2: 4, 3: 4})
+
+
+class TestTransforms:
+    def test_scaled(self):
+        tm = TrafficMatrix({(0, 1): 2.0}).scaled(0.5)
+        assert tm.demands[(0, 1)] == 1.0
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(TrafficMatrixError):
+            TrafficMatrix({(0, 1): 1.0}).scaled(0.0)
+
+    def test_restricted_to_pairs(self):
+        tm = TrafficMatrix({(0, 1): 1.0, (1, 2): 1.0, (2, 0): 1.0})
+        sub = tm.restricted_to_pairs([(0, 1), (2, 0)])
+        assert set(sub.demands) == {(0, 1), (2, 0)}
+
+    def test_items_sorted(self):
+        tm = TrafficMatrix({(3, 1): 1.0, (0, 2): 1.0})
+        assert [k for k, _ in tm.items()] == [(0, 2), (3, 1)]

@@ -1,0 +1,221 @@
+"""Tests for traffic patterns: fluid TMs and pair distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.topologies import fattree, xpander
+from repro.traffic import (
+    TrafficMatrixError,
+    a2a_pair_distribution,
+    all_to_all_tm,
+    longest_matching_tm,
+    many_to_one_tm,
+    one_to_many_tm,
+    permutation_tm,
+    permute_pair_distribution,
+    projector_like_pair_distribution,
+    skew_pair_distribution,
+)
+from repro.traffic.patterns import RackPairDistribution
+
+
+@pytest.fixture(scope="module")
+def xp():
+    return xpander(5, 8, 4)  # 48 switches, 4 servers each
+
+
+class TestPermutationTM:
+    def test_each_participant_sends_once(self, xp):
+        tm = permutation_tm(xp.tors, 4, fraction=1.0, seed=0, bidirectional=False)
+        senders = [s for (s, _) in tm.demands]
+        assert len(senders) == len(set(senders))
+
+    def test_each_participant_receives_once(self, xp):
+        tm = permutation_tm(xp.tors, 4, fraction=1.0, seed=0, bidirectional=False)
+        receivers = [d for (_, d) in tm.demands]
+        assert len(receivers) == len(set(receivers))
+
+    def test_hose_feasible(self, xp):
+        tm = permutation_tm(xp.tors, 4, fraction=0.6, seed=1)
+        tm.validate_hose(xp.servers_per_switch)
+
+    def test_fraction_controls_participants(self, xp):
+        tm = permutation_tm(xp.tors, 4, fraction=0.5, seed=0)
+        assert len(tm.participants()) == 24
+
+    def test_bidirectional_symmetry(self, xp):
+        tm = permutation_tm(xp.tors, 4, fraction=1.0, seed=0)
+        for (s, d) in list(tm.demands):
+            assert (d, s) in tm.demands
+
+    def test_seed_determinism(self, xp):
+        a = permutation_tm(xp.tors, 4, fraction=0.5, seed=3)
+        b = permutation_tm(xp.tors, 4, fraction=0.5, seed=3)
+        assert a.demands == b.demands
+
+    def test_invalid_fraction(self, xp):
+        with pytest.raises(TrafficMatrixError):
+            permutation_tm(xp.tors, 4, fraction=0.0)
+
+
+class TestLongestMatchingTM:
+    def test_is_a_matching(self, xp):
+        tm = longest_matching_tm(xp, fraction=1.0, seed=0)
+        out_counts = Counter(s for (s, _) in tm.demands)
+        assert all(c == 1 for c in out_counts.values())
+
+    def test_prefers_distant_pairs(self, xp):
+        import networkx as nx
+
+        tm = longest_matching_tm(xp, fraction=1.0, seed=0)
+        dist = dict(nx.all_pairs_shortest_path_length(xp.graph))
+        matched = [dist[s][d] for (s, d) in tm.demands]
+        avg_matched = sum(matched) / len(matched)
+        # The matching should be biased toward long distances vs average.
+        all_pairs = [
+            dist[a][b] for a in xp.tors for b in xp.tors if a != b
+        ]
+        avg_all = sum(all_pairs) / len(all_pairs)
+        assert avg_matched > avg_all
+
+    def test_hose_feasible(self, xp):
+        tm = longest_matching_tm(xp, fraction=0.5, seed=2)
+        tm.validate_hose(xp.servers_per_switch)
+
+    def test_demand_respects_server_counts(self, xp):
+        tm = longest_matching_tm(xp, fraction=0.25, seed=0)
+        for (_, _), v in tm.demands.items():
+            assert v == 4.0
+
+
+class TestAllToAllTM:
+    def test_saturates_hose_exactly(self, xp):
+        tm = all_to_all_tm(xp.tors, 4, fraction=0.5, seed=0)
+        for t in tm.participants():
+            assert tm.egress(t) == pytest.approx(4.0)
+            assert tm.ingress(t) == pytest.approx(4.0)
+
+    def test_pair_count(self, xp):
+        tm = all_to_all_tm(xp.tors, 4, fraction=0.25, seed=0)
+        n = len(tm.participants())
+        assert tm.num_flows == n * (n - 1)
+
+
+class TestManyToOneOneToMany:
+    def test_many_to_one_sink_hose(self, xp):
+        tm = many_to_one_tm(xp.tors, 4, fraction=0.5, seed=1)
+        tm.validate_hose(xp.servers_per_switch)
+        sinks = {d for (_, d) in tm.demands}
+        assert len(sinks) == 1
+
+    def test_one_to_many_source_hose(self, xp):
+        tm = one_to_many_tm(xp.tors, 4, fraction=0.5, seed=1)
+        tm.validate_hose(xp.servers_per_switch)
+        sources = {s for (s, _) in tm.demands}
+        assert len(sources) == 1
+
+
+class TestRackPairDistribution:
+    def test_samples_respect_zero_weights(self, xp):
+        tors = xp.tors
+        t2s = xp.tor_to_servers()
+        weights = {(tors[0], tors[1]): 1.0, (tors[2], tors[3]): 0.0}
+        with pytest.raises(TrafficMatrixError):
+            RackPairDistribution({}, t2s)
+        dist = RackPairDistribution(weights, t2s)
+        rng = random.Random(0)
+        s2t = xp.server_to_tor()
+        for _ in range(200):
+            s, d = dist.sample_pair(rng)
+            assert (s2t[s], s2t[d]) == (tors[0], tors[1])
+
+    def test_weight_proportionality(self, xp):
+        tors = xp.tors
+        dist = RackPairDistribution(
+            {(tors[0], tors[1]): 3.0, (tors[1], tors[0]): 1.0},
+            xp.tor_to_servers(),
+        )
+        rng = random.Random(1)
+        s2t = xp.server_to_tor()
+        counts = Counter(
+            (s2t[dist.sample_pair(rng)[0]]) for _ in range(4000)
+        )
+        ratio = counts[tors[0]] / counts[tors[1]]
+        assert 2.4 < ratio < 3.8
+
+    def test_negative_weight_rejected(self, xp):
+        with pytest.raises(TrafficMatrixError):
+            RackPairDistribution(
+                {(xp.tors[0], xp.tors[1]): -1.0}, xp.tor_to_servers()
+            )
+
+    def test_rack_without_servers_rejected(self):
+        ft = fattree(4)
+        core = 0  # core switches have no servers
+        edge = ft.topology.tors[0]
+        with pytest.raises(TrafficMatrixError):
+            RackPairDistribution({(core, edge): 1.0}, ft.topology.tor_to_servers())
+
+
+class TestA2APermuteDistributions:
+    def test_a2a_active_rack_count(self, xp):
+        dist = a2a_pair_distribution(xp, 0.25, seed=0)
+        assert len(dist.active_racks()) == 12
+
+    def test_a2a_take_first_uses_prefix(self):
+        ft = fattree(4).topology
+        dist = a2a_pair_distribution(ft, 0.5, take_first=True)
+        assert dist.active_racks() == ft.tors[:4]
+
+    def test_permute_is_rack_matching(self, xp):
+        dist = permute_pair_distribution(xp, 0.5, seed=0)
+        pairs = [p for p, w in dist.pair_weights.items() if w > 0]
+        out = Counter(s for s, _ in pairs)
+        assert all(c == 1 for c in out.values())
+
+    def test_permute_bidirectional(self, xp):
+        dist = permute_pair_distribution(xp, 0.5, seed=0)
+        for (a, b) in dist.pair_weights:
+            assert (b, a) in dist.pair_weights
+
+
+class TestSkewDistribution:
+    def test_hot_racks_get_most_traffic(self, xp):
+        dist = skew_pair_distribution(xp, theta=0.1, phi=0.9, seed=0)
+        rng = random.Random(0)
+        s2t = xp.server_to_tor()
+        rack_hits = Counter()
+        for _ in range(5000):
+            s, d = dist.sample_pair(rng)
+            rack_hits[s2t[s]] += 1
+            rack_hits[s2t[d]] += 1
+        hot_count = max(1, round(0.1 * len(xp.tors)))
+        top = [r for r, _ in rack_hits.most_common(hot_count)]
+        top_share = sum(rack_hits[r] for r in top) / sum(rack_hits.values())
+        assert top_share > 0.6
+
+    def test_invalid_parameters(self, xp):
+        with pytest.raises(TrafficMatrixError):
+            skew_pair_distribution(xp, theta=0.0, phi=0.5)
+        with pytest.raises(TrafficMatrixError):
+            skew_pair_distribution(xp, theta=0.5, phi=1.5)
+
+
+class TestProjectorLikeDistribution:
+    def test_hot_pairs_carry_target_fraction(self, xp):
+        dist = projector_like_pair_distribution(
+            xp, hot_pair_fraction=0.04, hot_byte_fraction=0.77, seed=0
+        )
+        weights = sorted(dist.pair_weights.values(), reverse=True)
+        n_pairs = len(xp.tors) * (len(xp.tors) - 1)
+        n_hot = max(1, round(0.04 * n_pairs))
+        hot_share = sum(weights[:n_hot]) / sum(weights)
+        assert hot_share == pytest.approx(0.77, abs=0.02)
+
+    def test_many_pairs_zero(self, xp):
+        dist = projector_like_pair_distribution(xp, zero_pair_fraction=0.6, seed=0)
+        n_pairs = len(xp.tors) * (len(xp.tors) - 1)
+        nonzero = len(dist.pair_weights)
+        assert nonzero <= 0.45 * n_pairs

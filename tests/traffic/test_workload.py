@@ -1,0 +1,87 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.topologies import xpander
+from repro.traffic import (
+    DeterministicArrivals,
+    PoissonArrivals,
+    Workload,
+    a2a_pair_distribution,
+    pfabric_web_search,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    xp = xpander(4, 6, 3)
+    return Workload(
+        pairs=a2a_pair_distribution(xp, 1.0),
+        sizes=pfabric_web_search(),
+        arrivals=PoissonArrivals(5000.0),
+        seed=42,
+    )
+
+
+class TestGeneration:
+    def test_num_flows_limit(self, workload):
+        flows = workload.generate(num_flows=137)
+        assert len(flows) == 137
+
+    def test_horizon_limit(self, workload):
+        flows = workload.generate(horizon=0.05)
+        assert all(f.start_time < 0.05 for f in flows)
+        # Around 5000 * 0.05 = 250 flows.
+        assert 150 < len(flows) < 400
+
+    def test_exactly_one_limit_required(self, workload):
+        with pytest.raises(ValueError):
+            workload.generate()
+        with pytest.raises(ValueError):
+            workload.generate(num_flows=10, horizon=1.0)
+
+    def test_flow_ids_dense(self, workload):
+        flows = workload.generate(num_flows=50)
+        assert [f.flow_id for f in flows] == list(range(50))
+
+    def test_times_monotone(self, workload):
+        flows = workload.generate(num_flows=200)
+        times = [f.start_time for f in flows]
+        assert times == sorted(times)
+
+    def test_no_self_flows(self, workload):
+        flows = workload.generate(num_flows=500)
+        assert all(f.src_server != f.dst_server for f in flows)
+
+    def test_sizes_positive(self, workload):
+        flows = workload.generate(num_flows=200)
+        assert all(f.size_bytes >= 1 for f in flows)
+
+
+class TestReproducibility:
+    def test_same_seed_same_flows(self, workload):
+        a = workload.generate(num_flows=100)
+        b = workload.generate(num_flows=100)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        xp = xpander(4, 6, 3)
+        base = dict(
+            pairs=a2a_pair_distribution(xp, 1.0),
+            sizes=pfabric_web_search(),
+            arrivals=PoissonArrivals(5000.0),
+        )
+        a = Workload(seed=1, **base).generate(num_flows=50)
+        b = Workload(seed=2, **base).generate(num_flows=50)
+        assert a != b
+
+    def test_deterministic_arrivals_supported(self):
+        xp = xpander(4, 6, 3)
+        w = Workload(
+            a2a_pair_distribution(xp, 1.0),
+            pfabric_web_search(),
+            DeterministicArrivals(100.0),
+            seed=0,
+        )
+        flows = w.generate(num_flows=3)
+        assert [f.start_time for f in flows] == pytest.approx([0.01, 0.02, 0.03])
