@@ -3,7 +3,9 @@
 Every benchmark regenerates one of the paper's tables or figures at a
 scale suited to a pure-Python simulator (see DESIGN.md §3 for the scale
 substitutions).  Results are printed and also written to
-``benchmarks/results/<name>.txt`` so runs can be diffed.
+``benchmarks/results/<name>.txt`` (pretty table) and
+``benchmarks/results/<name>.json`` (machine-readable payload, so BENCH
+trajectories can be diffed programmatically).
 
 The packet-level benches share a common scaled configuration:
 
@@ -13,19 +15,36 @@ The packet-level benches share a common scaled configuration:
   simulates in seconds; the short/long flow boundary and the HYB
   Q-threshold are scaled by the same factor to preserve the workload's
   short/long structure.
+
+Sweep-style benches fan their independent points out over the
+``repro.harness`` worker pool (:func:`run_harness` /
+:func:`packet_point_spec`): each (topology, workload, load, routing,
+seed) point is a declarative :class:`repro.harness.ExperimentSpec`,
+executed in parallel.  Set ``REPRO_BENCH_CACHE=1`` to also reuse the
+content-addressed result cache between runs (off by default so a bench
+always measures the current code).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import format_series, format_table
+from repro.harness import ExperimentSpec, ResultCache, Runner, RunRecord
 from repro.sim import NetworkParams, PacketSimulation, make_routing
 from repro.sim.stats import FlowStats
-from repro.traffic import FlowSpec
+from repro.traffic import (
+    FlowSpec,
+    PoissonArrivals,
+    Workload,
+    pareto_hull,
+    pfabric_web_search,
+)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+HARNESS_CACHE_DIR = os.path.join(RESULTS_DIR, ".repro-cache")
 
 #: Scaled packet-sim defaults (paper: 10 Gbps, mean 2.4 MB, Q=100 KB).
 LINK_RATE = 1e9
@@ -37,12 +56,22 @@ MEASURE_START = 0.02
 MEASURE_END = 0.08
 
 
-def save_result(name: str, text: str) -> str:
-    """Print a rendered table and persist it under benchmarks/results/."""
+def save_result(name: str, text: str, data: Optional[dict] = None) -> str:
+    """Print a rendered table and persist it under benchmarks/results/.
+
+    Alongside the pretty ``<name>.txt`` a machine-readable
+    ``<name>.json`` is written: the structured ``data`` payload when the
+    bench provides one, else a minimal ``{"name": ..., "text": ...}``
+    wrapper — so every bench trajectory can be diffed programmatically.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as f:
         f.write(text + "\n")
+    payload = data if data is not None else {"name": name, "text": text}
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
     print("\n" + text)
     return path
 
@@ -95,8 +124,6 @@ def run_workload_point(
     seed: int = 0,
 ) -> FlowStats:
     """One (workload, load, routing) point of a paper sweep."""
-    from repro.traffic import PoissonArrivals, Workload
-
     wl = Workload(pairs, sizes, PoissonArrivals(rate), seed=seed)
     horizon = measure_end + (measure_end - measure_start)
     flows = wl.generate(horizon=horizon)
@@ -113,15 +140,11 @@ def run_workload_point(
 
 def scaled_pfabric():
     """The pFabric web-search distribution at the benchmark's 200 KB mean."""
-    from repro.traffic import pfabric_web_search
-
     return pfabric_web_search(MEAN_FLOW_BYTES)
 
 
 def scaled_pareto_hull():
     """The Pareto-HULL distribution scaled by the same size factor."""
-    from repro.traffic import pareto_hull
-
     return pareto_hull(
         mean_bytes=100_000 * SIZE_SCALE, cap_bytes=1e9 * SIZE_SCALE
     )
@@ -139,6 +162,76 @@ def fct_series_table(
     metric_by_system: Dict[str, List[float]],
     title: str,
 ) -> str:
-    """Render one figure's series and persist it."""
+    """Render one figure's series and persist it (txt + json)."""
     text = format_series(x_label, x_values, metric_by_system, title=title)
-    return save_result(name, text)
+    return save_result(
+        name,
+        text,
+        data={
+            "title": title,
+            "x_label": x_label,
+            "x": list(x_values),
+            "series": {k: list(v) for k, v in metric_by_system.items()},
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Harness-driven sweeps
+# ----------------------------------------------------------------------
+def packet_point_spec(
+    name: str,
+    topology: Dict,
+    routing: str,
+    workload: Dict,
+    seed: int = 0,
+    measure_start: float = MEASURE_START,
+    measure_end: float = MEASURE_END,
+    server_link_rate: Optional[float] = LINK_RATE,
+) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` with the scaled benchmark conventions.
+
+    ``workload`` holds the pattern fields (``pattern``, ``fraction``,
+    ``pattern_seed``, ``take_first``, ...) plus ``load`` or ``rate``;
+    sizes default to the scaled pFabric distribution.
+    """
+    wl = {"sizes": "pfabric", "mean_flow_bytes": MEAN_FLOW_BYTES, **workload}
+    return ExperimentSpec(
+        name=name,
+        topology=topology,
+        workload=wl,
+        routing=routing,
+        engine="packet",
+        seed=seed,
+        measure_start=measure_start,
+        measure_end=measure_end,
+        link_rate_bps=LINK_RATE,
+        server_link_rate_bps=server_link_rate,
+        hyb_threshold_bytes=HYB_Q_BYTES,
+        short_flow_bytes=SHORT_FLOW_BYTES,
+    )
+
+
+def run_harness(
+    specs: Sequence[ExperimentSpec], jobs: Optional[int] = None
+) -> List[RunRecord]:
+    """Run sweep points through the parallel harness; raise on failures.
+
+    Records come back in spec order.  The content-addressed cache is
+    only attached when ``REPRO_BENCH_CACHE=1`` so that a default bench
+    run always measures the code as it is now.
+    """
+    cache = None
+    if os.environ.get("REPRO_BENCH_CACHE") == "1":
+        cache = ResultCache(HARNESS_CACHE_DIR)
+    runner = Runner(
+        jobs=jobs or min(os.cpu_count() or 1, 4), cache=cache, retries=1
+    )
+    result = runner.run(specs)
+    bad = [r for r in result.records if not r.ok]
+    if bad:
+        raise RuntimeError(
+            "harness points failed: "
+            + "; ".join(f"{r.name}: {r.error}" for r in bad)
+        )
+    return result.records

@@ -4,53 +4,55 @@ The challenging consolidated workload: rack-to-rack aggregation limits
 load-balancing opportunities.  Paper: Xpander+HYB matches the fat-tree
 for skewed TMs (small x) and deteriorates gracefully as x grows; ECMP on
 Xpander performs very poorly here (single shortest-path bottlenecks).
+
+The 15 (fraction, system) points are independent, so this bench drives
+them through the ``repro.harness`` worker pool instead of a serial loop;
+each point is a declarative spec whose ``load`` is resolved against the
+active servers of its Permute(x) pair distribution inside the worker.
 """
 
-from helpers import (
-    LINK_RATE,
-    MEAN_FLOW_BYTES,
-    fct_series_table,
-    run_workload_point,
-    scaled_pfabric,
-)
-
-from repro.topologies import fattree, xpander
-from repro.traffic import permute_pair_distribution
+from helpers import fct_series_table, packet_point_spec, run_harness
 
 FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
 LOAD_PER_ACTIVE_SERVER = 0.30
 
+SYSTEMS = (
+    ("Fat-tree", {"family": "fattree", "k": 6}, "ecmp"),
+    ("Xpander ECMP", {"family": "xpander", "degree": 4, "lift": 6, "servers": 2}, "ecmp"),
+    ("Xpander HYB", {"family": "xpander", "degree": 4, "lift": 6, "servers": 2}, "hyb"),
+)
+
 
 def measure():
-    ft = fattree(6).topology
-    xp = xpander(4, 6, 2)
-    sizes = scaled_pfabric()
-    systems = (
-        ("Fat-tree", ft, "ecmp"),
-        ("Xpander ECMP", xp, "ecmp"),
-        ("Xpander HYB", xp, "hyb"),
-    )
-    avg = {n: [] for n, _, _ in systems}
-    p99s = {n: [] for n, _, _ in systems}
-    ltput = {n: [] for n, _, _ in systems}
-    for x in FRACTIONS:
-        for name, topo, routing in systems:
-            pairs = permute_pair_distribution(
-                topo, x, seed=5, take_first=(name == "Fat-tree")
-            )
-            active_servers = sum(
-                topo.servers_at(t) for t in pairs.active_racks()
-            )
-            rate = (
-                LOAD_PER_ACTIVE_SERVER * active_servers * LINK_RATE / 8.0
-            ) / MEAN_FLOW_BYTES
-            stats = run_workload_point(
-                topo, pairs, sizes, rate, routing,
-                measure_start=0.02, measure_end=0.05, seed=6,
-            )
-            avg[name].append(stats.avg_fct() * 1e3)
-            p99s[name].append(stats.short_flow_p99_fct() * 1e3)
-            ltput[name].append(stats.long_flow_avg_throughput_bps() / 1e9)
+    specs = [
+        packet_point_spec(
+            name=f"{name} x={x}",
+            topology=topo,
+            routing=routing,
+            workload={
+                "pattern": "permute",
+                "fraction": x,
+                "pattern_seed": 5,
+                "take_first": name == "Fat-tree",
+                "load": LOAD_PER_ACTIVE_SERVER,
+            },
+            seed=6,
+            measure_start=0.02,
+            measure_end=0.05,
+        )
+        for x in FRACTIONS
+        for name, topo, routing in SYSTEMS
+    ]
+    records = iter(run_harness(specs))
+    avg = {n: [] for n, _, _ in SYSTEMS}
+    p99s = {n: [] for n, _, _ in SYSTEMS}
+    ltput = {n: [] for n, _, _ in SYSTEMS}
+    for _x in FRACTIONS:
+        for name, _, _ in SYSTEMS:
+            metrics = next(records).metrics
+            avg[name].append(metrics["avg_fct_ms"])
+            p99s[name].append(metrics["short_p99_fct_ms"])
+            ltput[name].append(metrics["long_avg_throughput_gbps"])
     return avg, p99s, ltput
 
 

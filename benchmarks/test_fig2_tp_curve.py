@@ -4,33 +4,45 @@ Renders the analytic curves of Fig 2 (TP: min(alpha/x, 1); fat-tree:
 pinned at alpha down to beta = 2/k) and verifies Theorem 2.1 empirically:
 measured Jellyfish throughput never exceeds the TP ideal anchored at its
 own full-participation (worst-case) throughput.
+
+The per-fraction LP solves are independent, so the measured curve runs
+as ``engine="lp"`` points through the ``repro.harness`` worker pool.
 """
 
-from helpers import save_result
+from helpers import run_harness, save_result
 
 from repro.analysis import format_series
-from repro.throughput import (
-    fattree_flexibility_curve,
-    max_concurrent_throughput,
-    skew_sweep,
-    tp_curve,
-)
-from repro.topologies import jellyfish
+from repro.harness import ExperimentSpec
+from repro.throughput import fattree_flexibility_curve, tp_curve
 
 
 FRACTIONS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0]
 ALPHA = 0.5
 K = 8
 
+JELLYFISH = {"family": "jellyfish", "switches": 20, "degree": 5,
+             "servers": 4, "seed": 1}
+
 
 def measure():
-    jf = jellyfish(20, 5, 4, seed=1)
-    measured = skew_sweep(jf, FRACTIONS, seed=0)
-    alpha_jf = measured.throughput[-1]
+    specs = [
+        ExperimentSpec(
+            name=f"jellyfish x={x}",
+            topology=JELLYFISH,
+            workload={"pattern": "longest_matching", "fraction": x},
+            engine="lp",
+            seed=0,
+        )
+        for x in FRACTIONS
+    ]
+    measured = [
+        r.metrics["per_server_throughput"] for r in run_harness(specs)
+    ]
+    alpha_jf = measured[-1]
     return {
         "TP ideal (alpha=0.5)": tp_curve(ALPHA, FRACTIONS),
         f"fat-tree k={K} (alpha=0.5)": fattree_flexibility_curve(ALPHA, K, FRACTIONS),
-        "Jellyfish measured": measured.throughput,
+        "Jellyfish measured": measured,
         "Jellyfish TP ideal": tp_curve(min(1.0, alpha_jf), FRACTIONS),
     }
 
@@ -47,7 +59,11 @@ def test_fig2_tp_curve(benchmark):
             "its own TP ideal (Theorem 2.1: measured <= ideal)"
         ),
     )
-    save_result("fig2_tp_curve", text)
+    save_result(
+        "fig2_tp_curve",
+        text,
+        data={"x_label": "fraction", "x": FRACTIONS, "series": series},
+    )
     # Theorem 2.1 check: measured never exceeds the TP ideal (tolerance
     # for sampled-permutation noise in the alpha anchor).
     for measured, ideal in zip(

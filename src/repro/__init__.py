@@ -16,7 +16,10 @@ The package provides:
 * :mod:`repro.flowsim` — a fast flow-level (max-min fair) simulator;
 * :mod:`repro.cost` — Table 1's per-port cost model and equal-cost
   network sizing;
-* :mod:`repro.analysis` — plain-text rendering of results.
+* :mod:`repro.analysis` — plain-text rendering of results;
+* :mod:`repro.harness` — parallel sweep orchestration over declarative
+  experiment specs with content-addressed result caching
+  (``python -m repro sweep``).
 
 Quickstart::
 
@@ -34,7 +37,7 @@ Quickstart::
     print(stats.summary())
 """
 
-from . import analysis, cost, flowsim, sim, throughput, topologies, traffic
+from . import analysis, cost, flowsim, harness, sim, throughput, topologies, traffic
 
 __version__ = "1.0.0"
 
@@ -46,5 +49,6 @@ __all__ = [
     "flowsim",
     "cost",
     "analysis",
+    "harness",
     "__version__",
 ]

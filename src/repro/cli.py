@@ -6,6 +6,7 @@ paper's Netbench artifact is driven from configs:
 * ``topology``   — build a topology and print its structural properties;
 * ``throughput`` — fluid-flow skew sweep (the Fig 5/6 engine);
 * ``simulate``   — packet-level experiment with a chosen workload/routing;
+* ``sweep``      — parallel, cached experiment sweep from a JSON spec file;
 * ``cost``       — Table 1 port costs and a topology's port cost;
 * ``cabling``    — Fig 3-style cabling/bundling report.
 """
@@ -16,7 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import format_series, format_table
+from .analysis import format_number, format_series, format_table
 from .cost import (
     FIREFLY_PORT,
     PROJECTOR_PORT_HIGH,
@@ -184,6 +185,80 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .harness import (
+        ResultCache,
+        ResultsStore,
+        Runner,
+        SpecError,
+        load_sweep_file,
+    )
+
+    try:
+        specs = load_sweep_file(args.spec)
+    except (OSError, json.JSONDecodeError, SpecError) as exc:
+        sys.stderr.write(f"sweep: cannot load {args.spec}: {exc}\n")
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    store = ResultsStore(args.results) if args.results else None
+
+    def show_progress(p: dict) -> None:
+        sys.stderr.write(
+            f"\rsweep: {p['done']}/{p['total']} done "
+            f"({p['ok']} ok, {p['cached']} cached, {p['failed']} failed), "
+            f"{p['running']} running"
+        )
+        sys.stderr.flush()
+
+    runner = Runner(
+        jobs=args.jobs or None,
+        cache=cache,
+        store=store,
+        timeout_s=args.timeout or None,
+        retries=args.retries,
+        progress=None if args.quiet else show_progress,
+    )
+    result = runner.run(specs)
+    if not args.quiet:
+        sys.stderr.write("\n")
+    rows = []
+    for record in result.records:
+        headline = ("avg_fct_ms", "per_server_throughput")
+        key_metric = next(
+            (
+                (k, record.metrics[k])
+                for k in (*headline, *sorted(record.metrics))
+                if k in record.metrics
+            ),
+            ("-", float("nan")),
+        )
+        rows.append([
+            record.name,
+            record.spec["engine"],
+            record.status + (" (cached)" if record.cached else ""),
+            record.attempts,
+            round(record.wall_clock_s, 2),
+            f"{key_metric[0]}={format_number(key_metric[1])}"
+            if record.ok
+            else (record.error or ""),
+        ])
+    counts = result.counts
+    print(
+        format_table(
+            ["point", "engine", "status", "attempts", "wall (s)", "result"],
+            rows,
+            title=(
+                f"Sweep of {counts['total']} points: {counts['ok']} computed, "
+                f"{counts['cached']} cached, {counts['failed']} failed "
+                f"in {result.wall_clock_s:.1f}s"
+            ),
+        )
+    )
+    return 0 if result.ok else 1
+
+
 def cmd_cost(args: argparse.Namespace) -> int:
     rows = [
         [p.name, round(p.total, 2), round(delta_ratio(p), 3)]
@@ -260,6 +335,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--measure-start", type=float, default=0.02)
     p.add_argument("--measure-end", type=float, default=0.06)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "sweep",
+        help="parallel, cached experiment sweep from a JSON spec file",
+    )
+    p.add_argument("spec", help="sweep JSON (defaults/grid/points document)")
+    p.add_argument(
+        "--jobs", type=int, default=0, help="worker processes (0 = auto)"
+    )
+    p.add_argument(
+        "--cache-dir", default=".repro-cache", help="result cache directory"
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="recompute every point"
+    )
+    p.add_argument(
+        "--results", default="", help="append RunRecords to this JSONL file"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="per-point timeout in seconds (0 = unlimited)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for failed/timed-out points",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress live progress output"
+    )
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("cost", help="Table 1 costs (+ optional topology cost)")
     p.add_argument("--kind", default="", help="optionally price a topology")

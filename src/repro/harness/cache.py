@@ -1,0 +1,88 @@
+"""Content-addressed on-disk result cache.
+
+Completed points live at ``<root>/<key>.json`` where ``key`` is the
+SHA-256 of ``spec.content_hash() + ":" + library_version``.  Keying on
+the library version means a new release never serves stale results;
+keying on the spec's content hash means *any* semantic parameter change
+(and nothing else — the cosmetic ``name`` is excluded) produces a cache
+miss.  Only successful records are cached, so failed points are retried
+on the next sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from .records import RunRecord
+from .spec import ExperimentSpec
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` files, one per completed spec."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR, version: Optional[str] = None) -> None:
+        if version is None:
+            from .. import __version__ as version
+        self.root = root
+        self.version = version
+
+    def key(self, spec: ExperimentSpec) -> str:
+        payload = f"{spec.content_hash()}:{self.version}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path(self, spec: ExperimentSpec) -> str:
+        return os.path.join(self.root, f"{self.key(spec)}.json")
+
+    def get(self, spec: ExperimentSpec) -> Optional[RunRecord]:
+        """The cached record for ``spec``, or None (missing/corrupt)."""
+        path = self.path(spec)
+        try:
+            with open(path) as f:
+                record = RunRecord.from_dict(json.load(f))
+        except (OSError, ValueError, TypeError):
+            return None
+        record.cached = True
+        return record
+
+    def put(self, spec: ExperimentSpec, record: RunRecord) -> str:
+        """Store a successful record; returns its path.
+
+        The write is atomic (temp file + rename) so a concurrent reader
+        never sees a truncated entry.
+        """
+        if not record.ok:
+            raise ValueError("only successful records are cached")
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path(spec)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(record.to_dict(), f, sort_keys=True)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if os.path.isdir(self.root):
+            for entry in os.listdir(self.root):
+                if entry.endswith(".json"):
+                    os.unlink(os.path.join(self.root, entry))
+                    removed += 1
+        return removed

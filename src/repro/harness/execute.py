@@ -1,0 +1,280 @@
+"""Execution of one :class:`ExperimentSpec` → one :class:`RunRecord`.
+
+This is the single place where a declarative spec is turned into real
+library objects — topology, pair distribution, flow sizes, workload —
+and evaluated by the requested engine:
+
+* ``packet`` — :class:`repro.sim.PacketSimulation` (discrete-event,
+  DCTCP), with a link-telemetry summary attached;
+* ``flow``   — :class:`repro.flowsim.FlowLevelSimulation` (fluid
+  max-min fair);
+* ``lp``     — the fluid-flow throughput LP over a longest-matching TM
+  (the Fig 2/5/6 engine).
+
+Everything here is deterministic given the spec (wall-clock time is
+recorded but kept out of ``metrics``), which is what makes the
+content-addressed cache sound: see the determinism test in
+``tests/harness/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Mapping, Tuple
+
+from ..flowsim import FlowLevelSimulation
+from ..sim import NetworkParams, PacketSimulation, make_routing, network_report
+from ..sim.stats import FlowStats
+from ..throughput import max_concurrent_throughput, path_throughput
+from ..topologies import (
+    Topology,
+    fattree,
+    jellyfish,
+    longhop,
+    oversubscribed_fattree,
+    slimfly,
+    xpander,
+)
+from ..traffic import (
+    PoissonArrivals,
+    Workload,
+    a2a_pair_distribution,
+    longest_matching_tm,
+    pareto_hull,
+    permute_pair_distribution,
+    pfabric_web_search,
+    projector_like_pair_distribution,
+    skew_pair_distribution,
+)
+from .records import RunRecord, provenance
+from .spec import ExperimentSpec, SpecError
+
+__all__ = ["build_topology", "execute_spec"]
+
+
+def build_topology(topo_spec: Mapping[str, Any]) -> Topology:
+    """Build the topology a spec's ``topology`` mapping describes.
+
+    Parameter names mirror the CLI (``python -m repro topology``):
+    ``fattree``: k, core_fraction, servers; ``jellyfish``: switches,
+    degree, servers, seed; ``xpander``: degree, lift, servers, matching,
+    seed; ``slimfly``: q, servers; ``longhop``: n, degree, servers.
+    """
+    params = dict(topo_spec)
+    family = params.pop("family", None)
+    if family == "fattree":
+        k = params.pop("k", 8)
+        core_fraction = params.pop("core_fraction", 1.0)
+        servers = params.pop("servers", None)
+        _reject_extras(family, params)
+        if core_fraction >= 1.0:
+            return fattree(k, servers_per_edge=servers).topology
+        return oversubscribed_fattree(
+            k, core_fraction, servers_per_edge=servers
+        ).topology
+    if family == "jellyfish":
+        out = jellyfish(
+            params.pop("switches", 32),
+            params.pop("degree", 6),
+            params.pop("servers", 4),
+            seed=params.pop("seed", 0),
+        )
+    elif family == "xpander":
+        out = xpander(
+            params.pop("degree", 6),
+            params.pop("lift", 8),
+            params.pop("servers", 4),
+            matching=params.pop("matching", "shift"),
+            seed=params.pop("seed", 0),
+        )
+    elif family == "slimfly":
+        out = slimfly(params.pop("q", 5), params.pop("servers", 4))
+    elif family == "longhop":
+        out = longhop(
+            params.pop("n", 5), params.pop("degree", 6), params.pop("servers", 4)
+        )
+    else:
+        raise SpecError(f"unknown topology family {family!r}")
+    _reject_extras(family, params)
+    return out
+
+
+def _reject_extras(family: str, leftovers: Mapping[str, Any]) -> None:
+    if leftovers:
+        raise SpecError(
+            f"unknown {family} topology parameters {sorted(leftovers)}"
+        )
+
+
+def _build_pairs(spec: ExperimentSpec, topology: Topology):
+    wl = spec.workload
+    pattern = wl.get("pattern", "permute")
+    pattern_seed = wl.get("pattern_seed", spec.seed)
+    take_first = bool(wl.get("take_first", False))
+    if pattern == "a2a":
+        return a2a_pair_distribution(
+            topology, wl.get("fraction", 1.0), seed=pattern_seed,
+            take_first=take_first,
+        )
+    if pattern == "permute":
+        return permute_pair_distribution(
+            topology, wl.get("fraction", 1.0), seed=pattern_seed,
+            take_first=take_first,
+        )
+    if pattern == "skew":
+        return skew_pair_distribution(
+            topology, wl.get("theta", 0.04), wl.get("phi", 0.77),
+            seed=pattern_seed,
+        )
+    if pattern == "projector":
+        return projector_like_pair_distribution(topology, seed=pattern_seed)
+    raise SpecError(f"unknown workload pattern {pattern!r}")
+
+
+def _build_sizes(spec: ExperimentSpec):
+    wl = spec.workload
+    kind = wl.get("sizes", "pfabric")
+    mean = wl.get("mean_flow_bytes")
+    if kind == "pfabric":
+        return pfabric_web_search(mean) if mean else pfabric_web_search()
+    if kind == "hull":
+        kwargs: Dict[str, Any] = {}
+        if mean:
+            kwargs["mean_bytes"] = mean
+        if "cap_bytes" in wl:
+            kwargs["cap_bytes"] = wl["cap_bytes"]
+        return pareto_hull(**kwargs)
+    raise SpecError(f"unknown size distribution {kind!r} (pfabric/hull)")
+
+
+def _resolve_rate(spec: ExperimentSpec, topology: Topology, pairs, sizes) -> float:
+    """The aggregate flow arrival rate (flows/s) for the workload.
+
+    ``rate`` is taken verbatim.  ``load`` is the offered fraction of the
+    *active* servers' access capacity: racks with positive sampling
+    weight contribute their servers, each assumed to inject at the
+    server link rate.
+    """
+    wl = spec.workload
+    if wl.get("rate") is not None:
+        return float(wl["rate"])
+    load = float(wl["load"])
+    active_racks = getattr(pairs, "active_racks", None)
+    if active_racks is not None:
+        active_servers = sum(topology.servers_at(t) for t in active_racks())
+    else:
+        active_servers = topology.num_servers
+    rate_bps = spec.server_link_rate_bps or spec.link_rate_bps
+    mean_bytes = wl.get("mean_flow_bytes") or sizes.mean()
+    return (load * active_servers * rate_bps / 8.0) / mean_bytes
+
+
+def _run_lp(spec: ExperimentSpec, topology: Topology) -> Dict[str, float]:
+    wl = spec.workload
+    fraction = wl.get("fraction", 1.0)
+    pattern_seed = wl.get("pattern_seed", spec.seed)
+    tm = longest_matching_tm(topology, fraction, seed=pattern_seed)
+    solver = wl.get("solver", "exact")
+    if solver == "exact":
+        res = max_concurrent_throughput(topology, tm)
+    elif solver == "paths":
+        res = path_throughput(topology, tm, k=wl.get("k_paths", 8))
+    else:
+        raise SpecError(f"unknown lp solver {solver!r} (exact/paths)")
+    return {
+        "per_server_throughput": res.per_server,
+        "fraction": float(fraction),
+    }
+
+
+def _run_packet(
+    spec: ExperimentSpec, topology: Topology, flows
+) -> Tuple[FlowStats, Dict[str, float]]:
+    policy = make_routing(
+        spec.routing,
+        topology,
+        seed=spec.seed,
+        hyb_threshold_bytes=spec.hyb_threshold_bytes,
+    )
+    sim = PacketSimulation(
+        topology,
+        routing=policy,
+        network_params=NetworkParams(
+            link_rate_bps=spec.link_rate_bps,
+            server_link_rate_bps=spec.server_link_rate_bps,
+        ),
+        seed=spec.seed,
+    )
+    sim.inject(flows)
+    stats = sim.run(
+        spec.measure_start, spec.measure_end, max_sim_time=spec.max_sim_time
+    )
+    report = network_report(sim.network)
+    telemetry = {
+        "total_drops": report.total_drops,
+        "total_marks": report.total_marks,
+        "max_utilization": report.max_utilization,
+        "mean_utilization": report.mean_utilization,
+        "num_links": len(report.links),
+    }
+    return stats, telemetry
+
+
+def _run_flow(spec: ExperimentSpec, topology: Topology, flows) -> FlowStats:
+    sim = FlowLevelSimulation(
+        topology,
+        routing=spec.routing,
+        link_rate_bps=spec.link_rate_bps,
+        server_link_rate_bps=spec.server_link_rate_bps,
+        hyb_threshold_bytes=spec.hyb_threshold_bytes,
+        seed=spec.seed,
+    )
+    return sim.run(
+        flows,
+        measure_start=spec.measure_start,
+        measure_end=spec.measure_end,
+        max_sim_time=spec.max_sim_time if spec.max_sim_time else 1e9,
+    )
+
+
+def execute_spec(spec: ExperimentSpec) -> RunRecord:
+    """Run one spec to completion and return its successful record.
+
+    Exceptions propagate to the caller; the :class:`~repro.harness.runner.Runner`
+    converts them into failure records.
+    """
+    spec.validate()
+    start = time.perf_counter()
+    topology = build_topology(spec.topology)
+
+    if spec.engine == "lp":
+        metrics = _run_lp(spec, topology)
+        telemetry: Dict[str, float] = {}
+    else:
+        pairs = _build_pairs(spec, topology)
+        sizes = _build_sizes(spec)
+        rate = _resolve_rate(spec, topology, pairs, sizes)
+        workload = Workload(pairs, sizes, PoissonArrivals(rate), seed=spec.seed)
+        horizon = spec.workload.get(
+            "horizon",
+            spec.measure_end + (spec.measure_end - spec.measure_start),
+        )
+        flows = workload.generate(horizon=horizon)
+        if spec.engine == "packet":
+            stats, telemetry = _run_packet(spec, topology, flows)
+        else:
+            stats = _run_flow(spec, topology, flows)
+            telemetry = {}
+        if spec.short_flow_bytes is not None:
+            stats.short_flow_bytes = spec.short_flow_bytes
+        metrics = stats.summary()
+
+    return RunRecord(
+        spec=spec.to_dict(),
+        spec_hash=spec.content_hash(),
+        status="ok",
+        metrics=metrics,
+        telemetry=telemetry,
+        wall_clock_s=time.perf_counter() - start,
+        provenance=provenance(spec.engine),
+    )

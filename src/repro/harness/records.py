@@ -1,0 +1,172 @@
+"""Structured run results: :class:`RunRecord` and the JSONL store.
+
+Every executed (or failed) experiment point becomes one ``RunRecord``
+carrying the spec it came from, the paper metrics, a link-telemetry
+summary, wall-clock time, and provenance.  Records round-trip through
+JSON so sweeps can be persisted as JSONL and reconstituted later for
+the :func:`repro.analysis.format_series` / ``format_table`` renderers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "RunRecord",
+    "ResultsStore",
+    "provenance",
+    "record_value",
+    "series_from_records",
+]
+
+
+def provenance(engine: str = "") -> Dict[str, str]:
+    """Environment fingerprint stored with every record."""
+    from .. import __version__
+
+    return {
+        "library_version": __version__,
+        "python_version": platform.python_version(),
+        "platform": sys.platform,
+        "engine": engine,
+    }
+
+
+@dataclass
+class RunRecord:
+    """The structured outcome of one experiment point.
+
+    ``status`` is ``"ok"``, ``"failed"`` (the worker raised), or
+    ``"timeout"`` (the worker exceeded its deadline and was killed).
+    Failed points carry the error string instead of metrics, so a sweep
+    always yields one record per spec — graceful degradation, never a
+    crashed sweep.
+    """
+
+    spec: Dict[str, Any]
+    spec_hash: str
+    status: str = "ok"
+    metrics: Dict[str, float] = field(default_factory=dict)
+    telemetry: Dict[str, float] = field(default_factory=dict)
+    wall_clock_s: float = 0.0
+    provenance: Dict[str, str] = field(default_factory=dict)
+    attempts: int = 1
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def name(self) -> str:
+        return self.spec.get("name") or self.spec_hash[:10]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "RunRecord":
+        return cls.from_dict(json.loads(blob))
+
+
+class ResultsStore:
+    """Append-only JSONL store of :class:`RunRecord` objects."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, record: RunRecord) -> None:
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a") as f:
+            f.write(record.to_json() + "\n")
+
+    def extend(self, records: Sequence[RunRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def load(self) -> List[RunRecord]:
+        """Reconstitute every record in the file (empty if absent)."""
+        if not os.path.exists(self.path):
+            return []
+        records: List[RunRecord] = []
+        with open(self.path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    records.append(RunRecord.from_json(line))
+        return records
+
+
+# ----------------------------------------------------------------------
+# Reconstituting records into renderer inputs
+# ----------------------------------------------------------------------
+Selector = Union[str, Callable[[RunRecord], Any]]
+
+
+def record_value(record: RunRecord, selector: Selector) -> Any:
+    """Pull a value out of a record.
+
+    ``selector`` is either a callable or a dotted path into the record's
+    dict form, e.g. ``"spec.workload.fraction"`` or
+    ``"metrics.avg_fct_ms"``.
+    """
+    if callable(selector):
+        return selector(record)
+    node: Any = record.to_dict()
+    for part in selector.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            raise KeyError(
+                f"selector {selector!r} missing at {part!r} for record "
+                f"{record.name}"
+            )
+        node = node[part]
+    return node
+
+
+def series_from_records(
+    records: Sequence[RunRecord],
+    x: Selector,
+    y: Selector,
+    group: Selector = "spec.name",
+    skip_failed: bool = True,
+) -> Tuple[List[Any], Dict[str, List[float]]]:
+    """Pivot records into ``format_series`` inputs.
+
+    Returns ``(x_values, {group_name: [y, ...]})`` with x values sorted
+    and series aligned to them (missing points become NaN).  Group order
+    follows first appearance in ``records``, which the runner keeps in
+    submission order — so rendering is deterministic regardless of
+    completion order.
+    """
+    points: Dict[str, Dict[Any, float]] = {}
+    xs: List[Any] = []
+    for record in records:
+        if skip_failed and not record.ok:
+            continue
+        xv = record_value(record, x)
+        name = str(record_value(record, group))
+        points.setdefault(name, {})[xv] = record_value(record, y)
+        if xv not in xs:
+            xs.append(xv)
+    xs = sorted(xs)
+    series = {
+        name: [by_x.get(xv, float("nan")) for xv in xs]
+        for name, by_x in points.items()
+    }
+    return xs, series

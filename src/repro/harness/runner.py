@@ -1,0 +1,278 @@
+"""Parallel sweep execution across a pool of worker processes.
+
+The :class:`Runner` fans a list of :class:`ExperimentSpec` points out
+over ``jobs`` worker processes (one process per in-flight point, at
+most ``jobs`` alive at a time — which is what gives us hard per-task
+timeouts: a stuck worker is simply terminated).  Failure semantics are
+*graceful degradation*: a worker exception, crash, or timeout becomes a
+structured failure :class:`RunRecord` after bounded retries with
+exponential backoff; the remaining points always complete and the sweep
+never raises.
+
+Completed points are served from / written to the content-addressed
+:class:`~repro.harness.cache.ResultCache` when one is attached, so
+re-running a sweep only computes new or changed points.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+from .records import ResultsStore, RunRecord, provenance
+from .spec import ExperimentSpec, SpecError
+
+__all__ = ["Runner", "SweepResult"]
+
+
+def _task_main(conn, spec_data: dict) -> None:
+    """Worker entry point: execute one spec, ship the record back."""
+    try:
+        from .execute import execute_spec
+
+        record = execute_spec(ExperimentSpec.from_dict(spec_data))
+        conn.send(("ok", record.to_dict()))
+    except BaseException as exc:  # noqa: BLE001 - becomes a failure record
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+@dataclass
+class SweepResult:
+    """All records of a sweep (in spec-submission order) plus counters."""
+
+    records: List[RunRecord]
+    wall_clock_s: float = 0.0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        cached = sum(1 for r in self.records if r.cached)
+        ok = sum(1 for r in self.records if r.ok and not r.cached)
+        failed = sum(1 for r in self.records if not r.ok)
+        return {
+            "total": len(self.records),
+            "ok": ok,
+            "cached": cached,
+            "failed": failed,
+        }
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.records)
+
+
+@dataclass
+class _Task:
+    proc: multiprocessing.process.BaseProcess
+    conn: object
+    index: int
+    attempt: int
+    started: float
+
+
+@dataclass
+class Runner:
+    """Orchestrates one sweep.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process pool width (default: CPU count, capped at 8).
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        successful records are written back.
+    store:
+        Optional :class:`ResultsStore`; every record (cached included)
+        is appended, in spec order, when the sweep finishes.
+    timeout_s:
+        Per-attempt wall-clock limit; an overrunning worker is
+        terminated (None = unlimited).
+    retries:
+        Extra attempts after the first for failed/timed-out points.
+    backoff_base_s:
+        Delay before retry ``n`` is ``backoff_base_s * 2**(n-1)``.
+    progress:
+        Optional callback receiving ``{total, done, ok, cached, failed,
+        running}`` whenever the sweep state changes.
+    """
+
+    jobs: Optional[int] = None
+    cache: Optional[ResultCache] = None
+    store: Optional[ResultsStore] = None
+    timeout_s: Optional[float] = None
+    retries: int = 1
+    backoff_base_s: float = 0.25
+    progress: Optional[Callable[[Dict[str, int]], None]] = None
+    mp_start_method: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs is None:
+            self.jobs = min(multiprocessing.cpu_count(), 8)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        method = self.mp_start_method
+        if not method:
+            # fork keeps worker start cheap (no re-import of scipy et al.)
+            # where available; everywhere else use the platform default.
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else None
+        self._ctx = multiprocessing.get_context(method)
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[ExperimentSpec]) -> SweepResult:
+        """Execute every spec; always returns one record per spec."""
+        t0 = time.perf_counter()
+        records: List[Optional[RunRecord]] = [None] * len(specs)
+        queue: deque = deque()  # (index, attempt, not_before)
+
+        for i, spec in enumerate(specs):
+            try:
+                spec.validate()
+            except SpecError as exc:
+                records[i] = self._failure(spec, "failed", str(exc), 1, 0.0)
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    records[i] = hit
+                    continue
+            queue.append((i, 1, 0.0))
+
+        active: List[_Task] = []
+        self._emit(records, active)
+        while queue or active:
+            now = time.perf_counter()
+            launched = self._launch_ready(specs, queue, active, now)
+            settled = self._poll_active(specs, records, queue, active, now)
+            if launched or settled:
+                self._emit(records, active)
+            else:
+                time.sleep(0.005)
+
+        final = [r for r in records if r is not None]
+        if self.store is not None:
+            self.store.extend(final)
+        return SweepResult(records=final, wall_clock_s=time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def _launch_ready(self, specs, queue, active, now) -> bool:
+        launched = False
+        scanned = 0
+        pending = len(queue)
+        while len(active) < self.jobs and scanned < pending:
+            index, attempt, not_before = queue.popleft()
+            scanned += 1
+            if not_before > now:
+                queue.append((index, attempt, not_before))
+                continue
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_task_main,
+                args=(child_conn, specs[index].to_dict()),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            active.append(
+                _Task(proc=proc, conn=parent_conn, index=index,
+                      attempt=attempt, started=now)
+            )
+            launched = True
+        return launched
+
+    def _poll_active(self, specs, records, queue, active, now) -> bool:
+        settled = False
+        for task in list(active):
+            outcome = None  # (status, payload)
+            if task.conn.poll():
+                try:
+                    outcome = task.conn.recv()
+                except (EOFError, OSError):
+                    outcome = ("error", "worker died without a result")
+            elif (
+                self.timeout_s is not None
+                and now - task.started > self.timeout_s
+            ):
+                task.proc.terminate()
+                outcome = (
+                    "timeout",
+                    f"timed out after {self.timeout_s:.1f}s",
+                )
+            elif not task.proc.is_alive():
+                # Died between polls; drain any result that raced in.
+                if task.conn.poll(0.01):
+                    try:
+                        outcome = task.conn.recv()
+                    except (EOFError, OSError):
+                        outcome = ("error", "worker died without a result")
+                else:
+                    outcome = (
+                        "error",
+                        f"worker exited with code {task.proc.exitcode}",
+                    )
+            if outcome is None:
+                continue
+            task.proc.join()
+            task.conn.close()
+            active.remove(task)
+            settled = True
+            status, payload = outcome
+            spec = specs[task.index]
+            if status == "ok":
+                record = RunRecord.from_dict(payload)
+                record.attempts = task.attempt
+                records[task.index] = record
+                if self.cache is not None:
+                    self.cache.put(spec, record)
+            elif task.attempt <= self.retries:
+                delay = self.backoff_base_s * 2 ** (task.attempt - 1)
+                queue.append((task.index, task.attempt + 1, now + delay))
+            else:
+                records[task.index] = self._failure(
+                    spec,
+                    "timeout" if status == "timeout" else "failed",
+                    str(payload),
+                    task.attempt,
+                    now - task.started,
+                )
+        return settled
+
+    def _failure(
+        self,
+        spec: ExperimentSpec,
+        status: str,
+        error: str,
+        attempts: int,
+        elapsed: float,
+    ) -> RunRecord:
+        return RunRecord(
+            spec=spec.to_dict(),
+            spec_hash=spec.content_hash(),
+            status=status,
+            error=error,
+            attempts=attempts,
+            wall_clock_s=elapsed,
+            provenance=provenance(spec.engine),
+        )
+
+    def _emit(self, records, active) -> None:
+        if self.progress is None:
+            return
+        done = [r for r in records if r is not None]
+        self.progress(
+            {
+                "total": len(records),
+                "done": len(done),
+                "ok": sum(1 for r in done if r.ok and not r.cached),
+                "cached": sum(1 for r in done if r.cached),
+                "failed": sum(1 for r in done if not r.ok),
+                "running": len(active),
+            }
+        )

@@ -15,7 +15,12 @@ from .routing import (
     RoutingPolicy,
     VlbRouting,
 )
-from .simulation import PacketSimulation, make_routing, run_packet_experiment
+from .simulation import (
+    ROUTING_CHOICES,
+    PacketSimulation,
+    make_routing,
+    run_packet_experiment,
+)
 from .stats import SHORT_FLOW_BYTES, FlowRecord, FlowStats, percentile
 from .mptcp import MptcpFlow
 from .switch import Switch
@@ -50,6 +55,7 @@ __all__ = [
     "PacketSimulation",
     "run_packet_experiment",
     "make_routing",
+    "ROUTING_CHOICES",
     "MptcpFlow",
     "LinkStats",
     "NetworkReport",

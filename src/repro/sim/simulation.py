@@ -27,7 +27,35 @@ from .routing import (
 from .stats import FlowRecord, FlowStats
 from .tcp import TransportParams
 
-__all__ = ["PacketSimulation", "run_packet_experiment", "make_routing"]
+__all__ = [
+    "PacketSimulation",
+    "run_packet_experiment",
+    "make_routing",
+    "ROUTING_CHOICES",
+]
+
+
+def _make_hyb(graph, seed: int, hyb_threshold_bytes: int) -> RoutingPolicy:
+    return HybRouting(graph, q_threshold_bytes=hyb_threshold_bytes, seed=seed)
+
+
+def _make_ksp(graph, seed: int, hyb_threshold_bytes: int) -> RoutingPolicy:
+    from .routing import KspRouting
+
+    return KspRouting(graph, seed=seed)
+
+
+_ROUTING_FACTORIES = {
+    "ecmp": lambda graph, seed, q: EcmpRouting(graph, seed=seed),
+    "vlb": lambda graph, seed, q: VlbRouting(graph, seed=seed),
+    "hyb": _make_hyb,
+    "chyb": lambda graph, seed, q: CongestionHybRouting(graph, seed=seed),
+    "aecmp": lambda graph, seed, q: AdaptiveEcmpRouting(graph, seed=seed),
+    "ksp": _make_ksp,
+}
+
+#: Every routing name accepted by :func:`make_routing` (CLI + harness specs).
+ROUTING_CHOICES = tuple(sorted(_ROUTING_FACTORIES))
 
 
 def make_routing(
@@ -42,24 +70,13 @@ def make_routing(
     ``'chyb'`` is the paper's congestion-aware hybrid variant (§6.3) and
     ``'aecmp'`` a locally queue-aware ECMP (§7 extension).
     """
-    graph = topology.graph
-    if name == "ecmp":
-        return EcmpRouting(graph, seed=seed)
-    if name == "vlb":
-        return VlbRouting(graph, seed=seed)
-    if name == "hyb":
-        return HybRouting(graph, q_threshold_bytes=hyb_threshold_bytes, seed=seed)
-    if name == "chyb":
-        return CongestionHybRouting(graph, seed=seed)
-    if name == "aecmp":
-        return AdaptiveEcmpRouting(graph, seed=seed)
-    if name == "ksp":
-        from .routing import KspRouting
-
-        return KspRouting(graph, seed=seed)
-    raise ValueError(
-        f"unknown routing {name!r} (expected ecmp/vlb/hyb/chyb/aecmp/ksp)"
-    )
+    factory = _ROUTING_FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown routing {name!r}; valid choices: "
+            + ", ".join(ROUTING_CHOICES)
+        )
+    return factory(topology.graph, seed, hyb_threshold_bytes)
 
 
 class PacketSimulation:

@@ -1,0 +1,74 @@
+"""Determinism across fresh processes — what makes the cache sound.
+
+An identical (spec, seed) pair must produce byte-identical metrics in
+two completely independent interpreter processes; otherwise the
+content-addressed cache would serve results that a fresh run could not
+reproduce.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+from repro.harness import ExperimentSpec
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+SCRIPT = """
+import json, sys
+from repro.harness import ExperimentSpec
+from repro.harness.execute import execute_spec
+
+spec = ExperimentSpec.from_dict(json.loads(sys.argv[1]))
+record = execute_spec(spec)
+print(spec.content_hash())
+print(json.dumps(record.metrics, sort_keys=True))
+print(json.dumps(record.telemetry, sort_keys=True))
+"""
+
+
+def run_in_fresh_process(spec: ExperimentSpec) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT, json.dumps(spec.to_dict())],
+        capture_output=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+def test_packet_point_is_byte_identical_across_processes():
+    spec = ExperimentSpec(
+        name="determinism probe",
+        topology={"family": "fattree", "k": 4},
+        workload={"pattern": "permute", "fraction": 1.0, "load": 0.2,
+                  "sizes": "pfabric", "mean_flow_bytes": 200_000},
+        routing="hyb",
+        engine="packet",
+        seed=42,
+        measure_start=0.005,
+        measure_end=0.02,
+    )
+    first = run_in_fresh_process(spec)
+    second = run_in_fresh_process(spec)
+    assert first == second
+    assert b"avg_fct_ms" in first
+    # The content hash is equally stable (same first line both runs).
+    assert first.splitlines()[0] == spec.content_hash().encode()
+
+
+def test_lp_point_is_byte_identical_across_processes():
+    spec = ExperimentSpec(
+        topology={"family": "jellyfish", "switches": 10, "degree": 4,
+                  "servers": 2, "seed": 1},
+        workload={"pattern": "longest_matching", "fraction": 0.5},
+        engine="lp",
+        seed=0,
+    )
+    first = run_in_fresh_process(spec)
+    assert first == run_in_fresh_process(spec)
+    assert b"per_server_throughput" in first

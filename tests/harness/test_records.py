@@ -1,0 +1,112 @@
+"""RunRecord round-trips, the JSONL store, and series reconstitution."""
+
+import math
+
+import pytest
+
+from repro.harness import (
+    ResultsStore,
+    RunRecord,
+    provenance,
+    record_value,
+    series_from_records,
+)
+
+
+def record(name, fraction, avg, status="ok"):
+    return RunRecord(
+        spec={"name": name, "workload": {"fraction": fraction}},
+        spec_hash="deadbeef" * 8,
+        status=status,
+        metrics={"avg_fct_ms": avg} if status == "ok" else {},
+        telemetry={"total_drops": 3},
+        provenance=provenance("packet"),
+    )
+
+
+class TestRunRecord:
+    def test_json_round_trip(self):
+        rec = record("a", 0.5, 1.5)
+        clone = RunRecord.from_json(rec.to_json())
+        assert clone == rec
+
+    def test_name_falls_back_to_hash_prefix(self):
+        rec = record("", 0.5, 1.5)
+        assert rec.name == rec.spec_hash[:10]
+
+    def test_ok_property(self):
+        assert record("a", 0.5, 1.0).ok
+        assert not record("a", 0.5, 1.0, status="failed").ok
+
+    def test_provenance_fingerprint(self):
+        prov = provenance("lp")
+        assert prov["engine"] == "lp"
+        assert set(prov) == {
+            "library_version", "python_version", "platform", "engine"
+        }
+
+
+class TestResultsStore:
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultsStore(str(tmp_path / "none.jsonl")).load() == []
+
+    def test_extend_then_load_round_trips(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "runs" / "out.jsonl"))
+        recs = [record("a", 0.2, 1.0), record("b", 0.4, 2.0)]
+        store.extend(recs)
+        assert store.load() == recs
+
+    def test_append_accumulates(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "out.jsonl"))
+        store.append(record("a", 0.2, 1.0))
+        store.append(record("b", 0.4, 2.0))
+        assert [r.name for r in store.load()] == ["a", "b"]
+
+
+class TestRecordValue:
+    def test_dotted_path(self):
+        rec = record("a", 0.5, 1.5)
+        assert record_value(rec, "spec.workload.fraction") == 0.5
+        assert record_value(rec, "metrics.avg_fct_ms") == 1.5
+        assert record_value(rec, "telemetry.total_drops") == 3
+
+    def test_callable(self):
+        rec = record("a", 0.5, 1.5)
+        assert record_value(rec, lambda r: r.status) == "ok"
+
+    def test_missing_path_raises(self):
+        with pytest.raises(KeyError, match="metrics.nope"):
+            record_value(record("a", 0.5, 1.5), "metrics.nope")
+
+
+class TestSeriesFromRecords:
+    def test_pivot_for_format_series(self):
+        recs = [
+            record("sys-A", 0.2, 1.0), record("sys-A", 0.6, 2.0),
+            record("sys-B", 0.2, 3.0), record("sys-B", 0.6, 4.0),
+        ]
+        xs, series = series_from_records(
+            recs, x="spec.workload.fraction", y="metrics.avg_fct_ms",
+            group=lambda r: r.spec["name"],
+        )
+        assert xs == [0.2, 0.6]
+        assert series == {"sys-A": [1.0, 2.0], "sys-B": [3.0, 4.0]}
+
+    def test_missing_point_becomes_nan(self):
+        recs = [record("A", 0.2, 1.0), record("A", 0.6, 2.0),
+                record("B", 0.6, 4.0)]
+        xs, series = series_from_records(
+            recs, x="spec.workload.fraction", y="metrics.avg_fct_ms",
+            group=lambda r: r.spec["name"],
+        )
+        assert math.isnan(series["B"][0]) and series["B"][1] == 4.0
+
+    def test_failed_records_skipped(self):
+        recs = [record("A", 0.2, 1.0),
+                record("A", 0.6, 0.0, status="failed")]
+        xs, series = series_from_records(
+            recs, x="spec.workload.fraction", y="metrics.avg_fct_ms",
+            group=lambda r: r.spec["name"],
+        )
+        assert xs == [0.2]
+        assert series == {"A": [1.0]}

@@ -8,7 +8,7 @@ from repro.sim import (
     SHORT_FLOW_BYTES,
     run_packet_experiment,
 )
-from repro.sim.simulation import make_routing
+from repro.sim.simulation import ROUTING_CHOICES, make_routing
 from repro.topologies import fattree, xpander
 from repro.traffic import FlowSpec
 
@@ -39,8 +39,15 @@ class TestNetworkBuild:
         assert len(sim.network.links) == 2 * ft.num_links + 2 * 16
 
     def test_make_routing_rejects_unknown(self, ft):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as exc_info:
             make_routing("bogus", ft)
+        message = str(exc_info.value)
+        assert "'bogus'" in message
+        for choice in ROUTING_CHOICES:
+            assert choice in message
+
+    def test_routing_choices_complete(self):
+        assert ROUTING_CHOICES == ("aecmp", "chyb", "ecmp", "hyb", "ksp", "vlb")
 
 
 class TestSingleFlowDelivery:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -77,6 +79,75 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "avg_fct_ms" in out
+
+
+class TestSweepCommand:
+    LP_SWEEP = {
+        "defaults": {
+            "topology": {"family": "jellyfish", "switches": 8, "degree": 3,
+                         "servers": 1, "seed": 0},
+            "engine": "lp",
+            "workload": {"pattern": "longest_matching"},
+        },
+        "grid": {"workload.fraction": [0.5, 1.0]},
+    }
+
+    def test_sweep_runs_caches_and_persists(self, tmp_path, capsys):
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(json.dumps(self.LP_SWEEP))
+        cache_dir = tmp_path / "cache"
+        results = tmp_path / "runs.jsonl"
+        rc = main([
+            "sweep", str(spec_file), "--jobs", "1",
+            "--cache-dir", str(cache_dir), "--results", str(results),
+            "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 computed, 0 cached, 0 failed" in out
+        assert "per_server_throughput" in out
+        assert len(results.read_text().splitlines()) == 2
+
+        # Re-running the same file is served entirely from cache.
+        rc = main([
+            "sweep", str(spec_file), "--jobs", "1",
+            "--cache-dir", str(cache_dir), "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 computed, 2 cached, 0 failed" in out
+
+    def test_unloadable_spec_file_is_a_clean_error(self, tmp_path, capsys):
+        missing = main(["sweep", str(tmp_path / "nope.json"), "--quiet"])
+        bad = tmp_path / "broken.json"
+        bad.write_text("{broken")
+        malformed = main(["sweep", str(bad), "--quiet"])
+        invalid = tmp_path / "warp.json"
+        invalid.write_text(json.dumps({
+            "topology": {"family": "fattree", "k": 4},
+            "routing": "warp",
+            "workload": {"pattern": "permute", "load": 0.2},
+        }))
+        unknown = main(["sweep", str(invalid), "--quiet"])
+        err = capsys.readouterr().err
+        assert missing == malformed == unknown == 2
+        assert err.count("sweep: cannot load") == 3
+        assert "unknown routing 'warp'" in err
+
+    def test_failed_point_sets_exit_code(self, tmp_path, capsys):
+        spec_file = tmp_path / "bad.json"
+        spec_file.write_text(json.dumps({
+            "topology": {"family": "fattree", "k": 5},
+            "workload": {"pattern": "permute", "fraction": 1.0, "load": 0.2},
+            "engine": "packet",
+            "measure_start": 0.005,
+            "measure_end": 0.02,
+        }))
+        rc = main(["sweep", str(spec_file), "--jobs", "1", "--no-cache",
+                   "--retries", "0", "--quiet"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "TopologyError" in out
 
 
 class TestCostCommand:
