@@ -1,0 +1,207 @@
+"""Perf-regression microbenches for the accelerated hot-path kernels.
+
+Each bench times a retained reference implementation against its
+vectorized/cached replacement on fixed seeds, asserts the accelerated
+kernel is no slower, and records the ratios in ``BENCH_perf.json`` at
+the repo root so regressions show up as trajectory diffs.
+
+Kernels covered (ISSUE acceptance: >= 3x on at least two):
+
+* ECMP table construction — one networkx BFS per destination vs. a
+  single csgraph all-pairs sweep (:class:`repro.perf.PathCache`).
+* Exact-LP constraint assembly — per-(destination, node) Python loops
+  vs. broadcast block construction.
+* K-shortest-path enumeration across a demand set — fresh Yen's per
+  request vs. the memoizing cache over repeated passes.
+* Max-min fair-share recompute at >= 500 flows — dict-of-dicts
+  progressive filling vs. the CSR water-fill.
+
+Set ``REPRO_PERF_QUICK=1`` for a reduced grid (CI smoke).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.flowsim.fairshare import (
+    max_min_allocation,
+    max_min_allocation_reference,
+)
+from repro.perf import PathCache
+from repro.throughput.arcs import ArcTable
+from repro.throughput.lp import (
+    _assemble_exact_reference,
+    _assemble_exact_vectorized,
+    _demands_by_destination,
+)
+from repro.throughput.paths import ecmp_next_hops, k_shortest_paths
+from repro.topologies import jellyfish
+from repro.traffic import TrafficMatrix, permutation_tm
+
+QUICK = os.environ.get("REPRO_PERF_QUICK") == "1"
+BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "BENCH_perf.json"
+)
+
+_RESULTS: dict = {}
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn()`` (best filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _record(kernel: str, ref_s: float, acc_s: float, params: dict) -> float:
+    speedup = ref_s / acc_s if acc_s > 0 else float("inf")
+    _RESULTS[kernel] = {
+        "reference_s": ref_s,
+        "accelerated_s": acc_s,
+        "speedup": round(speedup, 2),
+        "params": params,
+    }
+    return speedup
+
+
+def _topo(switches: int, ports: int, seed: int = 7):
+    return jellyfish(
+        num_switches=switches,
+        network_ports=ports,
+        servers_per_switch=2,
+        seed=seed,
+    )
+
+
+def test_ecmp_table_construction():
+    topo = _topo(24 if QUICK else 128, 5 if QUICK else 10)
+    g = topo.graph
+
+    def reference():
+        return {dst: ecmp_next_hops(g, dst) for dst in g.nodes()}
+
+    def accelerated():
+        # Fresh cache: the measurement includes the all-pairs sweep.
+        return PathCache(g).ecmp_tables()
+
+    ref_tables = reference()
+    acc_tables = accelerated()
+    assert ref_tables == acc_tables  # identical, not just equivalent
+
+    speedup = _record(
+        "ecmp_tables",
+        _time(reference),
+        _time(accelerated),
+        {"switches": topo.num_switches},
+    )
+    assert speedup > 1.0
+
+
+def test_exact_lp_assembly():
+    topo = _topo(20 if QUICK else 48, 5 if QUICK else 8)
+    tm = permutation_tm(topo.switches, servers_per_tor=2, seed=3)
+    table = ArcTable.from_topology(topo)
+    dests, demand_to = _demands_by_destination(tm)
+
+    a_eq_r, b_r, a_ub_r = _assemble_exact_reference(table, dests, demand_to)
+    a_eq_v, b_v, a_ub_v = _assemble_exact_vectorized(table, dests, demand_to)
+    assert (a_eq_r != a_eq_v).nnz == 0
+    assert (a_ub_r != a_ub_v).nnz == 0
+
+    speedup = _record(
+        "lp_assembly",
+        _time(lambda: _assemble_exact_reference(table, dests, demand_to)),
+        _time(lambda: _assemble_exact_vectorized(table, dests, demand_to)),
+        {"switches": topo.num_switches, "destinations": len(dests)},
+    )
+    assert speedup > 1.0
+
+
+def test_ksp_enumeration_across_demands():
+    topo = _topo(16 if QUICK else 32, 4 if QUICK else 6)
+    g = topo.graph
+    k = 4
+    passes = 4  # a sweep revisits each pair (e.g. per routing policy)
+    rng = random.Random(11)
+    pairs = [tuple(rng.sample(topo.switches, 2)) for _ in range(8 if QUICK else 32)]
+
+    def reference():
+        out = []
+        for _ in range(passes):
+            for s, d in pairs:
+                out.append(k_shortest_paths(g, s, d, k))
+        return out
+
+    def accelerated():
+        cache = PathCache(g)
+        out = []
+        for _ in range(passes):
+            for s, d in pairs:
+                out.append(cache.k_shortest_paths(s, d, k))
+        return out
+
+    assert reference() == accelerated()
+
+    speedup = _record(
+        "ksp_enumeration",
+        _time(reference, repeats=2),
+        _time(accelerated, repeats=2),
+        {"pairs": len(pairs), "passes": passes, "k": k},
+    )
+    assert speedup > 1.0
+
+
+def test_fairshare_recompute_500_flows():
+    topo = _topo(20, 5, seed=2)
+    rng = random.Random(13)
+    arcs = []
+    capacities = {}
+    for u, v in topo.graph.edges():
+        for arc in [(u, v), (v, u)]:
+            arcs.append(arc)
+            capacities[arc] = rng.choice([1.0, 2.0, 4.0])
+    n_flows = 200 if QUICK else 600
+    flow_paths = {
+        fid: [rng.choice(arcs) for _ in range(rng.randint(2, 6))]
+        for fid in range(n_flows)
+    }
+
+    ref = max_min_allocation_reference(flow_paths, capacities)
+    vec = max_min_allocation(flow_paths, capacities)
+    assert set(ref) == set(vec)
+    assert all(abs(ref[f] - vec[f]) < 1e-9 for f in ref)
+
+    speedup = _record(
+        "fairshare_recompute",
+        _time(lambda: max_min_allocation_reference(flow_paths, capacities)),
+        _time(lambda: max_min_allocation(flow_paths, capacities)),
+        {"flows": n_flows, "arcs": len(arcs)},
+    )
+    assert speedup > 1.0
+
+
+def test_zzz_write_bench_json():
+    """Aggregate the kernel timings into BENCH_perf.json (runs last)."""
+    assert _RESULTS, "kernel benches did not run"
+    payload = {
+        "suite": "perf-kernels",
+        "quick": QUICK,
+        "kernels": _RESULTS,
+        "speedups_ge_3x": sorted(
+            k for k, v in _RESULTS.items() if v["speedup"] >= 3.0
+        ),
+    }
+    from repro.ioutils import atomic_write_json
+
+    atomic_write_json(os.path.abspath(BENCH_PATH), payload, sort_keys=True)
+    if not QUICK:
+        # Acceptance: >= 3x on at least two kernels at full scale.
+        assert len(payload["speedups_ge_3x"]) >= 2, payload

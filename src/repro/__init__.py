@@ -14,6 +14,8 @@ The package provides:
 * :mod:`repro.sim` — a packet-level discrete-event simulator with DCTCP
   and ECMP / VLB / HYB routing;
 * :mod:`repro.flowsim` — a fast flow-level (max-min fair) simulator;
+* :mod:`repro.perf` — shared per-topology path/routing caches (distance
+  matrices, ECMP tables, k-shortest-path sets) behind the hot paths;
 * :mod:`repro.cost` — Table 1's per-port cost model and equal-cost
   network sizing;
 * :mod:`repro.analysis` — plain-text rendering of results;
@@ -37,7 +39,17 @@ Quickstart::
     print(stats.summary())
 """
 
-from . import analysis, cost, flowsim, harness, sim, throughput, topologies, traffic
+from . import (
+    analysis,
+    cost,
+    flowsim,
+    harness,
+    perf,
+    sim,
+    throughput,
+    topologies,
+    traffic,
+)
 
 __version__ = "1.0.0"
 
@@ -47,6 +59,7 @@ __all__ = [
     "throughput",
     "sim",
     "flowsim",
+    "perf",
     "cost",
     "analysis",
     "harness",

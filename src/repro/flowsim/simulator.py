@@ -30,7 +30,7 @@ import networkx as nx
 from ..topologies.base import Topology
 from ..traffic.workload import FlowSpec
 from ..sim.stats import FlowRecord, FlowStats
-from .fairshare import max_min_allocation
+from .fairshare import FairShareState
 
 __all__ = ["FlowLevelSimulation", "run_flow_experiment"]
 
@@ -151,13 +151,15 @@ class FlowLevelSimulation:
             for f in arrivals
         }
         active: Dict[int, _ActiveFlow] = {}
+        # Incremental fair-share state: arcs are interned once per flow
+        # at arrival; every event re-runs only the vectorized water-fill.
+        share = FairShareState(self.capacities)
         now = 0.0
         i = 0
         n = len(arrivals)
 
         def recompute() -> None:
-            paths = {fid: af.arcs for fid, af in active.items()}
-            rates = max_min_allocation(paths, self.capacities)
+            rates = share.rates()
             for fid, af in active.items():
                 af.rate = rates[fid]
 
@@ -183,11 +185,13 @@ class FlowLevelSimulation:
                 now = next_arrival
                 spec = arrivals[i]
                 i += 1
-                active[spec.flow_id] = _ActiveFlow(
+                flow = _ActiveFlow(
                     record=records[spec.flow_id],
                     arcs=self._flow_arcs(spec),
                     remaining=float(spec.size_bytes),
                 )
+                active[spec.flow_id] = flow
+                share.add_flow(spec.flow_id, flow.arcs)
                 recompute()
             elif completing is not None:
                 elapsed = next_completion - now
@@ -195,6 +199,7 @@ class FlowLevelSimulation:
                     af.remaining -= af.rate * elapsed / 8.0
                 now = next_completion
                 done = active.pop(completing)
+                share.remove_flow(completing)
                 done.record.completion_time = now
                 recompute()
             else:

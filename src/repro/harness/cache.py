@@ -14,9 +14,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from typing import Optional
 
+from ..ioutils import atomic_write_json
 from .records import RunRecord
 from .spec import ExperimentSpec
 
@@ -60,17 +60,9 @@ class ResultCache:
         """
         if not record.ok:
             raise ValueError("only successful records are cached")
-        os.makedirs(self.root, exist_ok=True)
-        path = self.path(spec)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as f:
-                json.dump(record.to_dict(), f, sort_keys=True)
-            os.replace(tmp, path)
-        finally:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-        return path
+        return atomic_write_json(
+            self.path(spec), record.to_dict(), sort_keys=True
+        )
 
     def __len__(self) -> int:
         if not os.path.isdir(self.root):

@@ -1,0 +1,45 @@
+"""Atomic file-write helpers shared by the on-disk caches.
+
+Every cache in the library (harness result cache, perf path cache)
+writes through these helpers: the payload lands in a temp file in the
+destination directory and is moved into place with :func:`os.replace`,
+so a concurrent reader never observes a truncated entry and a crashed
+writer leaves no partial file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> str:
+    """Atomically write ``payload`` to ``path``; returns ``path``.
+
+    The parent directory is created if missing.
+    """
+    parent = os.path.dirname(path) or "."
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(payload)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return path
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Atomically write ``text`` (UTF-8) to ``path``."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str, payload: Any, **dump_kwargs: Any) -> str:
+    """Atomically serialize ``payload`` as JSON to ``path``."""
+    return atomic_write_text(path, json.dumps(payload, **dump_kwargs))

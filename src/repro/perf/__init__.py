@@ -1,0 +1,21 @@
+"""Hot-path acceleration: shared per-topology path/routing caches.
+
+See :mod:`repro.perf.pathcache` for the design.  The vectorized compute
+kernels themselves live next to the code they accelerate
+(:mod:`repro.throughput.lp`, :mod:`repro.flowsim.fairshare`); this
+package owns the structures they share.
+"""
+
+from .pathcache import (
+    PathCache,
+    clear_shared_caches,
+    shared_path_cache,
+    topology_content_hash,
+)
+
+__all__ = [
+    "PathCache",
+    "shared_path_cache",
+    "topology_content_hash",
+    "clear_shared_caches",
+]

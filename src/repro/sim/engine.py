@@ -21,25 +21,34 @@ _NO_ARG = object()
 class EventHandle:
     """Handle to a cancellable event; ``cancel()`` suppresses its callback."""
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "_engine", "_fired")
 
-    def __init__(self) -> None:
+    def __init__(self, engine: Optional["Engine"] = None) -> None:
         self.cancelled = False
+        self._engine = engine
+        self._fired = False
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Cancelling after the event fired (or without an engine) must not
+        # perturb the engine's dead-entry accounting.
+        if self._engine is not None and not self._fired:
+            self._engine._note_cancelled()
 
 
 class Engine:
     """Event-driven simulation clock.  Time is in seconds (float)."""
 
-    __slots__ = ("now", "_heap", "_seq", "_processed")
+    __slots__ = ("now", "_heap", "_seq", "_processed", "_cancelled")
 
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: List = []
         self._seq = 0
         self._processed = 0
+        self._cancelled = 0
 
     def schedule(
         self, delay: float, callback: Callable, arg: Any = _NO_ARG
@@ -58,12 +67,29 @@ class Engine:
         """Like :meth:`schedule` but returns a cancellation handle."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        handle = EventHandle()
+        handle = EventHandle(self)
         self._seq += 1
         heapq.heappush(
             self._heap, (self.now + delay, self._seq, callback, arg, handle)
         )
         return handle
+
+    def _note_cancelled(self) -> None:
+        """Count a newly cancelled pending event; compact if dead-heavy.
+
+        Retransmission timers are almost always cancelled (acks normally
+        beat timeouts), so dead entries would otherwise accumulate without
+        bound.  When more than half the heap is dead we rebuild it from
+        the live entries — amortized O(1) per cancellation.
+        """
+        self._cancelled += 1
+        if self._cancelled > len(self._heap) // 2:
+            # In place: run() may hold a local alias to the heap list.
+            self._heap[:] = [
+                e for e in self._heap if e[4] is None or not e[4].cancelled
+            ]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def schedule_at(
         self, when: float, callback: Callable, arg: Any = _NO_ARG
@@ -86,8 +112,11 @@ class Engine:
             if until is not None and t > until:
                 break
             heapq.heappop(heap)
-            if handle is not None and handle.cancelled:
-                continue
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled -= 1
+                    continue
+                handle._fired = True
             self.now = t
             if arg is no_arg:
                 callback()
@@ -103,8 +132,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still scheduled."""
+        return len(self._heap) - self._cancelled
 
     @property
     def events_processed(self) -> int:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence
 
-from ..throughput.paths import ecmp_next_hops
+from ..perf import PathCache, shared_path_cache
 from .packet import Packet
 
 __all__ = [
@@ -61,6 +61,11 @@ class RoutingPolicy:
         Switch ids eligible as VLB intermediates (default: all switches).
     seed:
         Seed for the VLB intermediate choice.
+    path_cache:
+        A shared :class:`repro.perf.PathCache` serving the ECMP next-hop
+        tables.  Defaults to the process-wide cache for ``graph``, so
+        every policy instance over the same topology shares one table
+        set instead of re-running a BFS per destination per instance.
     """
 
     name = "base"
@@ -70,10 +75,13 @@ class RoutingPolicy:
         graph,
         vlb_candidates: Optional[Sequence[int]] = None,
         seed: int = 0,
+        path_cache: Optional[PathCache] = None,
     ) -> None:
-        self._tables: Dict[int, Dict[int, List[int]]] = {
-            dst: ecmp_next_hops(graph, dst) for dst in graph.nodes()
-        }
+        self._path_cache = path_cache or shared_path_cache(graph)
+        # Shared read-only table set, built once per topology.
+        self._tables: Dict[int, Dict[int, List[int]]] = (
+            self._path_cache.ecmp_tables()
+        )
         self._vlb_candidates = sorted(
             vlb_candidates if vlb_candidates is not None else graph.nodes()
         )
@@ -165,8 +173,11 @@ class HybRouting(RoutingPolicy):
         q_threshold_bytes: int = DEFAULT_HYB_THRESHOLD_BYTES,
         vlb_candidates: Optional[Sequence[int]] = None,
         seed: int = 0,
+        path_cache: Optional[PathCache] = None,
     ) -> None:
-        super().__init__(graph, vlb_candidates=vlb_candidates, seed=seed)
+        super().__init__(
+            graph, vlb_candidates=vlb_candidates, seed=seed, path_cache=path_cache
+        )
         if q_threshold_bytes < 0:
             raise ValueError("q_threshold_bytes must be non-negative")
         self.q_threshold = q_threshold_bytes
@@ -198,8 +209,11 @@ class CongestionHybRouting(RoutingPolicy):
         ecn_mark_threshold: int = 3,
         vlb_candidates: Optional[Sequence[int]] = None,
         seed: int = 0,
+        path_cache: Optional[PathCache] = None,
     ) -> None:
-        super().__init__(graph, vlb_candidates=vlb_candidates, seed=seed)
+        super().__init__(
+            graph, vlb_candidates=vlb_candidates, seed=seed, path_cache=path_cache
+        )
         if ecn_mark_threshold < 1:
             raise ValueError("ecn_mark_threshold must be >= 1")
         self.ecn_mark_threshold = ecn_mark_threshold
@@ -241,8 +255,11 @@ class AdaptiveEcmpRouting(RoutingPolicy):
         graph,
         vlb_candidates: Optional[Sequence[int]] = None,
         seed: int = 0,
+        path_cache: Optional[PathCache] = None,
     ) -> None:
-        super().__init__(graph, vlb_candidates=vlb_candidates, seed=seed)
+        super().__init__(
+            graph, vlb_candidates=vlb_candidates, seed=seed, path_cache=path_cache
+        )
         self._switches = None
 
     def bind_network(self, network) -> None:
@@ -288,7 +305,9 @@ class KspRouting(RoutingPolicy):
     source routing: each flowlet picks one of the k precomputed paths
     uniformly at random and its packets carry the remaining hop list.
 
-    Path sets are computed lazily per (src ToR, dst ToR) pair and cached.
+    Path sets are computed lazily per (src ToR, dst ToR) pair and served
+    from the shared :class:`~repro.perf.PathCache`, so a sweep over
+    routings on one topology computes each pair's paths exactly once.
     """
 
     name = "ksp"
@@ -299,13 +318,14 @@ class KspRouting(RoutingPolicy):
         k: int = 4,
         vlb_candidates: Optional[Sequence[int]] = None,
         seed: int = 0,
+        path_cache: Optional[PathCache] = None,
     ) -> None:
-        super().__init__(graph, vlb_candidates=vlb_candidates, seed=seed)
+        super().__init__(
+            graph, vlb_candidates=vlb_candidates, seed=seed, path_cache=path_cache
+        )
         if k < 1:
             raise ValueError("k must be >= 1")
-        self._graph = graph
         self.k = k
-        self._paths: Dict[tuple, List[List[int]]] = {}
 
     def choose_via(
         self, flow_id: int, bytes_sent: int, src_tor: int, dst_tor: int
@@ -313,14 +333,7 @@ class KspRouting(RoutingPolicy):
         return None
 
     def _path_set(self, src_tor: int, dst_tor: int) -> List[List[int]]:
-        key = (src_tor, dst_tor)
-        if key not in self._paths:
-            from ..throughput.paths import k_shortest_paths
-
-            self._paths[key] = k_shortest_paths(
-                self._graph, src_tor, dst_tor, self.k
-            )
-        return self._paths[key]
+        return self._path_cache.k_shortest_paths(src_tor, dst_tor, self.k)
 
     def choose_route(
         self, flow_id: int, flowlet: int, src_tor: int, dst_tor: int

@@ -15,12 +15,20 @@ classic *maximum concurrent flow* problem.  Two formulations are provided:
   much smaller LPs on large networks.
 
 Both use scipy's HiGHS solver with sparse constraint matrices.
+
+Constraint assembly is vectorized: conservation and capacity blocks are
+built from numpy coordinate arrays over the :class:`~.arcs.ArcTable`
+incidence structure instead of Python append loops, producing the
+*identical* canonical CSR matrices orders of magnitude faster (see
+``benchmarks/perf``).  The original loop assembly is retained as
+:func:`_assemble_exact_reference` — the equivalence oracle for tests and
+the baseline for the perf-regression bench.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -28,7 +36,11 @@ from scipy.optimize import linprog
 
 from ..topologies.base import Topology
 from ..traffic.matrix import TrafficMatrix
-from .paths import k_shortest_paths, path_edges
+from .arcs import ArcTable
+from .paths import path_edges
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf import PathCache
 
 __all__ = [
     "ThroughputResult",
@@ -60,60 +72,34 @@ class ThroughputResult:
     link_utilization: Optional[Dict[Tuple[int, int], float]] = None
 
 
-def _arcs(topology: Topology) -> Tuple[List[Tuple[int, int]], np.ndarray]:
-    """Directed arcs (both orientations of every cable) and their capacities."""
-    arcs: List[Tuple[int, int]] = []
-    caps: List[float] = []
-    for u, v, data in topology.graph.edges(data=True):
-        arcs.append((u, v))
-        caps.append(data["capacity"])
-        arcs.append((v, u))
-        caps.append(data["capacity"])
-    return arcs, np.asarray(caps, dtype=float)
-
-
-def max_concurrent_throughput(
-    topology: Topology,
+def _demands_by_destination(
     tm: TrafficMatrix,
-    per_server_demand: float = 1.0,
-) -> ThroughputResult:
-    """Exact max-concurrent-flow throughput of ``tm`` on ``topology``.
-
-    Parameters
-    ----------
-    topology:
-        The switch-level network (capacities in server line-rate units).
-    tm:
-        Rack-to-rack demands in line-rate units.
-    per_server_demand:
-        Demand each active server requests (line-rate fraction); used only
-        to normalize ``per_server`` in the result.
-
-    Notes
-    -----
-    Destination-aggregated arc-flow LP: variables ``f[d, a]`` (flow bound
-    for destination ToR ``d`` on arc ``a``) plus the concurrency ``t``;
-    conservation at every node except the destination; arc capacity sums
-    over destinations.
-    """
-    if tm.num_flows == 0:
-        return ThroughputResult(throughput=float("inf"), per_server=1.0)
-
-    arcs, caps = _arcs(topology)
-    arc_index = {a: i for i, a in enumerate(arcs)}
-    nodes = topology.switches
-    node_index = {v: i for i, v in enumerate(nodes)}
-    num_arcs = len(arcs)
-
+) -> Tuple[List[int], Dict[int, Dict[int, float]]]:
+    """Destination-aggregated demands: ``demand_to[d][v]`` = v's demand to d."""
     dests = sorted({d for (_, d) in tm.demands})
-    dest_index = {d: i for i, d in enumerate(dests)}
-    num_dests = len(dests)
-
-    # demand[d][v] = demand from node v toward destination d
     demand_to: Dict[int, Dict[int, float]] = {d: {} for d in dests}
     for (s, d), val in tm.demands.items():
         demand_to[d][s] = demand_to[d].get(s, 0.0) + val
+    return dests, demand_to
 
+
+def _assemble_exact_reference(
+    table: ArcTable,
+    dests: List[int],
+    demand_to: Dict[int, Dict[int, float]],
+) -> Tuple[sp.csr_matrix, np.ndarray, sp.csr_matrix]:
+    """Loop-based assembly of the exact LP's constraint matrices.
+
+    Retained as the equivalence oracle for the vectorized assembly (the
+    two must produce identical canonical CSR matrices) and as the
+    baseline the perf bench measures against.  Production calls go
+    through :func:`_assemble_exact_vectorized`.
+    """
+    arcs = table.arcs
+    nodes = table.nodes
+    num_arcs = table.num_arcs
+    num_dests = len(dests)
+    dest_index = {d: i for i, d in enumerate(dests)}
     num_vars = num_dests * num_arcs + 1  # + t
     t_var = num_vars - 1
 
@@ -151,9 +137,7 @@ def max_concurrent_throughput(
                 eq_cols.append(t_var)
                 eq_vals.append(-dem)
             row += 1
-    a_eq = sp.csr_matrix(
-        (eq_vals, (eq_rows, eq_cols)), shape=(row, num_vars)
-    )
+    a_eq = sp.csr_matrix((eq_vals, (eq_rows, eq_cols)), shape=(row, num_vars))
     b_eq = np.zeros(row)
 
     # Inequality: per-arc capacity, sum over destinations.
@@ -165,10 +149,121 @@ def max_concurrent_throughput(
             ub_rows.append(a)
             ub_cols.append(fvar(di, a))
             ub_vals.append(1.0)
-    a_ub = sp.csr_matrix(
-        (ub_vals, (ub_rows, ub_cols)), shape=(num_arcs, num_vars)
+    a_ub = sp.csr_matrix((ub_vals, (ub_rows, ub_cols)), shape=(num_arcs, num_vars))
+    return a_eq, b_eq, a_ub
+
+
+def _assemble_exact_vectorized(
+    table: ArcTable,
+    dests: List[int],
+    demand_to: Dict[int, Dict[int, float]],
+) -> Tuple[sp.csr_matrix, np.ndarray, sp.csr_matrix]:
+    """Vectorized assembly of the exact LP's constraint matrices.
+
+    Builds the conservation block for all destinations at once from the
+    arc tail/head index arrays: within destination block ``di`` the row
+    of node ``v`` is its dense index with the destination's own row
+    squeezed out, and every arc contributes +1 at its tail row and -1
+    at its head row.  Canonical CSR output is identical to the
+    reference loops (duplicate-free coordinates, same coefficients).
+    """
+    n = table.num_nodes
+    m = table.num_arcs
+    num_dests = len(dests)
+    num_vars = num_dests * m + 1
+    t_var = num_vars - 1
+
+    dest_nodes = np.asarray([table.node_index[d] for d in dests], dtype=np.intp)
+    dn = dest_nodes[:, None]  # (D, 1)
+    tails = table.tails[None, :]  # (1, m)
+    heads = table.heads[None, :]
+    block = np.arange(num_dests, dtype=np.intp)[:, None] * (n - 1)
+    col_base = np.arange(num_dests, dtype=np.intp)[:, None] * m + np.arange(
+        m, dtype=np.intp
     )
-    b_ub = caps
+
+    tail_mask = tails != dn
+    tail_rows = (block + tails - (tails > dn))[tail_mask]
+    tail_cols = np.broadcast_to(col_base, (num_dests, m))[tail_mask]
+    head_mask = heads != dn
+    head_rows = (block + heads - (heads > dn))[head_mask]
+    head_cols = np.broadcast_to(col_base, (num_dests, m))[head_mask]
+
+    dem_rows: List[int] = []
+    dem_vals: List[float] = []
+    for di, d in enumerate(dests):
+        dn_i = int(dest_nodes[di])
+        base = di * (n - 1)
+        for v, dem in demand_to[d].items():
+            if not dem:
+                continue
+            vi = table.node_index[v]
+            dem_rows.append(base + vi - (vi > dn_i))
+            dem_vals.append(-dem)
+
+    eq_rows = np.concatenate(
+        [tail_rows, head_rows, np.asarray(dem_rows, dtype=np.intp)]
+    )
+    eq_cols = np.concatenate(
+        [tail_cols, head_cols, np.full(len(dem_rows), t_var, dtype=np.intp)]
+    )
+    eq_vals = np.concatenate(
+        [
+            np.ones(tail_rows.size),
+            -np.ones(head_rows.size),
+            np.asarray(dem_vals, dtype=float),
+        ]
+    )
+    num_rows = num_dests * (n - 1)
+    a_eq = sp.csr_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(num_rows, num_vars)
+    )
+    b_eq = np.zeros(num_rows)
+
+    ub_rows = np.tile(np.arange(m, dtype=np.intp), num_dests)
+    ub_cols = col_base.ravel()
+    a_ub = sp.csr_matrix(
+        (np.ones(ub_rows.size), (ub_rows, ub_cols)), shape=(m, num_vars)
+    )
+    return a_eq, b_eq, a_ub
+
+
+def max_concurrent_throughput(
+    topology: Topology,
+    tm: TrafficMatrix,
+    per_server_demand: float = 1.0,
+) -> ThroughputResult:
+    """Exact max-concurrent-flow throughput of ``tm`` on ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        The switch-level network (capacities in server line-rate units).
+    tm:
+        Rack-to-rack demands in line-rate units.
+    per_server_demand:
+        Demand each active server requests (line-rate fraction); used only
+        to normalize ``per_server`` in the result.
+
+    Notes
+    -----
+    Destination-aggregated arc-flow LP: variables ``f[d, a]`` (flow bound
+    for destination ToR ``d`` on arc ``a``) plus the concurrency ``t``;
+    conservation at every node except the destination; arc capacity sums
+    over destinations.
+    """
+    if tm.num_flows == 0:
+        return ThroughputResult(throughput=float("inf"), per_server=1.0)
+
+    table = ArcTable.from_topology(topology)
+    dests, demand_to = _demands_by_destination(tm)
+    num_arcs = table.num_arcs
+    num_dests = len(dests)
+    num_vars = num_dests * num_arcs + 1
+    t_var = num_vars - 1
+
+    a_eq, b_eq, a_ub = _assemble_exact_vectorized(table, dests, demand_to)
+    b_ub = table.caps
 
     c = np.zeros(num_vars)
     c[t_var] = -1.0
@@ -183,7 +278,8 @@ def max_concurrent_throughput(
 
     utilization: Dict[Tuple[int, int], float] = {}
     flows = res.x[:-1].reshape(num_dests, num_arcs).sum(axis=0)
-    for a, (u, v) in enumerate(arcs):
+    caps = table.caps
+    for a, (u, v) in enumerate(table.arcs):
         utilization[(u, v)] = float(flows[a] / caps[a]) if caps[a] else 0.0
 
     return ThroughputResult(
@@ -198,59 +294,81 @@ def path_throughput(
     tm: TrafficMatrix,
     k: int = 8,
     per_server_demand: float = 1.0,
+    path_cache: Optional["PathCache"] = None,
 ) -> ThroughputResult:
     """Max-concurrent-flow restricted to k shortest paths per demand.
 
     A lower bound on :func:`max_concurrent_throughput`; the LP has one
     variable per (demand, path) plus ``t``, and one capacity row per
     directed arc, so it scales to networks where the exact LP does not.
+
+    Parameters
+    ----------
+    path_cache:
+        A shared :class:`repro.perf.PathCache` to serve the k-shortest-
+        path sets.  Defaults to the process-wide cache for this
+        topology, so a sweep over routings (or ``k`` values) on one
+        topology enumerates Yen's algorithm exactly once per pair.
     """
     if tm.num_flows == 0:
         return ThroughputResult(throughput=float("inf"), per_server=1.0)
 
-    arcs, caps = _arcs(topology)
-    arc_index = {a: i for i, a in enumerate(arcs)}
-    num_arcs = len(arcs)
+    if path_cache is None:
+        from ..perf import shared_path_cache
+
+        path_cache = shared_path_cache(topology.graph)
+
+    table = ArcTable.from_topology(topology)
+    arc_index = table.index
+    num_arcs = table.num_arcs
+    caps = table.caps
 
     demands = tm.items()
-    var_paths: List[List[Tuple[int, int]]] = []  # arc lists
+    var_arcs: List[np.ndarray] = []  # arc-id array per path variable
     var_owner: List[int] = []  # demand index
     for di, ((s, d), _) in enumerate(demands):
-        paths = k_shortest_paths(topology.graph, s, d, k)
+        paths = path_cache.k_shortest_paths(s, d, k)
         if not paths:
             return ThroughputResult(throughput=0.0, per_server=0.0)
         for p in paths:
-            var_paths.append([arc_index[e] for e in path_edges(p)])
+            var_arcs.append(
+                np.asarray([arc_index[e] for e in path_edges(p)], dtype=np.intp)
+            )
             var_owner.append(di)
 
-    num_path_vars = len(var_paths)
+    num_path_vars = len(var_arcs)
     num_vars = num_path_vars + 1
     t_var = num_vars - 1
 
     # Equality: per demand, sum of path flows = t * demand.
-    eq_rows, eq_cols, eq_vals = [], [], []
-    for pi, di in enumerate(var_owner):
-        eq_rows.append(di)
-        eq_cols.append(pi)
-        eq_vals.append(1.0)
-    for di, ((_, _), val) in enumerate(demands):
-        eq_rows.append(di)
-        eq_cols.append(t_var)
-        eq_vals.append(-val)
+    owner = np.asarray(var_owner, dtype=np.intp)
+    dem_vals = np.asarray([val for (_, _), val in demands], dtype=float)
+    eq_rows = np.concatenate([owner, np.arange(len(demands), dtype=np.intp)])
+    eq_cols = np.concatenate(
+        [
+            np.arange(num_path_vars, dtype=np.intp),
+            np.full(len(demands), t_var, dtype=np.intp),
+        ]
+    )
+    eq_vals = np.concatenate([np.ones(num_path_vars), -dem_vals])
     a_eq = sp.csr_matrix(
         (eq_vals, (eq_rows, eq_cols)), shape=(len(demands), num_vars)
     )
     b_eq = np.zeros(len(demands))
 
-    # Inequality: per-arc capacity.
-    ub_rows, ub_cols, ub_vals = [], [], []
-    for pi, arc_list in enumerate(var_paths):
-        for a in arc_list:
-            ub_rows.append(a)
-            ub_cols.append(pi)
-            ub_vals.append(1.0)
+    # Inequality: per-arc capacity.  One coordinate per (path, arc)
+    # traversal; repeated arcs within a path (impossible for simple
+    # paths, but harmless) would be summed by the CSR constructor.
+    counts = np.asarray([a.size for a in var_arcs], dtype=np.intp)
+    flat_arcs = (
+        np.concatenate(var_arcs)
+        if var_arcs
+        else np.empty(0, dtype=np.intp)
+    )
+    ub_cols = np.repeat(np.arange(num_path_vars, dtype=np.intp), counts)
     a_ub = sp.csr_matrix(
-        (ub_vals, (ub_rows, ub_cols)), shape=(num_arcs, num_vars)
+        (np.ones(flat_arcs.size), (flat_arcs, ub_cols)),
+        shape=(num_arcs, num_vars),
     )
 
     c = np.zeros(num_vars)
@@ -270,11 +388,9 @@ def path_throughput(
     t = float(res.x[t_var])
 
     flows = np.zeros(num_arcs)
-    for pi, arc_list in enumerate(var_paths):
-        for a in arc_list:
-            flows[a] += res.x[pi]
+    np.add.at(flows, flat_arcs, np.repeat(res.x[:num_path_vars], counts))
     utilization = {
-        arcs[a]: float(flows[a] / caps[a]) if caps[a] else 0.0
+        table.arcs[a]: float(flows[a] / caps[a]) if caps[a] else 0.0
         for a in range(num_arcs)
     }
     return ThroughputResult(

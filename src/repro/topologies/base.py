@@ -143,11 +143,15 @@ class Topology:
 
     def average_shortest_path_length(self) -> float:
         """Mean hop count over all ordered switch pairs."""
-        return nx.average_shortest_path_length(self.graph)
+        from ..perf import shared_path_cache
+
+        return shared_path_cache(self.graph).average_path_length()
 
     def diameter(self) -> int:
         """Maximum hop count between any two switches."""
-        return nx.diameter(self.graph)
+        from ..perf import shared_path_cache
+
+        return shared_path_cache(self.graph).diameter()
 
     def iter_server_ids(self) -> Iterator[Tuple[int, int]]:
         """Yield ``(server_id, tor_switch)`` pairs with dense sequential ids.

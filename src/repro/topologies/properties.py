@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np
 
 from .base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from ..perf import PathCache
 
 __all__ = [
     "spectral_gap",
@@ -155,16 +158,14 @@ def path_diversity(
     return total / count if count else 0.0
 
 
-def distance_distribution(topology: Topology) -> Dict[int, float]:
+def distance_distribution(
+    topology: Topology, path_cache: Optional["PathCache"] = None
+) -> Dict[int, float]:
     """Fraction of ordered switch pairs at each hop distance."""
-    counts: Dict[int, int] = {}
-    total = 0
-    for _, dist in nx.all_pairs_shortest_path_length(topology.graph):
-        for target, d in dist.items():
-            if d > 0:
-                counts[d] = counts.get(d, 0) + 1
-                total += 1
-    return {d: c / total for d, c in sorted(counts.items())}
+    from ..perf import shared_path_cache
+
+    cache = path_cache or shared_path_cache(topology.graph)
+    return cache.hop_distance_distribution()
 
 
 @dataclass
@@ -198,8 +199,19 @@ class TopologyProperties:
         ]
 
 
-def analyze(topology: Topology, seed: int = 0) -> TopologyProperties:
-    """Compute the full structural summary of a topology."""
+def analyze(
+    topology: Topology,
+    seed: int = 0,
+    path_cache: Optional["PathCache"] = None,
+) -> TopologyProperties:
+    """Compute the full structural summary of a topology.
+
+    Distance statistics come from the shared :class:`~repro.perf.PathCache`
+    (one all-pairs BFS per topology, reused across metrics and callers).
+    """
+    from ..perf import shared_path_cache
+
+    cache = path_cache or shared_path_cache(topology.graph)
     bisection = bisection_bandwidth(topology)
     servers = topology.num_servers
     return TopologyProperties(
@@ -207,8 +219,8 @@ def analyze(topology: Topology, seed: int = 0) -> TopologyProperties:
         switches=topology.num_switches,
         links=topology.num_links,
         servers=servers,
-        diameter=topology.diameter(),
-        avg_path_length=topology.average_shortest_path_length(),
+        diameter=cache.diameter(),
+        avg_path_length=cache.average_path_length(),
         spectral_gap=spectral_gap(topology),
         algebraic_connectivity=algebraic_connectivity(topology),
         bisection_bandwidth=bisection,

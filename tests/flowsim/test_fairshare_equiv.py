@@ -1,0 +1,100 @@
+"""Property test: vectorized max-min allocation matches the reference.
+
+Covers ~50 randomized instances, including VLB-style double-traversal
+paths (an arc appearing twice in one flow's path) and empty paths
+(same-switch endpoints, infinite rate).
+"""
+
+import random
+
+import pytest
+
+from repro.flowsim import (
+    FairShareState,
+    max_min_allocation,
+    max_min_allocation_reference,
+)
+
+
+def random_instance(rng):
+    """A random capacitated arc set plus flows pinned to random paths."""
+    n_nodes = rng.randint(3, 10)
+    arcs = []
+    capacities = {}
+    for u in range(n_nodes):
+        for v in range(n_nodes):
+            if u != v and rng.random() < 0.5:
+                arcs.append((u, v))
+                capacities[(u, v)] = rng.choice([0.5, 1.0, 2.0, 5.0, 10.0])
+    flow_paths = {}
+    n_flows = rng.randint(1, 20)
+    for fid in range(n_flows):
+        style = rng.random()
+        if style < 0.1 or not arcs:
+            flow_paths[fid] = []  # same-switch flow: infinite rate
+        elif style < 0.3:
+            # VLB-style detour: an arc traversed twice in one path.
+            arc = rng.choice(arcs)
+            extra = [rng.choice(arcs) for _ in range(rng.randint(0, 2))]
+            flow_paths[fid] = [arc] + extra + [arc]
+        else:
+            flow_paths[fid] = [
+                rng.choice(arcs) for _ in range(rng.randint(1, 4))
+            ]
+    return flow_paths, capacities
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_vectorized_matches_reference(seed):
+    rng = random.Random(seed)
+    flow_paths, capacities = random_instance(rng)
+    ref = max_min_allocation_reference(flow_paths, capacities)
+    vec = max_min_allocation(flow_paths, capacities)
+    assert set(ref) == set(vec)
+    for fid in ref:
+        if ref[fid] == float("inf"):
+            assert vec[fid] == float("inf")
+        else:
+            assert vec[fid] == pytest.approx(ref[fid], abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_incremental_state_matches_batch(seed):
+    """FairShareState under churn equals batch allocation of the snapshot."""
+    rng = random.Random(1000 + seed)
+    flow_paths, capacities = random_instance(rng)
+    state = FairShareState(capacities)
+    live = {}
+    for fid, path in flow_paths.items():
+        state.add_flow(fid, path)
+        live[fid] = path
+    # Random departures interleaved with rate queries.
+    for fid in sorted(live)[:: 2]:
+        state.remove_flow(fid)
+        del live[fid]
+        expected = max_min_allocation_reference(live, capacities)
+        got = state.rates()
+        assert set(got) == set(expected)
+        for f in expected:
+            if expected[f] == float("inf"):
+                assert got[f] == float("inf")
+            else:
+                assert got[f] == pytest.approx(expected[f], abs=1e-9)
+
+
+def test_unknown_arc_raises():
+    with pytest.raises(KeyError):
+        max_min_allocation({0: [(0, 1)]}, {})
+    state = FairShareState({})
+    with pytest.raises(KeyError):
+        state.add_flow(0, [(0, 1)])
+
+
+def test_state_duplicate_and_missing_flow():
+    state = FairShareState({(0, 1): 1.0})
+    state.add_flow("a", [(0, 1)])
+    with pytest.raises(ValueError):
+        state.add_flow("a", [(0, 1)])
+    with pytest.raises(KeyError):
+        state.remove_flow("nope")
+    assert len(state) == 1

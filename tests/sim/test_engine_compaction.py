@@ -1,0 +1,93 @@
+"""Tests for the event heap's cancelled-entry accounting and compaction."""
+
+from repro.sim.engine import Engine
+
+
+def test_pending_counts_live_events_only():
+    e = Engine()
+    e.schedule(1.0, lambda: None)
+    h = e.schedule_cancellable(2.0, lambda: None)
+    assert e.pending == 2
+    h.cancel()
+    assert e.pending == 1
+
+
+def test_heap_compacts_under_mass_cancellation():
+    e = Engine()
+    handles = [
+        e.schedule_cancellable(1.0 + i * 1e-6, lambda: None)
+        for i in range(1000)
+    ]
+    for h in handles[:900]:
+        h.cancel()
+    assert e.pending == 100
+    # Dead entries were purged, not merely counted.
+    assert len(e._heap) < 300
+    e.run()
+    assert e.pending == 0
+
+
+def test_cancelled_events_never_fire_after_compaction():
+    e = Engine()
+    fired = []
+    handles = [
+        e.schedule_cancellable(0.1 + i * 1e-3, lambda i=i: fired.append(i))
+        for i in range(50)
+    ]
+    for h in handles[::2]:
+        h.cancel()
+    e.run()
+    assert fired == list(range(1, 50, 2))
+
+
+def test_double_cancel_counts_once():
+    e = Engine()
+    h = e.schedule_cancellable(1.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    assert e.pending == 0
+    e.run()
+    assert e._cancelled == 0
+
+
+def test_cancel_after_fire_is_noop():
+    e = Engine()
+    fired = []
+    h = e.schedule_cancellable(0.5, lambda: fired.append(1))
+    e.run()
+    assert fired == [1]
+    h.cancel()  # late cancel must not corrupt the accounting
+    assert e.pending == 0
+    assert e._cancelled == 0
+
+
+def test_cancellation_from_inside_callback():
+    """A callback cancelling other timers (ack beats timeout) stays sound."""
+    e = Engine()
+    fired = []
+    timers = []
+
+    def ack():
+        for h in timers:
+            h.cancel()
+        fired.append("ack")
+
+    timers.extend(
+        e.schedule_cancellable(1.0 + i * 1e-6, lambda: fired.append("rto"))
+        for i in range(100)
+    )
+    e.schedule(0.5, ack)
+    e.run()
+    assert fired == ["ack"]
+    assert e.pending == 0
+
+
+def test_mixed_cancel_fire_ordering_preserved():
+    e = Engine()
+    order = []
+    e.schedule(0.3, lambda: order.append("c"))
+    h1 = e.schedule_cancellable(0.1, lambda: order.append("a"))
+    e.schedule_cancellable(0.2, lambda: order.append("b"))
+    h1.cancel()
+    e.run()
+    assert order == ["b", "c"]
