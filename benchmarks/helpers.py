@@ -31,9 +31,11 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence
 
+from repro import registry
 from repro.analysis import format_series, format_table
 from repro.harness import ExperimentSpec, ResultCache, Runner, RunRecord
-from repro.sim import NetworkParams, PacketSimulation, make_routing
+from repro.ioutils import atomic_write_text
+from repro.sim import NetworkParams, PacketSimulation
 from repro.sim.stats import FlowStats
 from repro.traffic import (
     FlowSpec,
@@ -64,14 +66,13 @@ def save_result(name: str, text: str, data: Optional[dict] = None) -> str:
     bench provides one, else a minimal ``{"name": ..., "text": ...}``
     wrapper — so every bench trajectory can be diffed programmatically.
     """
-    os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    with open(path, "w") as f:
-        f.write(text + "\n")
+    atomic_write_text(path, text + "\n")
     payload = data if data is not None else {"name": name, "text": text}
-    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as f:
-        json.dump(payload, f, indent=2, sort_keys=True)
-        f.write("\n")
+    atomic_write_text(
+        os.path.join(RESULTS_DIR, f"{name}.json"),
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    )
     print("\n" + text)
     return path
 
@@ -97,9 +98,10 @@ def run_packet(
     The HYB threshold and the short-flow statistics boundary are both
     scaled by SIZE_SCALE to match the scaled flow-size distribution.
     """
-    policy = make_routing(
-        routing, topology, seed=seed, hyb_threshold_bytes=HYB_Q_BYTES
-    )
+    defaults = {"seed": seed}
+    if routing == "hyb":
+        defaults["hyb_threshold_bytes"] = HYB_Q_BYTES
+    policy = registry.routing(routing, topology, **defaults)
     sim = PacketSimulation(
         topology,
         routing=policy,

@@ -17,9 +17,9 @@ from helpers import (
     scaled_pfabric,
 )
 
+from repro import registry
 from repro.analysis import format_table
 from repro.sim import PacketSimulation
-from repro.sim.simulation import make_routing
 from repro.topologies import xpander
 from repro.traffic import PoissonArrivals, Workload, permute_pair_distribution
 from repro.traffic.patterns import RackPairDistribution
@@ -28,7 +28,10 @@ from repro.traffic.patterns import RackPairDistribution
 def _run(topo, flows, routing, transport, measure=(0.02, 0.06)):
     sim = PacketSimulation(
         topo,
-        routing=make_routing(routing, topo, hyb_threshold_bytes=SHORT_FLOW_BYTES),
+        routing=registry.routing(
+            routing, topo,
+            **({"hyb_threshold_bytes": SHORT_FLOW_BYTES} if routing == "hyb" else {}),
+        ),
         network_params=network_params(),
         transport=transport,
         mptcp_subflows=4,

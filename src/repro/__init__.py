@@ -21,7 +21,11 @@ The package provides:
 * :mod:`repro.analysis` — plain-text rendering of results;
 * :mod:`repro.harness` — parallel sweep orchestration over declarative
   experiment specs with content-addressed result caching
-  (``python -m repro sweep``).
+  (``python -m repro sweep``);
+* :mod:`repro.obs` — opt-in observability: metrics, spans, and a
+  per-run JSONL trace + manifest (``python -m repro profile``);
+* :mod:`repro.registry` — string-spec construction registry for
+  topologies, traffic patterns, and routing policies.
 
 Quickstart::
 
@@ -44,7 +48,9 @@ from . import (
     cost,
     flowsim,
     harness,
+    obs,
     perf,
+    registry,
     sim,
     throughput,
     topologies,
@@ -63,5 +69,7 @@ __all__ = [
     "cost",
     "analysis",
     "harness",
+    "obs",
+    "registry",
     "__version__",
 ]

@@ -7,6 +7,8 @@ paper's Netbench artifact is driven from configs:
 * ``throughput`` — fluid-flow skew sweep (the Fig 5/6 engine);
 * ``simulate``   — packet-level experiment with a chosen workload/routing;
 * ``sweep``      — parallel, cached experiment sweep from a JSON spec file;
+* ``profile``    — run a sweep in-process under observability and print
+  the per-stage span/counter breakdown (trace + manifest on disk);
 * ``cost``       — Table 1 port costs and a topology's port cost;
 * ``cabling``    — Fig 3-style cabling/bundling report.
 """
@@ -15,8 +17,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional
 
+from . import registry
 from .analysis import format_number, format_series, format_table
 from .cost import (
     FIREFLY_PORT,
@@ -26,51 +30,52 @@ from .cost import (
     delta_ratio,
     topology_port_cost,
 )
-from .topologies import (
-    Topology,
-    fattree,
-    fattree_cabling,
-    flat_cabling,
-    jellyfish,
-    longhop,
-    oversubscribed_fattree,
-    slimfly,
-    xpander,
-    xpander_cabling,
-)
+from .topologies import fattree_cabling, flat_cabling, xpander_cabling
 
 __all__ = ["main", "build_topology"]
 
+#: Which CLI flags feed each topology family's registry factory.
+_FAMILY_ARGS = {
+    "fattree": ("k", "core_fraction", "servers"),
+    "jellyfish": ("switches", "degree", "servers", "seed"),
+    "xpander": ("degree", "lift", "servers", "seed"),
+    "slimfly": ("q", "servers"),
+    "longhop": ("n", "degree", "servers"),
+}
+
+
+def _topology_from_args(kind: str, args: argparse.Namespace):
+    """Registry-built ``(Topology, raw_or_None)`` from parsed CLI flags."""
+    names = _FAMILY_ARGS.get(kind)
+    if names is None:
+        raise ValueError(
+            f"unknown topology kind {kind!r}; valid choices: "
+            + ", ".join(sorted(_FAMILY_ARGS))
+        )
+    params = {name: getattr(args, name) for name in names}
+    if params.get("servers") == 0:
+        del params["servers"]  # family default
+    return registry.build_topology({"family": kind, **params})
+
 
 def build_topology(kind: str, args: argparse.Namespace):
-    """Construct the requested topology; returns (Topology, FatTree|None)."""
-    if kind == "fattree":
-        ft = (
-            fattree(args.k, servers_per_edge=args.servers or None)
-            if args.core_fraction >= 1.0
-            else oversubscribed_fattree(
-                args.k, args.core_fraction, servers_per_edge=args.servers or None
-            )
-        )
-        return ft.topology, ft
-    if kind == "jellyfish":
-        return (
-            jellyfish(args.switches, args.degree, args.servers, seed=args.seed),
-            None,
-        )
-    if kind == "xpander":
-        return xpander(args.degree, args.lift, args.servers, seed=args.seed), None
-    if kind == "slimfly":
-        return slimfly(args.q, args.servers), None
-    if kind == "longhop":
-        return longhop(args.n, args.degree, args.servers), None
-    raise ValueError(f"unknown topology kind {kind!r}")
+    """Deprecated: construct a topology from parsed CLI flags.
+
+    Use :func:`repro.registry.build_topology` with an explicit spec.
+    Returns ``(Topology, FatTree|None)`` as before.
+    """
+    warnings.warn(
+        "cli.build_topology is deprecated; use repro.registry.build_topology",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _topology_from_args(kind, args)
 
 
 def _add_topology_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "kind",
-        choices=["fattree", "jellyfish", "xpander", "slimfly", "longhop"],
+        choices=list(registry.TOPOLOGIES.available()),
         help="topology family",
     )
     p.add_argument("--k", type=int, default=8, help="fat-tree arity")
@@ -98,9 +103,9 @@ def _default_servers(kind: str, args: argparse.Namespace) -> None:
         args.servers = {"fattree": 0}.get(kind, 4)
 
 
-def cmd_topology(args: argparse.Namespace) -> int:
+def _cmd_topology(args: argparse.Namespace) -> int:
     _default_servers(args.kind, args)
-    topo, _ = build_topology(args.kind, args)
+    topo, _ = _topology_from_args(args.kind, args)
     rows = [
         ["name", topo.name],
         ["switches", topo.num_switches],
@@ -115,11 +120,11 @@ def cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_throughput(args: argparse.Namespace) -> int:
+def _cmd_throughput(args: argparse.Namespace) -> int:
     from .throughput import skew_sweep
 
     _default_servers(args.kind, args)
-    topo, _ = build_topology(args.kind, args)
+    topo, _ = _topology_from_args(args.kind, args)
     fractions = [float(x) for x in args.fractions.split(",")]
     result = skew_sweep(
         topo,
@@ -139,26 +144,19 @@ def cmd_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
+def _cmd_simulate(args: argparse.Namespace) -> int:
     from .sim import NetworkParams, run_packet_experiment
-    from .traffic import (
-        PoissonArrivals,
-        Workload,
-        a2a_pair_distribution,
-        permute_pair_distribution,
-        pfabric_web_search,
-        pareto_hull,
-        skew_pair_distribution,
-    )
+    from .traffic import PoissonArrivals, Workload, pareto_hull, pfabric_web_search
 
     _default_servers(args.kind, args)
-    topo, _ = build_topology(args.kind, args)
-    if args.pattern == "a2a":
-        pairs = a2a_pair_distribution(topo, args.fraction, seed=args.seed)
-    elif args.pattern == "permute":
-        pairs = permute_pair_distribution(topo, args.fraction, seed=args.seed)
+    topo, _ = _topology_from_args(args.kind, args)
+    if args.pattern == "skew":
+        pattern_spec = {"pattern": "skew", "theta": 0.1, "phi": 0.77,
+                        "seed": args.seed}
     else:
-        pairs = skew_pair_distribution(topo, 0.1, 0.77, seed=args.seed)
+        pattern_spec = {"pattern": args.pattern, "fraction": args.fraction,
+                        "seed": args.seed}
+    pairs = registry.traffic(pattern_spec, topo)
     sizes = (
         pfabric_web_search(args.mean_flow_bytes)
         if args.sizes == "pfabric"
@@ -185,7 +183,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
 
     from .harness import (
@@ -259,7 +257,59 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
-def cmd_cost(args: argparse.Namespace) -> int:
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import time
+
+    from . import obs
+    from .harness import Runner, SpecError, load_sweep_file
+    from .obs import load_manifest, render_profile
+
+    try:
+        specs = load_sweep_file(args.spec)
+    except (OSError, json.JSONDecodeError, SpecError) as exc:
+        sys.stderr.write(f"profile: cannot load {args.spec}: {exc}\n")
+        return 2
+    if obs.enabled():
+        sys.stderr.write("profile: an observability run is already active\n")
+        return 2
+    run_dir = args.run_dir
+    if not run_dir:
+        run_dir = os.path.join(
+            ".repro-obs", time.strftime("%Y%m%dT%H%M%S")
+        )
+    obs.enable(
+        run_dir=run_dir,
+        meta={"sweep_file": args.spec, "points": len(specs)},
+    )
+    try:
+        # Inline execution keeps every point's spans (engine, flowsim,
+        # LP, pathcache) on this process's run; a worker pool would lose
+        # them with the workers.
+        runner = Runner(inline=True, retries=args.retries)
+        result = runner.run(specs)
+    finally:
+        manifest_path = obs.disable()
+    try:
+        manifest = load_manifest(manifest_path)
+    except (OSError, ValueError) as exc:
+        sys.stderr.write(f"profile: invalid manifest: {exc}\n")
+        return 1
+    print(render_profile(manifest))
+    print(f"\ntrace: {os.path.join(run_dir, 'trace.jsonl')}")
+    print(f"manifest: {manifest_path}")
+    if not result.ok:
+        for record in result.records:
+            if not record.ok:
+                sys.stderr.write(
+                    f"profile: point {record.name} failed: {record.error}\n"
+                )
+        return 1
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
     rows = [
         [p.name, round(p.total, 2), round(delta_ratio(p), 3)]
         for p in (STATIC_PORT, FIREFLY_PORT, PROJECTOR_PORT_LOW, PROJECTOR_PORT_HIGH)
@@ -273,14 +323,14 @@ def cmd_cost(args: argparse.Namespace) -> int:
     )
     if args.kind:
         _default_servers(args.kind, args)
-        topo, _ = build_topology(args.kind, args)
+        topo, _ = _topology_from_args(args.kind, args)
         print(f"\n{topo.name}: total port cost ${topology_port_cost(topo):,.0f}")
     return 0
 
 
-def cmd_cabling(args: argparse.Namespace) -> int:
+def _cmd_cabling(args: argparse.Namespace) -> int:
     _default_servers(args.kind, args)
-    topo, ft = build_topology(args.kind, args)
+    topo, ft = _topology_from_args(args.kind, args)
     if args.kind == "xpander":
         report = xpander_cabling(topo)
     elif args.kind == "fattree":
@@ -310,14 +360,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p = sub.add_parser("topology", help="build and describe a topology")
     _add_topology_args(p)
-    p.set_defaults(func=cmd_topology)
+    p.set_defaults(func=_cmd_topology)
 
     p = sub.add_parser("throughput", help="fluid-flow skew sweep")
     _add_topology_args(p)
     p.add_argument("--fractions", default="0.2,0.4,0.6,0.8,1.0")
     p.add_argument("--solver", choices=["exact", "paths"], default="exact")
     p.add_argument("--k-paths", type=int, default=8)
-    p.set_defaults(func=cmd_throughput)
+    p.set_defaults(func=_cmd_throughput)
 
     p = sub.add_parser("simulate", help="packet-level experiment")
     _add_topology_args(p)
@@ -334,7 +384,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--link-gbps", type=float, default=1.0)
     p.add_argument("--measure-start", type=float, default=0.02)
     p.add_argument("--measure-end", type=float, default=0.06)
-    p.set_defaults(func=cmd_simulate)
+    p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
         "sweep",
@@ -364,16 +414,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--quiet", action="store_true", help="suppress live progress output"
     )
-    p.set_defaults(func=cmd_sweep)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a sweep in-process under observability; print the breakdown",
+    )
+    p.add_argument("spec", help="sweep JSON (defaults/grid/points document)")
+    p.add_argument(
+        "--run-dir",
+        default="",
+        help="trace/manifest output directory (default: .repro-obs/<stamp>)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts for failed points",
+    )
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("cost", help="Table 1 costs (+ optional topology cost)")
     p.add_argument("--kind", default="", help="optionally price a topology")
     _add_topology_args_optional(p)
-    p.set_defaults(func=cmd_cost)
+    p.set_defaults(func=_cmd_cost)
 
     p = sub.add_parser("cabling", help="Fig 3-style cabling report")
     _add_topology_args(p)
-    p.set_defaults(func=cmd_cabling)
+    p.set_defaults(func=_cmd_cabling)
 
     args = parser.parse_args(argv)
     return args.func(args)

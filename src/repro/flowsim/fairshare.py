@@ -111,15 +111,17 @@ def max_min_allocation_reference(
 
 def _waterfill(
     incidence: sp.csr_matrix, caps: np.ndarray, num_flows: int
-) -> np.ndarray:
+) -> Tuple[np.ndarray, int]:
     """Vectorized progressive filling over an arc×flow incidence matrix.
 
     ``incidence[a, f]`` is flow f's traversal multiplicity of arc a.
-    Returns the max-min rate per flow column.
+    Returns the max-min rate per flow column and the number of filling
+    rounds executed (one saturation level per round).
     """
     rates = np.zeros(num_flows)
+    rounds = 0
     if num_flows == 0 or incidence.shape[0] == 0:
-        return rates
+        return rates, rounds
     active = np.ones(num_flows)
     used = np.zeros(incidence.shape[0])
     transpose = incidence.T.tocsr()
@@ -129,6 +131,7 @@ def _waterfill(
         contended = mult > 0
         if not contended.any():
             break
+        rounds += 1
         inc = (caps[contended] - used[contended]) / mult[contended]
         best_inc = max(float(inc.min()), 0.0)
 
@@ -142,7 +145,7 @@ def _waterfill(
             break  # all remaining arcs have infinite headroom (defensive)
         active[newly] = 0.0
 
-    return rates
+    return rates, rounds
 
 
 def max_min_allocation(
@@ -194,7 +197,7 @@ def max_min_allocation(
         (np.asarray(vals, dtype=float), (rows, cols)),
         shape=(len(caps_list), num_flows),
     )
-    flow_rates = _waterfill(incidence, np.asarray(caps_list), num_flows)
+    flow_rates, _ = _waterfill(incidence, np.asarray(caps_list), num_flows)
     for col, fid in enumerate(flow_order):
         rates[fid] = float(flow_rates[col])
     return rates
@@ -213,6 +216,11 @@ class FairShareState:
 
     Rates are identical to calling :func:`max_min_allocation` on the
     current ``{flow: path}`` snapshot.
+
+    The state also keeps two cheap work accumulators the flow simulator
+    flushes onto the observability sink: :attr:`recomputes` (number of
+    :meth:`rates` calls) and :attr:`waterfill_rounds` (total filling
+    rounds across them).
     """
 
     def __init__(self, capacities: Mapping[Tuple[int, int], float]) -> None:
@@ -223,6 +231,8 @@ class FairShareState:
         # are tracked separately with infinite rate.
         self._flows: Dict[Hashable, Tuple[np.ndarray, np.ndarray]] = {}
         self._infinite: Dict[Hashable, None] = {}
+        self.recomputes = 0
+        self.waterfill_rounds = 0
 
     def __len__(self) -> int:
         return len(self._flows) + len(self._infinite)
@@ -261,6 +271,7 @@ class FairShareState:
 
     def rates(self) -> Dict[Hashable, float]:
         """Max-min fair rates of the currently active flows."""
+        self.recomputes += 1
         rates: Dict[Hashable, float] = {
             fid: float("inf") for fid in self._infinite
         }
@@ -278,9 +289,10 @@ class FairShareState:
         incidence = sp.csr_matrix(
             (vals, (rows, cols)), shape=(num_arcs, num_flows)
         )
-        flow_rates = _waterfill(
+        flow_rates, rounds = _waterfill(
             incidence, np.asarray(self._caps), num_flows
         )
+        self.waterfill_rounds += rounds
         for col, fid in enumerate(self._flows):
             rates[fid] = float(flow_rates[col])
         return rates

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from .. import obs
 from ..topologies.base import Topology
 from ..traffic.workload import FlowSpec
 from ..sim.stats import FlowRecord, FlowStats
@@ -163,47 +164,59 @@ class FlowLevelSimulation:
             for fid, af in active.items():
                 af.rate = rates[fid]
 
-        while (i < n or active) and now < max_sim_time:
-            next_arrival = arrivals[i].start_time if i < n else float("inf")
-            # Earliest completion among active flows.
-            next_completion = float("inf")
-            completing: Optional[int] = None
-            for fid, af in active.items():
-                if af.rate > 0:
-                    t = now + af.remaining * 8.0 / af.rate
-                    if t < next_completion:
-                        next_completion = t
-                        completing = fid
+        # Arrivals/completions tally in plain locals inside the event
+        # loop and flush once as counters after it, so the per-event hot
+        # path carries no instrumentation (obs disabled costs nothing).
+        arrived = 0
+        completed = 0
+        with obs.span("flowsim.run", flows=n, routing=self.routing):
+            while (i < n or active) and now < max_sim_time:
+                next_arrival = arrivals[i].start_time if i < n else float("inf")
+                # Earliest completion among active flows.
+                next_completion = float("inf")
+                completing: Optional[int] = None
+                for fid, af in active.items():
+                    if af.rate > 0:
+                        t = now + af.remaining * 8.0 / af.rate
+                        if t < next_completion:
+                            next_completion = t
+                            completing = fid
 
-            if min(next_arrival, next_completion) > max_sim_time:
-                break  # nothing further happens inside the horizon
+                if min(next_arrival, next_completion) > max_sim_time:
+                    break  # nothing further happens inside the horizon
 
-            if next_arrival <= next_completion:
-                elapsed = next_arrival - now
-                for af in active.values():
-                    af.remaining -= af.rate * elapsed / 8.0
-                now = next_arrival
-                spec = arrivals[i]
-                i += 1
-                flow = _ActiveFlow(
-                    record=records[spec.flow_id],
-                    arcs=self._flow_arcs(spec),
-                    remaining=float(spec.size_bytes),
-                )
-                active[spec.flow_id] = flow
-                share.add_flow(spec.flow_id, flow.arcs)
-                recompute()
-            elif completing is not None:
-                elapsed = next_completion - now
-                for af in active.values():
-                    af.remaining -= af.rate * elapsed / 8.0
-                now = next_completion
-                done = active.pop(completing)
-                share.remove_flow(completing)
-                done.record.completion_time = now
-                recompute()
-            else:
-                break  # no arrivals left and nothing can progress
+                if next_arrival <= next_completion:
+                    elapsed = next_arrival - now
+                    for af in active.values():
+                        af.remaining -= af.rate * elapsed / 8.0
+                    now = next_arrival
+                    spec = arrivals[i]
+                    i += 1
+                    flow = _ActiveFlow(
+                        record=records[spec.flow_id],
+                        arcs=self._flow_arcs(spec),
+                        remaining=float(spec.size_bytes),
+                    )
+                    active[spec.flow_id] = flow
+                    share.add_flow(spec.flow_id, flow.arcs)
+                    arrived += 1
+                    recompute()
+                elif completing is not None:
+                    elapsed = next_completion - now
+                    for af in active.values():
+                        af.remaining -= af.rate * elapsed / 8.0
+                    now = next_completion
+                    done = active.pop(completing)
+                    share.remove_flow(completing)
+                    done.record.completion_time = now
+                    completed += 1
+                    recompute()
+                else:
+                    break  # no arrivals left and nothing can progress
+        obs.add("flowsim.arrivals", arrived)
+        obs.add("flowsim.completions", completed)
+        obs.add("flowsim.fairshare_recomputes", share.recomputes)
+        obs.add("flowsim.waterfill_rounds", share.waterfill_rounds)
 
         measured = [
             r

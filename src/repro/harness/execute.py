@@ -20,32 +20,17 @@ content-addressed cache sound: see the determinism test in
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Dict, Mapping, Tuple
 
+from .. import registry
 from ..flowsim import FlowLevelSimulation
-from ..sim import NetworkParams, PacketSimulation, make_routing, network_report
+from ..obs import emit_network_report
+from ..sim import NetworkParams, PacketSimulation
 from ..sim.stats import FlowStats
 from ..throughput import max_concurrent_throughput, path_throughput
-from ..topologies import (
-    Topology,
-    fattree,
-    jellyfish,
-    longhop,
-    oversubscribed_fattree,
-    slimfly,
-    xpander,
-)
-from ..traffic import (
-    PoissonArrivals,
-    Workload,
-    a2a_pair_distribution,
-    longest_matching_tm,
-    pareto_hull,
-    permute_pair_distribution,
-    pfabric_web_search,
-    projector_like_pair_distribution,
-    skew_pair_distribution,
-)
+from ..topologies import Topology
+from ..traffic import PoissonArrivals, Workload, pareto_hull, pfabric_web_search
 from .records import RunRecord, provenance
 from .spec import ExperimentSpec, SpecError
 
@@ -53,82 +38,42 @@ __all__ = ["build_topology", "execute_spec"]
 
 
 def build_topology(topo_spec: Mapping[str, Any]) -> Topology:
-    """Build the topology a spec's ``topology`` mapping describes.
+    """Deprecated: build the topology a spec's ``topology`` mapping describes.
 
-    Parameter names mirror the CLI (``python -m repro topology``):
-    ``fattree``: k, core_fraction, servers; ``jellyfish``: switches,
-    degree, servers, seed; ``xpander``: degree, lift, servers, matching,
-    seed; ``slimfly``: q, servers; ``longhop``: n, degree, servers.
+    Use :func:`repro.registry.topology`, which accepts the same mappings
+    plus compact string specs.  This shim delegates verbatim (parameter
+    names mirror the CLI: see ``registry.TOPOLOGIES.describe``).
     """
-    params = dict(topo_spec)
-    family = params.pop("family", None)
-    if family == "fattree":
-        k = params.pop("k", 8)
-        core_fraction = params.pop("core_fraction", 1.0)
-        servers = params.pop("servers", None)
-        _reject_extras(family, params)
-        if core_fraction >= 1.0:
-            return fattree(k, servers_per_edge=servers).topology
-        return oversubscribed_fattree(
-            k, core_fraction, servers_per_edge=servers
-        ).topology
-    if family == "jellyfish":
-        out = jellyfish(
-            params.pop("switches", 32),
-            params.pop("degree", 6),
-            params.pop("servers", 4),
-            seed=params.pop("seed", 0),
-        )
-    elif family == "xpander":
-        out = xpander(
-            params.pop("degree", 6),
-            params.pop("lift", 8),
-            params.pop("servers", 4),
-            matching=params.pop("matching", "shift"),
-            seed=params.pop("seed", 0),
-        )
-    elif family == "slimfly":
-        out = slimfly(params.pop("q", 5), params.pop("servers", 4))
-    elif family == "longhop":
-        out = longhop(
-            params.pop("n", 5), params.pop("degree", 6), params.pop("servers", 4)
-        )
-    else:
-        raise SpecError(f"unknown topology family {family!r}")
-    _reject_extras(family, params)
-    return out
+    warnings.warn(
+        "harness.execute.build_topology is deprecated; use "
+        "repro.registry.topology",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_topology(topo_spec)
 
 
-def _reject_extras(family: str, leftovers: Mapping[str, Any]) -> None:
-    if leftovers:
-        raise SpecError(
-            f"unknown {family} topology parameters {sorted(leftovers)}"
-        )
+def _build_topology(topo_spec: Mapping[str, Any]) -> Topology:
+    try:
+        return registry.topology(topo_spec)
+    except registry.RegistryError as exc:
+        raise SpecError(str(exc)) from exc
 
 
 def _build_pairs(spec: ExperimentSpec, topology: Topology):
     wl = spec.workload
     pattern = wl.get("pattern", "permute")
-    pattern_seed = wl.get("pattern_seed", spec.seed)
-    take_first = bool(wl.get("take_first", False))
-    if pattern == "a2a":
-        return a2a_pair_distribution(
-            topology, wl.get("fraction", 1.0), seed=pattern_seed,
-            take_first=take_first,
-        )
-    if pattern == "permute":
-        return permute_pair_distribution(
-            topology, wl.get("fraction", 1.0), seed=pattern_seed,
-            take_first=take_first,
-        )
-    if pattern == "skew":
-        return skew_pair_distribution(
-            topology, wl.get("theta", 0.04), wl.get("phi", 0.77),
-            seed=pattern_seed,
-        )
-    if pattern == "projector":
-        return projector_like_pair_distribution(topology, seed=pattern_seed)
-    raise SpecError(f"unknown workload pattern {pattern!r}")
+    params: Dict[str, Any] = {"seed": wl.get("pattern_seed", spec.seed)}
+    if pattern in ("a2a", "permute"):
+        params["fraction"] = wl.get("fraction", 1.0)
+        params["take_first"] = bool(wl.get("take_first", False))
+    elif pattern == "skew":
+        params["theta"] = wl.get("theta", 0.04)
+        params["phi"] = wl.get("phi", 0.77)
+    try:
+        return registry.TRAFFIC.build(pattern, topology, **params)
+    except registry.RegistryError as exc:
+        raise SpecError(str(exc)) from exc
 
 
 def _build_sizes(spec: ExperimentSpec):
@@ -173,7 +118,9 @@ def _run_lp(spec: ExperimentSpec, topology: Topology) -> Dict[str, float]:
     wl = spec.workload
     fraction = wl.get("fraction", 1.0)
     pattern_seed = wl.get("pattern_seed", spec.seed)
-    tm = longest_matching_tm(topology, fraction, seed=pattern_seed)
+    tm = registry.TRAFFIC.build(
+        "longest_matching", topology, fraction=fraction, seed=pattern_seed
+    )
     solver = wl.get("solver", "exact")
     if solver == "exact":
         res = max_concurrent_throughput(topology, tm)
@@ -190,12 +137,10 @@ def _run_lp(spec: ExperimentSpec, topology: Topology) -> Dict[str, float]:
 def _run_packet(
     spec: ExperimentSpec, topology: Topology, flows
 ) -> Tuple[FlowStats, Dict[str, float]]:
-    policy = make_routing(
-        spec.routing,
-        topology,
-        seed=spec.seed,
-        hyb_threshold_bytes=spec.hyb_threshold_bytes,
-    )
+    defaults: Dict[str, Any] = {"seed": spec.seed}
+    if spec.routing == "hyb":
+        defaults["hyb_threshold_bytes"] = spec.hyb_threshold_bytes
+    policy = registry.routing(spec.routing, topology, **defaults)
     sim = PacketSimulation(
         topology,
         routing=policy,
@@ -209,7 +154,7 @@ def _run_packet(
     stats = sim.run(
         spec.measure_start, spec.measure_end, max_sim_time=spec.max_sim_time
     )
-    report = network_report(sim.network)
+    report = emit_network_report(sim.network)
     telemetry = {
         "total_drops": report.total_drops,
         "total_marks": report.total_marks,
@@ -245,7 +190,7 @@ def execute_spec(spec: ExperimentSpec) -> RunRecord:
     """
     spec.validate()
     start = time.perf_counter()
-    topology = build_topology(spec.topology)
+    topology = _build_topology(spec.topology)
 
     if spec.engine == "lp":
         metrics = _run_lp(spec, topology)

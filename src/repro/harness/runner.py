@@ -12,6 +12,19 @@ never raises.
 Completed points are served from / written to the content-addressed
 :class:`~repro.harness.cache.ResultCache` when one is attached, so
 re-running a sweep only computes new or changed points.
+
+``Runner(inline=True)`` executes every point sequentially in the
+calling process instead.  That trades away parallelism and hard
+timeouts (``timeout_s`` is not enforced inline) but keeps the process's
+observability run live across the whole sweep, so ``python -m repro
+profile`` sees the engine/flowsim/LP/pathcache spans of every point —
+in worker processes those spans would die with the worker.
+
+Either way the sweep itself is observed when a run is active: a
+``runner.sweep`` span wraps the whole thing, each task lands as a
+retrospective ``runner.task`` span with its name/attempt/status, and
+``runner.tasks`` / ``runner.failures`` / ``runner.cache_hits`` count
+the lifecycle.
 """
 
 from __future__ import annotations
@@ -22,6 +35,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import obs
 from .cache import ResultCache
 from .records import ResultsStore, RunRecord, provenance
 from .spec import ExperimentSpec, SpecError
@@ -99,6 +113,10 @@ class Runner:
     progress:
         Optional callback receiving ``{total, done, ok, cached, failed,
         running}`` whenever the sweep state changes.
+    inline:
+        Execute points sequentially in this process instead of in
+        worker processes.  Keeps the active observability run's spans;
+        ``timeout_s`` is not enforced and ``jobs`` is ignored.
     """
 
     jobs: Optional[int] = None
@@ -108,6 +126,7 @@ class Runner:
     retries: int = 1
     backoff_base_s: float = 0.25
     progress: Optional[Callable[[Dict[str, int]], None]] = None
+    inline: bool = False
     mp_start_method: str = field(default="", repr=False)
 
     def __post_init__(self) -> None:
@@ -129,21 +148,41 @@ class Runner:
     def run(self, specs: Sequence[ExperimentSpec]) -> SweepResult:
         """Execute every spec; always returns one record per spec."""
         t0 = time.perf_counter()
-        records: List[Optional[RunRecord]] = [None] * len(specs)
-        queue: deque = deque()  # (index, attempt, not_before)
+        with obs.span("runner.sweep", points=len(specs), inline=self.inline):
+            records = self._prepare(specs)
+            if self.inline:
+                self._run_inline(specs, records)
+            else:
+                self._run_pool(specs, records)
+        final = [r for r in records if r is not None]
+        if self.store is not None:
+            self.store.extend(final)
+        return SweepResult(records=final, wall_clock_s=time.perf_counter() - t0)
 
+    def _prepare(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> List[Optional[RunRecord]]:
+        """Validate specs and settle cache hits; ``None`` = still to run."""
+        records: List[Optional[RunRecord]] = [None] * len(specs)
         for i, spec in enumerate(specs):
             try:
                 spec.validate()
             except SpecError as exc:
                 records[i] = self._failure(spec, "failed", str(exc), 1, 0.0)
+                obs.add("runner.failures")
                 continue
             if self.cache is not None:
                 hit = self.cache.get(spec)
                 if hit is not None:
                     records[i] = hit
-                    continue
-            queue.append((i, 1, 0.0))
+                    obs.add("runner.cache_hits")
+        return records
+
+    def _run_pool(self, specs, records) -> None:
+        queue: deque = deque()  # (index, attempt, not_before)
+        for i in range(len(specs)):
+            if records[i] is None:
+                queue.append((i, 1, 0.0))
 
         active: List[_Task] = []
         self._emit(records, active)
@@ -156,10 +195,40 @@ class Runner:
             else:
                 time.sleep(0.005)
 
-        final = [r for r in records if r is not None]
-        if self.store is not None:
-            self.store.extend(final)
-        return SweepResult(records=final, wall_clock_s=time.perf_counter() - t0)
+    def _run_inline(self, specs, records) -> None:
+        from .execute import execute_spec
+
+        self._emit(records, [])
+        for i, spec in enumerate(specs):
+            if records[i] is not None:
+                continue
+            attempt = 1
+            while True:
+                started = time.perf_counter()
+                obs.event("runner.task_start", name=spec.name, attempt=attempt)
+                error: Optional[str] = None
+                try:
+                    record = execute_spec(spec)
+                except Exception as exc:  # noqa: BLE001 - failure record
+                    error = f"{type(exc).__name__}: {exc}"
+                elapsed = time.perf_counter() - started
+                status = "failed" if error is not None else "ok"
+                self._note_task(spec, attempt, status, started, elapsed)
+                if error is None:
+                    record.attempts = attempt
+                    records[i] = record
+                    if self.cache is not None:
+                        self.cache.put(spec, record)
+                    break
+                if attempt > self.retries:
+                    records[i] = self._failure(
+                        spec, "failed", error, attempt, elapsed
+                    )
+                    obs.add("runner.failures")
+                    break
+                time.sleep(self.backoff_base_s * 2 ** (attempt - 1))
+                attempt += 1
+            self._emit(records, [])
 
     # ------------------------------------------------------------------
     def _launch_ready(self, specs, queue, active, now) -> bool:
@@ -225,6 +294,9 @@ class Runner:
             settled = True
             status, payload = outcome
             spec = specs[task.index]
+            self._note_task(
+                spec, task.attempt, status, task.started, now - task.started
+            )
             if status == "ok":
                 record = RunRecord.from_dict(payload)
                 record.attempts = task.attempt
@@ -242,7 +314,38 @@ class Runner:
                     task.attempt,
                     now - task.started,
                 )
+                obs.add("runner.failures")
         return settled
+
+    @staticmethod
+    def _note_task(
+        spec: ExperimentSpec,
+        attempt: int,
+        status: str,
+        started: float,
+        elapsed: float,
+    ) -> None:
+        """Record one settled task attempt onto the active obs run.
+
+        Tasks finish asynchronously (or, inline, after the fact), so the
+        span is recorded retrospectively from explicit perf-counter
+        timings rather than through a context manager.
+        """
+        run = obs.current()
+        if run is None:
+            return
+        run.record_span(
+            "runner.task",
+            started,
+            elapsed,
+            attrs={"name": spec.name, "attempt": attempt, "status": status},
+            parent="runner.sweep",
+        )
+        run.record_event(
+            "runner.task_end",
+            {"name": spec.name, "attempt": attempt, "status": status},
+        )
+        run.metrics.counter("runner.tasks").add(1)
 
     def _failure(
         self,

@@ -52,17 +52,16 @@ class SpecError(ValueError):
 
 ENGINES = ("packet", "flow", "lp")
 
-#: Topology families the harness can build (parameter names mirror the CLI).
-TOPOLOGY_FAMILIES = ("fattree", "jellyfish", "xpander", "slimfly", "longhop")
+from ..registry import TOPOLOGIES as _TOPOLOGIES  # noqa: E402
+from ..registry import TRAFFIC as _TRAFFIC  # noqa: E402
 
-#: Pair-distribution / TM patterns understood by the workload builder.
-WORKLOAD_PATTERNS = (
-    "a2a",
-    "permute",
-    "skew",
-    "projector",
-    "longest_matching",
-)
+#: Topology families the harness can build (parameter names mirror the
+#: CLI); sourced from :data:`repro.registry.TOPOLOGIES`.
+TOPOLOGY_FAMILIES = _TOPOLOGIES.available()
+
+#: Pair-distribution / TM patterns understood by the workload builder;
+#: sourced from :data:`repro.registry.TRAFFIC`.
+WORKLOAD_PATTERNS = _TRAFFIC.available()
 
 
 @dataclass

@@ -1,0 +1,71 @@
+"""Library-wide observability: metrics, spans, and a per-run JSONL sink.
+
+Off by default and effectively free while off: every hook in the hot
+layers (packet engine, flowsim, LP/MCF solvers, path cache, harness
+runner) is one module-global read.  Enable around a region of work and
+read back the atomic ``manifest.json`` + ``trace.jsonl``::
+
+    from repro import obs
+
+    with obs.session(run_dir="runs/fig2", meta={"sweep": "fig2.json"}):
+        with obs.span("lp.solve", k=8):
+            ...
+        obs.add("pathcache.hits")
+
+    # afterwards: runs/fig2/manifest.json, runs/fig2/trace.jsonl
+
+``python -m repro profile <sweep.json>`` wraps this end to end: it runs
+a sweep in-process under an obs session and prints the per-stage
+breakdown (:func:`render_profile`).
+"""
+
+from .core import (
+    SCHEMA,
+    ObsRun,
+    add,
+    current,
+    disable,
+    enable,
+    enabled,
+    event,
+    observe,
+    session,
+    set_gauge,
+    snapshot,
+    span,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .netreport import (
+    LinkStats,
+    NetworkReport,
+    emit_network_report,
+    network_report,
+)
+from .profile import load_manifest, render_profile, validate_manifest
+
+__all__ = [
+    "SCHEMA",
+    "ObsRun",
+    "enable",
+    "disable",
+    "enabled",
+    "current",
+    "session",
+    "span",
+    "add",
+    "set_gauge",
+    "observe",
+    "event",
+    "snapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LinkStats",
+    "NetworkReport",
+    "network_report",
+    "emit_network_report",
+    "load_manifest",
+    "render_profile",
+    "validate_manifest",
+]

@@ -1,0 +1,147 @@
+"""Reading obs output back: manifest validation and profile rendering.
+
+The ``python -m repro profile`` CLI (and the CI ``profile-smoke`` step)
+consume a finished run's ``manifest.json`` through this module:
+:func:`validate_manifest` checks the structural contract of the
+``repro.obs/1`` schema, and :func:`render_profile` turns the span
+summary and metrics into the human-readable per-stage breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .core import SCHEMA
+
+__all__ = ["validate_manifest", "load_manifest", "render_profile"]
+
+#: Keys every ``repro.obs/1`` manifest must carry.
+_REQUIRED_KEYS = (
+    "schema",
+    "run_id",
+    "started_at_unix",
+    "duration_s",
+    "meta",
+    "metrics",
+    "spans",
+)
+
+#: Keys every per-name span aggregate must carry.
+_SPAN_AGG_KEYS = ("count", "total_s", "min_s", "max_s")
+
+
+def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
+    """Structural problems with a manifest dict; empty list means valid."""
+    problems: List[str] = []
+    if not isinstance(manifest, dict):
+        return [f"manifest is {type(manifest).__name__}, expected dict"]
+    for key in _REQUIRED_KEYS:
+        if key not in manifest:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+    if manifest["schema"] != SCHEMA:
+        problems.append(
+            f"schema is {manifest['schema']!r}, expected {SCHEMA!r}"
+        )
+    if not isinstance(manifest["metrics"], dict):
+        problems.append("'metrics' is not a mapping")
+    spans = manifest["spans"]
+    if not isinstance(spans, dict) or "by_name" not in spans:
+        problems.append("'spans' is not a {count, by_name} mapping")
+    else:
+        for name, agg in spans["by_name"].items():
+            for key in _SPAN_AGG_KEYS:
+                if key not in agg:
+                    problems.append(f"span {name!r} aggregate missing {key!r}")
+    return problems
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Load and validate a manifest file; raises ``ValueError`` if invalid."""
+    with open(path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    problems = validate_manifest(manifest)
+    if problems:
+        raise ValueError(
+            f"invalid manifest {path}: " + "; ".join(problems)
+        )
+    return manifest
+
+
+def _format_row(cells: List[str], widths: List[int]) -> str:
+    return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+
+def _table(header: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [_format_row(header, widths)]
+    lines.append(_format_row(["-" * w for w in widths], widths))
+    lines.extend(_format_row(r, widths) for r in rows)
+    return lines
+
+
+def render_profile(manifest: Dict[str, Any]) -> str:
+    """Human-readable per-stage breakdown of a run manifest.
+
+    Spans are sorted by total time (the profile question is "where did
+    the time go"); counters and gauges follow, sorted by name.
+    """
+    lines: List[str] = []
+    lines.append(f"run {manifest['run_id']}  ({manifest['duration_s']:.3f}s wall)")
+    meta = manifest.get("meta") or {}
+    if meta:
+        lines.append(
+            "meta: " + ", ".join(f"{k}={meta[k]}" for k in sorted(meta))
+        )
+    lines.append("")
+
+    by_name = manifest["spans"].get("by_name", {})
+    if by_name:
+        total_wall = max(float(manifest["duration_s"]), 1e-12)
+        rows = []
+        for name, agg in sorted(
+            by_name.items(), key=lambda kv: -kv[1]["total_s"]
+        ):
+            total = agg["total_s"]
+            mean = total / agg["count"] if agg["count"] else 0.0
+            rows.append(
+                [
+                    name,
+                    str(int(agg["count"])),
+                    f"{total:.4f}",
+                    f"{mean * 1e3:.3f}",
+                    f"{agg['max_s'] * 1e3:.3f}",
+                    f"{100.0 * total / total_wall:.1f}%",
+                ]
+            )
+        lines.append("spans (by total time):")
+        lines.extend(
+            _table(
+                ["span", "count", "total_s", "mean_ms", "max_ms", "wall%"],
+                rows,
+            )
+        )
+        lines.append("")
+
+    counters = []
+    gauges = []
+    for name, snap in sorted(manifest["metrics"].items()):
+        if snap.get("type") == "counter":
+            counters.append([name, f"{snap['value']:g}"])
+        elif snap.get("type") == "gauge":
+            gauges.append([name, f"{snap['value']:g}"])
+    if counters:
+        lines.append("counters:")
+        lines.extend(_table(["counter", "value"], counters))
+        lines.append("")
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(_table(["gauge", "value"], gauges))
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

@@ -46,6 +46,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse import csgraph
 
+from .. import obs
 from ..ioutils import atomic_write_bytes, atomic_write_json
 
 __all__ = [
@@ -147,11 +148,15 @@ class PathCache:
         Computed by one C-speed unweighted sweep; cached thereafter.
         """
         if self._dist is None:
-            self._dist = csgraph.shortest_path(
-                self._adjacency, method="D", directed=False, unweighted=True
-            )
+            obs.add("pathcache.misses")
+            with obs.span("pathcache.distances", nodes=self.num_nodes):
+                self._dist = csgraph.shortest_path(
+                    self._adjacency, method="D", directed=False, unweighted=True
+                )
             if self.persist_dir is not None:
                 self._persist_distances()
+        else:
+            obs.add("pathcache.hits")
         return self._dist
 
     def distance(self, src: int, dst: int) -> float:
@@ -221,7 +226,13 @@ class PathCache:
         handed out by reference — callers must treat it as read-only.
         """
         if self._tables is None:
-            self._tables = {dst: self.ecmp_next_hops(dst) for dst in self.nodes}
+            obs.add("pathcache.misses")
+            with obs.span("pathcache.ecmp_tables", nodes=self.num_nodes):
+                self._tables = {
+                    dst: self.ecmp_next_hops(dst) for dst in self.nodes
+                }
+        else:
+            obs.add("pathcache.hits")
         return self._tables
 
     # ------------------------------------------------------------------
@@ -242,10 +253,13 @@ class PathCache:
         if cached is not None:
             k_computed, paths = cached
             if k <= k_computed or len(paths) < k_computed:
+                obs.add("pathcache.hits")
                 return [list(p) for p in paths[:k]]
         from ..throughput.paths import k_shortest_paths as yen
 
-        paths = yen(self.graph, src, dst, k)
+        obs.add("pathcache.misses")
+        with obs.span("pathcache.ksp", k=k):
+            paths = yen(self.graph, src, dst, k)
         self._ksp[key] = (k, paths)
         return [list(p) for p in paths]
 
@@ -323,11 +337,14 @@ def shared_path_cache(
     key = (topology_content_hash(graph), persist_dir)
     cache = _REGISTRY.get(key)
     if cache is None:
+        obs.add("pathcache.shared_misses")
         cache = PathCache(graph, persist_dir=persist_dir)
         _REGISTRY[key] = cache
         while len(_REGISTRY) > _REGISTRY_MAX:
             _REGISTRY.popitem(last=False)
+            obs.add("pathcache.evictions")
     else:
+        obs.add("pathcache.shared_hits")
         _REGISTRY.move_to_end(key)
     return cache
 

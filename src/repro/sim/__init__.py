@@ -25,7 +25,7 @@ from .stats import SHORT_FLOW_BYTES, FlowRecord, FlowStats, percentile
 from .mptcp import MptcpFlow
 from .switch import Switch
 from .tcp import DctcpReceiver, DctcpSender, TransportParams
-from .telemetry import LinkStats, NetworkReport, network_report
+from ..obs.netreport import LinkStats, NetworkReport, network_report
 
 __all__ = [
     "Engine",

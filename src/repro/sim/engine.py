@@ -41,7 +41,7 @@ class EventHandle:
 class Engine:
     """Event-driven simulation clock.  Time is in seconds (float)."""
 
-    __slots__ = ("now", "_heap", "_seq", "_processed", "_cancelled")
+    __slots__ = ("now", "_heap", "_seq", "_processed", "_cancelled", "_compactions")
 
     def __init__(self) -> None:
         self.now = 0.0
@@ -49,6 +49,7 @@ class Engine:
         self._seq = 0
         self._processed = 0
         self._cancelled = 0
+        self._compactions = 0
 
     def schedule(
         self, delay: float, callback: Callable, arg: Any = _NO_ARG
@@ -90,6 +91,7 @@ class Engine:
             ]
             heapq.heapify(self._heap)
             self._cancelled = 0
+            self._compactions += 1
 
     def schedule_at(
         self, when: float, callback: Callable, arg: Any = _NO_ARG
@@ -139,3 +141,8 @@ class Engine:
     def events_processed(self) -> int:
         """Total events processed over the engine's lifetime."""
         return self._processed
+
+    @property
+    def heap_compactions(self) -> int:
+        """Number of dead-entry heap rebuilds over the engine's lifetime."""
+        return self._compactions

@@ -346,3 +346,55 @@ class KspRouting(RoutingPolicy):
             return None
         idx = _mix(flow_id, flowlet, src_tor, dst_tor) % len(paths)
         return paths[idx][1:]
+
+
+# ----------------------------------------------------------------------
+# Registry bindings (see repro.registry)
+# ----------------------------------------------------------------------
+from ..registry import ROUTINGS as _ROUTINGS  # noqa: E402
+
+
+def _ecmp_factory(graph, seed=0):
+    return EcmpRouting(graph, seed=seed)
+
+
+def _vlb_factory(graph, seed=0):
+    return VlbRouting(graph, seed=seed)
+
+
+def _hyb_factory(graph, seed=0, hyb_threshold_bytes=DEFAULT_HYB_THRESHOLD_BYTES):
+    return HybRouting(graph, q_threshold_bytes=hyb_threshold_bytes, seed=seed)
+
+
+def _chyb_factory(graph, seed=0, ecn_mark_threshold=3):
+    return CongestionHybRouting(
+        graph, ecn_mark_threshold=ecn_mark_threshold, seed=seed
+    )
+
+
+def _aecmp_factory(graph, seed=0):
+    return AdaptiveEcmpRouting(graph, seed=seed)
+
+
+def _ksp_factory(graph, seed=0, k=4):
+    return KspRouting(graph, k=k, seed=seed)
+
+
+_ROUTINGS.register(
+    "ecmp", _ecmp_factory, "hash flowlets onto shortest paths (§6)"
+)
+_ROUTINGS.register(
+    "vlb", _vlb_factory, "bounce every flowlet off a random intermediate"
+)
+_ROUTINGS.register(
+    "hyb", _hyb_factory,
+    "ECMP below Q bytes then VLB (§6.3); hyb_threshold_bytes",
+)
+_ROUTINGS.register(
+    "chyb", _chyb_factory,
+    "congestion-aware hybrid: VLB after ECN marks; ecn_mark_threshold",
+)
+_ROUTINGS.register(
+    "aecmp", _aecmp_factory, "queue-aware ECMP next-hop choice (§7)"
+)
+_ROUTINGS.register("ksp", _ksp_factory, "k-shortest-path flowlet hashing; k")

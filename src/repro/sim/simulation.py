@@ -9,21 +9,16 @@ case unfinished flows are reported).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
+from .. import obs, registry
 from ..topologies.base import Topology
 from ..traffic.workload import FlowSpec, Workload
 from .engine import Engine
 from .network import NetworkParams, SimulatedNetwork
-from .routing import (
-    AdaptiveEcmpRouting,
-    CongestionHybRouting,
-    EcmpRouting,
-    HybRouting,
-    RoutingPolicy,
-    VlbRouting,
-)
+from .routing import RoutingPolicy
 from .stats import FlowRecord, FlowStats
 from .tcp import TransportParams
 
@@ -34,28 +29,10 @@ __all__ = [
     "ROUTING_CHOICES",
 ]
 
-
-def _make_hyb(graph, seed: int, hyb_threshold_bytes: int) -> RoutingPolicy:
-    return HybRouting(graph, q_threshold_bytes=hyb_threshold_bytes, seed=seed)
-
-
-def _make_ksp(graph, seed: int, hyb_threshold_bytes: int) -> RoutingPolicy:
-    from .routing import KspRouting
-
-    return KspRouting(graph, seed=seed)
-
-
-_ROUTING_FACTORIES = {
-    "ecmp": lambda graph, seed, q: EcmpRouting(graph, seed=seed),
-    "vlb": lambda graph, seed, q: VlbRouting(graph, seed=seed),
-    "hyb": _make_hyb,
-    "chyb": lambda graph, seed, q: CongestionHybRouting(graph, seed=seed),
-    "aecmp": lambda graph, seed, q: AdaptiveEcmpRouting(graph, seed=seed),
-    "ksp": _make_ksp,
-}
-
-#: Every routing name accepted by :func:`make_routing` (CLI + harness specs).
-ROUTING_CHOICES = tuple(sorted(_ROUTING_FACTORIES))
+#: Every routing name the registry knows (CLI + harness specs).  The
+#: factories themselves live in :mod:`repro.sim.routing` and register
+#: with :data:`repro.registry.ROUTINGS`.
+ROUTING_CHOICES = registry.ROUTINGS.available()
 
 
 def make_routing(
@@ -64,19 +41,22 @@ def make_routing(
     seed: int = 0,
     hyb_threshold_bytes: int = 100_000,
 ) -> RoutingPolicy:
-    """Construct a routing policy by name.
+    """Deprecated: construct a routing policy by name.
 
-    ``'ecmp'``, ``'vlb'``, and ``'hyb'`` are the paper's evaluated schemes;
-    ``'chyb'`` is the paper's congestion-aware hybrid variant (§6.3) and
-    ``'aecmp'`` a locally queue-aware ECMP (§7 extension).
+    Use :func:`repro.registry.routing` instead — it accepts the same
+    names plus parameterized specs (``"ksp:k=8"``).  This shim keeps the
+    PR 1 signature alive and delegates verbatim.
     """
-    factory = _ROUTING_FACTORIES.get(name)
-    if factory is None:
-        raise ValueError(
-            f"unknown routing {name!r}; valid choices: "
-            + ", ".join(ROUTING_CHOICES)
-        )
-    return factory(topology.graph, seed, hyb_threshold_bytes)
+    warnings.warn(
+        "make_routing is deprecated; use repro.registry.routing "
+        "(e.g. registry.routing('hyb', topology, seed=0))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    defaults = {"seed": seed}
+    if name == "hyb":
+        defaults["hyb_threshold_bytes"] = hyb_threshold_bytes
+    return registry.routing(name, topology, **defaults)
 
 
 class PacketSimulation:
@@ -96,7 +76,7 @@ class PacketSimulation:
             raise ValueError(f"unknown transport {transport!r}")
         self.engine = Engine()
         if isinstance(routing, str):
-            routing = make_routing(routing, topology, seed=seed)
+            routing = registry.routing(routing, topology, seed=seed)
         self.routing = routing
         self.network = SimulatedNetwork(
             topology, routing, self.engine, params=network_params
@@ -191,11 +171,26 @@ class PacketSimulation:
         self._pending_measured = len(measured)
         if max_sim_time is None:
             max_sim_time = measure_end * 50 + 10.0
-        # Process at least through the injection horizon, then drain.
-        while self._pending_measured > 0 and self.engine.now < max_sim_time:
-            processed = self.engine.run(until=self.engine.now + chunk)
-            if processed == 0 and self.engine.pending == 0:
-                break
+        # Per-run instrumentation only: the span wraps the whole event
+        # loop and the counters flush once as deltas, so the per-event
+        # hot path stays untouched (obs disabled costs nothing here).
+        events_before = self.engine.events_processed
+        compactions_before = self.engine.heap_compactions
+        with obs.span(
+            "sim.run", flows=len(self.records), measured=len(measured)
+        ):
+            # Process at least through the injection horizon, then drain.
+            while self._pending_measured > 0 and self.engine.now < max_sim_time:
+                processed = self.engine.run(until=self.engine.now + chunk)
+                if processed == 0 and self.engine.pending == 0:
+                    break
+        obs.add(
+            "sim.events_processed", self.engine.events_processed - events_before
+        )
+        obs.add(
+            "sim.heap_compactions",
+            self.engine.heap_compactions - compactions_before,
+        )
         stats = FlowStats(records=measured)
         return stats
 

@@ -1,92 +1,29 @@
-"""Network telemetry: link-level reports from a finished simulation.
+"""Deprecated location of the link-telemetry report.
 
-Aggregates the per-link counters the :class:`~repro.sim.link.Link`
-objects accumulate — utilization, peak queue, ECN marks, drops — into a
-network-wide report.  Useful for diagnosing *where* a routing scheme
-bottlenecks (e.g. confirming that ECMP's two-adjacent-rack pathology is a
-single saturated direct link, §6.1).
+The report moved to :mod:`repro.obs.netreport`, where it also emits
+onto the observability sink (``sim.*`` counters plus a trace event)
+when a run is active.  :class:`LinkStats` and :class:`NetworkReport`
+are re-exported unchanged; :func:`network_report` warns and delegates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import warnings
+from typing import Any, Optional
 
-from .network import SimulatedNetwork
+from ..obs.netreport import LinkStats, NetworkReport
+from ..obs.netreport import network_report as _network_report
 
 __all__ = ["LinkStats", "NetworkReport", "network_report"]
 
 
-@dataclass
-class LinkStats:
-    """Counters for one directed link."""
-
-    description: str
-    utilization: float
-    transmitted_bytes: int
-    dropped_packets: int
-    marked_packets: int
-    max_queue_bytes: int
-
-
-@dataclass
-class NetworkReport:
-    """Network-wide link telemetry."""
-
-    elapsed: float
-    links: List[LinkStats]
-
-    @property
-    def total_drops(self) -> int:
-        return sum(l.dropped_packets for l in self.links)
-
-    @property
-    def total_marks(self) -> int:
-        return sum(l.marked_packets for l in self.links)
-
-    @property
-    def max_utilization(self) -> float:
-        return max((l.utilization for l in self.links), default=0.0)
-
-    @property
-    def mean_utilization(self) -> float:
-        if not self.links:
-            return 0.0
-        return sum(l.utilization for l in self.links) / len(self.links)
-
-    def hottest(self, count: int = 10) -> List[LinkStats]:
-        """The ``count`` most utilized links."""
-        return sorted(self.links, key=lambda l: -l.utilization)[:count]
-
-
-def network_report(
-    network: SimulatedNetwork, elapsed: Optional[float] = None
-) -> NetworkReport:
-    """Collect link telemetry from a simulated network.
-
-    ``elapsed`` defaults to the engine's current clock; utilization is
-    transmitted bits over capacity x elapsed.
-    """
-    if elapsed is None:
-        elapsed = network.engine.now
-    stats: List[LinkStats] = []
-
-    def describe(owner: str, link) -> LinkStats:
-        return LinkStats(
-            description=owner,
-            utilization=link.utilization(elapsed),
-            transmitted_bytes=link.transmitted_bytes,
-            dropped_packets=link.dropped_packets,
-            marked_packets=link.marked_packets,
-            max_queue_bytes=link.max_queue_bytes,
-        )
-
-    for sid, switch in network.switches.items():
-        for neighbor, link in switch.switch_ports.items():
-            stats.append(describe(f"switch {sid} -> switch {neighbor}", link))
-        for server, link in switch.host_ports.items():
-            stats.append(describe(f"switch {sid} -> server {server}", link))
-    for hid, host in network.hosts.items():
-        if host.uplink is not None:
-            stats.append(describe(f"server {hid} -> switch {host.tor}", host.uplink))
-    return NetworkReport(elapsed=elapsed, links=stats)
+def network_report(network: Any, elapsed: Optional[float] = None) -> NetworkReport:
+    """Deprecated: use :func:`repro.obs.network_report` (or
+    :func:`repro.obs.emit_network_report` to also feed the obs sink)."""
+    warnings.warn(
+        "repro.sim.telemetry.network_report is deprecated; use "
+        "repro.obs.network_report or repro.obs.emit_network_report",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _network_report(network, elapsed)

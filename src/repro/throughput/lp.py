@@ -34,6 +34,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import linprog
 
+from .. import obs
 from ..topologies.base import Topology
 from ..traffic.matrix import TrafficMatrix
 from .arcs import ArcTable
@@ -255,23 +256,28 @@ def max_concurrent_throughput(
     if tm.num_flows == 0:
         return ThroughputResult(throughput=float("inf"), per_server=1.0)
 
-    table = ArcTable.from_topology(topology)
-    dests, demand_to = _demands_by_destination(tm)
-    num_arcs = table.num_arcs
-    num_dests = len(dests)
-    num_vars = num_dests * num_arcs + 1
-    t_var = num_vars - 1
+    obs.add("lp.calls")
+    with obs.span("lp.assemble", formulation="exact", demands=tm.num_flows):
+        table = ArcTable.from_topology(topology)
+        dests, demand_to = _demands_by_destination(tm)
+        num_arcs = table.num_arcs
+        num_dests = len(dests)
+        num_vars = num_dests * num_arcs + 1
+        t_var = num_vars - 1
 
-    a_eq, b_eq, a_ub = _assemble_exact_vectorized(table, dests, demand_to)
-    b_ub = table.caps
+        a_eq, b_eq, a_ub = _assemble_exact_vectorized(table, dests, demand_to)
+        b_ub = table.caps
 
-    c = np.zeros(num_vars)
-    c[t_var] = -1.0
-    bounds = [(0, None)] * num_vars
+        c = np.zeros(num_vars)
+        c[t_var] = -1.0
+        bounds = [(0, None)] * num_vars
 
-    res = linprog(
-        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs"
-    )
+    with obs.span("lp.solve", formulation="exact", variables=num_vars):
+        res = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+            method="highs",
+        )
+    obs.add("lp.solver_iterations", int(getattr(res, "nit", 0) or 0))
     if not res.success:
         raise RuntimeError(f"throughput LP failed: {res.message}")
     t = float(res.x[t_var])
@@ -318,71 +324,79 @@ def path_throughput(
 
         path_cache = shared_path_cache(topology.graph)
 
-    table = ArcTable.from_topology(topology)
-    arc_index = table.index
-    num_arcs = table.num_arcs
-    caps = table.caps
+    obs.add("lp.calls")
+    with obs.span("lp.assemble", formulation="paths", demands=tm.num_flows, k=k):
+        table = ArcTable.from_topology(topology)
+        arc_index = table.index
+        num_arcs = table.num_arcs
+        caps = table.caps
 
-    demands = tm.items()
-    var_arcs: List[np.ndarray] = []  # arc-id array per path variable
-    var_owner: List[int] = []  # demand index
-    for di, ((s, d), _) in enumerate(demands):
-        paths = path_cache.k_shortest_paths(s, d, k)
-        if not paths:
-            return ThroughputResult(throughput=0.0, per_server=0.0)
-        for p in paths:
-            var_arcs.append(
-                np.asarray([arc_index[e] for e in path_edges(p)], dtype=np.intp)
-            )
-            var_owner.append(di)
+        demands = tm.items()
+        var_arcs: List[np.ndarray] = []  # arc-id array per path variable
+        var_owner: List[int] = []  # demand index
+        for di, ((s, d), _) in enumerate(demands):
+            paths = path_cache.k_shortest_paths(s, d, k)
+            if not paths:
+                return ThroughputResult(throughput=0.0, per_server=0.0)
+            for p in paths:
+                var_arcs.append(
+                    np.asarray(
+                        [arc_index[e] for e in path_edges(p)], dtype=np.intp
+                    )
+                )
+                var_owner.append(di)
 
-    num_path_vars = len(var_arcs)
-    num_vars = num_path_vars + 1
-    t_var = num_vars - 1
+        num_path_vars = len(var_arcs)
+        num_vars = num_path_vars + 1
+        t_var = num_vars - 1
 
-    # Equality: per demand, sum of path flows = t * demand.
-    owner = np.asarray(var_owner, dtype=np.intp)
-    dem_vals = np.asarray([val for (_, _), val in demands], dtype=float)
-    eq_rows = np.concatenate([owner, np.arange(len(demands), dtype=np.intp)])
-    eq_cols = np.concatenate(
-        [
-            np.arange(num_path_vars, dtype=np.intp),
-            np.full(len(demands), t_var, dtype=np.intp),
-        ]
-    )
-    eq_vals = np.concatenate([np.ones(num_path_vars), -dem_vals])
-    a_eq = sp.csr_matrix(
-        (eq_vals, (eq_rows, eq_cols)), shape=(len(demands), num_vars)
-    )
-    b_eq = np.zeros(len(demands))
+        # Equality: per demand, sum of path flows = t * demand.
+        owner = np.asarray(var_owner, dtype=np.intp)
+        dem_vals = np.asarray([val for (_, _), val in demands], dtype=float)
+        eq_rows = np.concatenate(
+            [owner, np.arange(len(demands), dtype=np.intp)]
+        )
+        eq_cols = np.concatenate(
+            [
+                np.arange(num_path_vars, dtype=np.intp),
+                np.full(len(demands), t_var, dtype=np.intp),
+            ]
+        )
+        eq_vals = np.concatenate([np.ones(num_path_vars), -dem_vals])
+        a_eq = sp.csr_matrix(
+            (eq_vals, (eq_rows, eq_cols)), shape=(len(demands), num_vars)
+        )
+        b_eq = np.zeros(len(demands))
 
-    # Inequality: per-arc capacity.  One coordinate per (path, arc)
-    # traversal; repeated arcs within a path (impossible for simple
-    # paths, but harmless) would be summed by the CSR constructor.
-    counts = np.asarray([a.size for a in var_arcs], dtype=np.intp)
-    flat_arcs = (
-        np.concatenate(var_arcs)
-        if var_arcs
-        else np.empty(0, dtype=np.intp)
-    )
-    ub_cols = np.repeat(np.arange(num_path_vars, dtype=np.intp), counts)
-    a_ub = sp.csr_matrix(
-        (np.ones(flat_arcs.size), (flat_arcs, ub_cols)),
-        shape=(num_arcs, num_vars),
-    )
+        # Inequality: per-arc capacity.  One coordinate per (path, arc)
+        # traversal; repeated arcs within a path (impossible for simple
+        # paths, but harmless) would be summed by the CSR constructor.
+        counts = np.asarray([a.size for a in var_arcs], dtype=np.intp)
+        flat_arcs = (
+            np.concatenate(var_arcs)
+            if var_arcs
+            else np.empty(0, dtype=np.intp)
+        )
+        ub_cols = np.repeat(np.arange(num_path_vars, dtype=np.intp), counts)
+        a_ub = sp.csr_matrix(
+            (np.ones(flat_arcs.size), (flat_arcs, ub_cols)),
+            shape=(num_arcs, num_vars),
+        )
 
-    c = np.zeros(num_vars)
-    c[t_var] = -1.0
+        c = np.zeros(num_vars)
+        c[t_var] = -1.0
 
-    res = linprog(
-        c,
-        A_ub=a_ub,
-        b_ub=caps,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=[(0, None)] * num_vars,
-        method="highs",
-    )
+    with obs.span("lp.solve", formulation="paths", variables=num_vars):
+        res = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=caps,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=[(0, None)] * num_vars,
+            method="highs",
+        )
+    obs.add("lp.solver_iterations", int(getattr(res, "nit", 0) or 0))
     if not res.success:
         raise RuntimeError(f"path throughput LP failed: {res.message}")
     t = float(res.x[t_var])

@@ -25,6 +25,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 from scipy.sparse import csgraph
 
+from .. import obs
 from ..topologies.base import Topology
 from ..traffic.matrix import TrafficMatrix
 from .arcs import ArcTable
@@ -99,22 +100,29 @@ def approx_concurrent_throughput(
     def total_length() -> float:
         return float(lengths @ caps)
 
-    while total_length() < 1.0 and phases < max_phases:
-        for src, dst, dem in commodities:
-            remaining = dem
-            while remaining > 1e-15:
-                if total_length() >= 1.0 and phases > 0:
-                    break
-                path = shortest_arc_path(src, dst)
-                if not path:
-                    return ThroughputResult(throughput=0.0, per_server=0.0)
-                bottleneck = min(caps[a] for a in path)
-                g = min(remaining, bottleneck)
-                for a in path:
-                    flow[a] += g
-                    lengths[a] *= 1.0 + epsilon * g / caps[a]
-                remaining -= g
-        phases += 1
+    with obs.span(
+        "mcf.run", epsilon=epsilon, commodities=len(commodities)
+    ):
+        while total_length() < 1.0 and phases < max_phases:
+            for src, dst, dem in commodities:
+                remaining = dem
+                while remaining > 1e-15:
+                    if total_length() >= 1.0 and phases > 0:
+                        break
+                    path = shortest_arc_path(src, dst)
+                    if not path:
+                        obs.add("mcf.phases", phases)
+                        return ThroughputResult(
+                            throughput=0.0, per_server=0.0
+                        )
+                    bottleneck = min(caps[a] for a in path)
+                    g = min(remaining, bottleneck)
+                    for a in path:
+                        flow[a] += g
+                        lengths[a] *= 1.0 + epsilon * g / caps[a]
+                    remaining -= g
+            phases += 1
+    obs.add("mcf.phases", phases)
 
     scale = math.log((1 + epsilon) / delta) / math.log(1 + epsilon)
     t = phases / scale

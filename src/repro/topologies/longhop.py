@@ -30,7 +30,7 @@ import numpy as np
 
 from .base import Topology, TopologyError
 
-__all__ = ["longhop", "cayley_graph_gf2", "spectral_gap_gf2", "select_generators"]
+__all__ = ["longhop", "cayley_graph_gf2", "cayley_spectrum_gf2", "spectral_gap_gf2", "select_generators"]
 
 
 def _walsh_hadamard(values: np.ndarray) -> np.ndarray:

@@ -1,0 +1,74 @@
+"""Tests for the metrics primitives (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.add()
+        c.add(5)
+        assert c.value == 6
+
+    def test_rejects_negative_increments(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+    def test_zero_increment_allowed(self):
+        c = Counter()
+        c.add(0)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_tracks_last_value(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(-2)
+        assert g.value == -2
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_same_name_returns_same_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(2)
+        reg.counter("a").add(3)
+        assert reg.counter("a").value == 5
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.gauge("b").set(1)
+        reg.counter("a").add(4)
+        reg.histogram("c").observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        assert snap["a"]["type"] == "counter"
+        assert snap["a"]["value"] == 4
+        assert snap["b"]["type"] == "gauge"
+        assert snap["c"]["type"] == "histogram"
+        assert snap["c"]["count"] == 1

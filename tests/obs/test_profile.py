@@ -1,0 +1,62 @@
+"""Tests for manifest validation and the rendered profile breakdown."""
+
+import pytest
+
+from repro import obs
+from repro.obs import load_manifest, render_profile, validate_manifest
+
+
+def _finished_manifest(tmp_path):
+    with obs.session(str(tmp_path)):
+        obs.add("pathcache.hits", 7)
+        obs.set_gauge("sim.max_queue_bytes", 1000)
+        with obs.span("lp.solve"):
+            pass
+    return load_manifest(str(tmp_path / "manifest.json"))
+
+
+class TestValidateManifest:
+    def test_real_manifest_is_valid(self, tmp_path):
+        manifest = _finished_manifest(tmp_path)
+        assert validate_manifest(manifest) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_manifest([]) != []
+
+    def test_missing_keys_reported(self):
+        problems = validate_manifest({"schema": obs.SCHEMA})
+        assert any("run_id" in p for p in problems)
+
+    def test_wrong_schema_reported(self, tmp_path):
+        manifest = _finished_manifest(tmp_path)
+        manifest["schema"] = "repro.obs/0"
+        assert any("schema" in p for p in validate_manifest(manifest))
+
+    def test_span_aggregate_shape_checked(self, tmp_path):
+        manifest = _finished_manifest(tmp_path)
+        del manifest["spans"]["by_name"]["lp.solve"]["total_s"]
+        assert any("total_s" in p for p in validate_manifest(manifest))
+
+    def test_load_manifest_raises_on_invalid(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_manifest(str(path))
+
+
+class TestRenderProfile:
+    def test_breakdown_sections(self, tmp_path):
+        manifest = _finished_manifest(tmp_path)
+        text = render_profile(manifest)
+        assert "spans (by total time):" in text
+        assert "lp.solve" in text
+        assert "counters:" in text
+        assert "pathcache.hits" in text
+        assert "gauges:" in text
+        assert "sim.max_queue_bytes" in text
+
+    def test_meta_line(self, tmp_path):
+        with obs.session(str(tmp_path), meta={"sweep_file": "s.json"}):
+            obs.add("x")
+        manifest = load_manifest(str(tmp_path / "manifest.json"))
+        assert "sweep_file=s.json" in render_profile(manifest)

@@ -1,0 +1,89 @@
+"""End-to-end: an observed inline sweep covers every instrumented layer."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.harness import ExperimentSpec, Runner
+from repro.perf import clear_shared_caches
+
+TOPO = {"family": "jellyfish", "switches": 8, "degree": 4, "servers": 2,
+        "seed": 1}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    obs.disable()
+    clear_shared_caches()
+    yield
+    obs.disable()
+
+
+def _specs():
+    wl = {"pattern": "permute", "fraction": 0.5, "rate": 300.0,
+          "sizes": "pfabric", "mean_flow_bytes": 200_000}
+    return [
+        ExperimentSpec(
+            name="lp", topology=TOPO, engine="lp",
+            workload={"pattern": "longest_matching", "solver": "paths",
+                      "k_paths": 4, "fraction": 1.0},
+        ),
+        ExperimentSpec(
+            name="flow", topology=TOPO, engine="flow", routing="ecmp",
+            workload=wl, measure_start=0.0, measure_end=0.02,
+        ),
+        ExperimentSpec(
+            name="packet", topology=TOPO, engine="packet", routing="hyb",
+            workload=wl, measure_start=0.0, measure_end=0.02,
+            max_sim_time=0.5,
+        ),
+    ]
+
+
+class TestObservedInlineSweep:
+    def test_all_span_families_and_manifest(self, tmp_path):
+        with obs.session(str(tmp_path)):
+            result = Runner(inline=True, retries=0).run(_specs())
+        assert result.ok, [r.error for r in result.records]
+
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        names = set(manifest["spans"]["by_name"])
+        for family in ("runner.sweep", "runner.task", "sim.run",
+                       "flowsim.run", "lp.assemble", "lp.solve"):
+            assert family in names, f"missing span family {family}"
+        assert any(n.startswith("pathcache.") for n in names)
+
+        counters = {
+            k: v["value"]
+            for k, v in manifest["metrics"].items()
+            if v.get("type") == "counter"
+        }
+        assert counters["runner.tasks"] == 3
+        assert counters["sim.events_processed"] > 0
+        assert counters["flowsim.fairshare_recomputes"] > 0
+        assert counters["lp.calls"] == 1
+
+        trace = [json.loads(line)
+                 for line in (tmp_path / "trace.jsonl").read_text().splitlines()]
+        task_spans = [r for r in trace
+                      if r["type"] == "span" and r["name"] == "runner.task"]
+        assert {s["attrs"]["name"] for s in task_spans} == {
+            "lp", "flow", "packet"
+        }
+        assert all(s["parent"] == "runner.sweep" for s in task_spans)
+
+    def test_inline_results_match_pool_results(self):
+        specs = _specs()
+        inline = Runner(inline=True, retries=0).run(specs)
+        clear_shared_caches()
+        pooled = Runner(jobs=2, retries=0).run(specs)
+        assert inline.ok and pooled.ok
+        assert [r.metrics for r in inline.records] == [
+            r.metrics for r in pooled.records
+        ]
+
+    def test_unobserved_inline_sweep_still_works(self):
+        result = Runner(inline=True, retries=0).run(_specs()[:1])
+        assert result.ok
+        assert not obs.enabled()

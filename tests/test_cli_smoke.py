@@ -1,0 +1,78 @@
+"""Smoke tests: every documented CLI command exits 0 on a tiny input.
+
+Cheaper and broader than the per-command behavioural tests in
+``test_cli.py`` — the point is that no subcommand's wiring (argument
+plumbing, registry construction, output formatting) is broken.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs import load_manifest
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["topology", "jellyfish", "--switches", "8", "--degree", "4",
+         "--servers", "2"],
+        ["topology", "fattree", "--k", "4"],
+        ["throughput", "jellyfish", "--switches", "8", "--degree", "4",
+         "--servers", "2", "--fractions", "1.0", "--solver", "paths",
+         "--k-paths", "4"],
+        ["cost"],
+        ["cost", "--kind", "jellyfish", "--switches", "8", "--degree", "4",
+         "--servers", "2"],
+        ["cabling", "jellyfish", "--switches", "8", "--degree", "4",
+         "--servers", "2"],
+        ["cabling", "fattree", "--k", "4"],
+    ],
+    ids=lambda argv: "-".join(argv[:2]),
+)
+def test_command_exits_zero(argv, capsys):
+    assert main(argv) == 0
+    assert capsys.readouterr().out.strip()
+
+
+class TestProfileSmoke:
+    def _sweep_file(self, tmp_path):
+        spec = {
+            "defaults": {
+                "topology": {"family": "jellyfish", "switches": 8,
+                             "degree": 4, "servers": 2, "seed": 1},
+                "workload": {"pattern": "longest_matching",
+                             "solver": "paths", "k_paths": 4},
+                "engine": "lp",
+                "seed": 1,
+            },
+            "points": [{"name": "smoke"}],
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_profile_exits_zero_and_writes_valid_manifest(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        rc = main(["profile", self._sweep_file(tmp_path),
+                   "--run-dir", str(run_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "spans (by total time):" in out
+        manifest = load_manifest(str(run_dir / "manifest.json"))
+        assert "runner.sweep" in manifest["spans"]["by_name"]
+        assert (run_dir / "trace.jsonl").exists()
+
+    def test_profile_missing_file_exits_two(self, tmp_path, capsys):
+        rc = main(["profile", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot load" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""The public API surface: explicit ``__all__`` everywhere, and shims warn.
+
+Every module under :mod:`repro` (except the ``__main__`` entry script)
+must declare ``__all__``; every listed name must exist; and no public
+non-module attribute may leak outside ``__all__``.  Legacy entry points
+retired by the registry/observability redesign must keep working but
+emit :class:`DeprecationWarning`.
+"""
+
+import importlib
+import pkgutil
+import types
+
+import pytest
+
+import repro
+
+DOCUMENTED_SUBPACKAGES = {
+    "topologies", "traffic", "throughput", "sim", "flowsim", "perf",
+    "cost", "analysis", "harness", "obs", "registry",
+}
+
+
+def _all_modules():
+    mods = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        mods.append(importlib.import_module(info.name))
+    return mods
+
+
+class TestAllDeclarations:
+    def test_every_module_declares_all(self):
+        missing = [m.__name__ for m in _all_modules()
+                   if not hasattr(m, "__all__")]
+        assert missing == []
+
+    def test_every_exported_name_exists(self):
+        broken = [
+            f"{m.__name__}.{name}"
+            for m in _all_modules()
+            for name in m.__all__
+            if not hasattr(m, name)
+        ]
+        assert broken == []
+
+    def test_no_public_locally_defined_attrs_outside_all(self):
+        """Functions/classes a module defines are either private or exported.
+
+        Imported names (typing helpers, sibling re-exports) are not this
+        module's surface; only objects whose ``__module__`` is the module
+        itself count.
+        """
+        leaks = []
+        for mod in _all_modules():
+            exported = set(mod.__all__)
+            for name, value in vars(mod).items():
+                if name.startswith("_") or name in exported:
+                    continue
+                if not isinstance(value, (type, types.FunctionType)):
+                    continue
+                if getattr(value, "__module__", None) != mod.__name__:
+                    continue
+                leaks.append(f"{mod.__name__}.{name}")
+        assert leaks == []
+
+
+class TestTopLevelSurface:
+    def test_import_repro_exposes_documented_surface(self):
+        assert DOCUMENTED_SUBPACKAGES | {"__version__"} == set(repro.__all__)
+        for name in DOCUMENTED_SUBPACKAGES:
+            assert isinstance(getattr(repro, name), types.ModuleType)
+
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+
+
+class TestDeprecationShims:
+    def test_sim_telemetry_network_report_warns(self):
+        from repro.sim import telemetry
+        from repro.topologies import fattree
+        from repro.sim import PacketSimulation
+
+        sim = PacketSimulation(fattree(4).topology)
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            report = telemetry.network_report(sim.network)
+        assert report.links is not None
+
+    def test_make_routing_warns_but_works(self):
+        from repro.sim import make_routing
+        from repro.topologies import fattree
+
+        topo = fattree(4).topology
+        with pytest.warns(DeprecationWarning, match="registry"):
+            policy = make_routing("ecmp", topo)
+        assert policy is not None
+
+    def test_harness_build_topology_warns(self):
+        from repro.harness.execute import build_topology
+
+        with pytest.warns(DeprecationWarning, match="registry"):
+            topo = build_topology({"family": "fattree", "k": 4})
+        assert topo.num_switches == 20
+
+    def test_cli_build_topology_warns(self):
+        import argparse
+
+        from repro.cli import build_topology
+
+        args = argparse.Namespace(k=4, core_fraction=1.0, servers=0)
+        with pytest.warns(DeprecationWarning, match="registry"):
+            topo, ft = build_topology("fattree", args)
+        assert topo.num_switches == 20
+        assert ft is not None
