@@ -32,7 +32,7 @@ import os
 from typing import Dict, List, Optional, Sequence
 
 from repro import registry
-from repro.analysis import format_series, format_table
+from repro.analysis import format_series
 from repro.harness import ExperimentSpec, ResultCache, Runner, RunRecord
 from repro.ioutils import atomic_write_text
 from repro.sim import NetworkParams, PacketSimulation

@@ -26,7 +26,6 @@ import os
 import random
 import time
 
-import pytest
 
 from repro.flowsim.fairshare import (
     max_min_allocation,
@@ -41,7 +40,7 @@ from repro.throughput.lp import (
 )
 from repro.throughput.paths import ecmp_next_hops, k_shortest_paths
 from repro.topologies import jellyfish
-from repro.traffic import TrafficMatrix, permutation_tm
+from repro.traffic import permutation_tm
 
 QUICK = os.environ.get("REPRO_PERF_QUICK") == "1"
 BENCH_PATH = os.path.join(

@@ -11,12 +11,7 @@ from helpers import save_result
 
 from repro.analysis import format_series
 from repro.throughput import max_concurrent_throughput
-from repro.topologies import (
-    fattree,
-    largest_connected_component,
-    random_link_failures,
-    xpander,
-)
+from repro.topologies import fattree, xpander
 from repro.traffic import permutation_tm
 
 FAILURE_FRACTIONS = [0.0, 0.05, 0.1, 0.2]
@@ -31,9 +26,7 @@ def measure():
             degraded = (
                 topo
                 if frac == 0
-                else largest_connected_component(
-                    random_link_failures(topo, frac, seed=7)
-                )
+                else topo.degrade(f"links:fraction={frac},seed=7,lcc=true")
             )
             surviving_tors = [
                 t for t in degraded.tors if degraded.servers_at(t) > 0

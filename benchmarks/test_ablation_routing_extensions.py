@@ -7,7 +7,6 @@ compares all four schemes on the two corner-case scenarios of Fig 7.
 """
 
 from helpers import (
-    HYB_Q_BYTES,
     LINK_RATE,
     MEAN_FLOW_BYTES,
     run_workload_point,

@@ -8,15 +8,7 @@ Not paper figures, but sensitivity studies on the knobs the paper fixes:
 * the path-based LP's k (number of shortest paths) vs the exact LP.
 """
 
-from helpers import (
-    HYB_Q_BYTES,
-    LINK_RATE,
-    MEAN_FLOW_BYTES,
-    fct_series_table,
-    run_packet,
-    save_result,
-    scaled_pfabric,
-)
+from helpers import HYB_Q_BYTES, LINK_RATE, MEAN_FLOW_BYTES, save_result, scaled_pfabric
 
 from repro.analysis import format_table
 from repro.sim import NetworkParams, PacketSimulation

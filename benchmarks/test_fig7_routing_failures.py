@@ -11,19 +11,17 @@ Scaled configuration: k=6 fat-tree vs a 30-switch Xpander; 1 Gbps links;
 pFabric sizes at a 200 KB mean (see helpers.py).
 """
 
-import math
 
 from helpers import (
     MEAN_FLOW_BYTES,
     fct_series_table,
-    run_packet,
     run_workload_point,
     scaled_pfabric,
     saturation_rate,
 )
 
 from repro.topologies import fattree, xpander
-from repro.traffic import FlowSpec, a2a_pair_distribution
+from repro.traffic import a2a_pair_distribution
 from repro.traffic.patterns import RackPairDistribution
 
 

@@ -1,0 +1,47 @@
+"""Resilience campaign: equal-cost graceful degradation, end-to-end.
+
+Runs the reduced ``benchmarks/sweeps/resilience_quick.json`` campaign
+through the harness and checks the paper's §4.2 deployment claim: at
+equal cost, the statically-wired expanders (Xpander, Jellyfish) retain
+strictly more of their healthy throughput than the fat-tree once a
+nontrivial fraction of links fail.
+"""
+
+import os
+
+from helpers import save_result
+
+from repro.harness import Runner
+from repro.resilience import load_campaign_file, run_campaign
+
+CAMPAIGN_FILE = os.path.join(
+    os.path.dirname(__file__), "sweeps", "resilience_quick.json"
+)
+
+
+def measure():
+    campaign = load_campaign_file(CAMPAIGN_FILE)
+    return run_campaign(campaign, runner=Runner())
+
+
+def test_resilience_campaign(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save_result("resilience_campaign", result.render())
+
+    # The campaign must complete with zero unhandled failures.
+    assert result.ok, result.counts
+    assert result.counts["failed"] == 0
+
+    # Healthy baseline retains exactly itself.
+    for label in result.series:
+        assert abs(result.retained(label, 0.0) - 1.0) < 1e-9
+
+    # Graceful vs. structured degradation at >= 10% random link loss.
+    for fraction in [f for f in result.fractions if f >= 0.1]:
+        ft = result.retained("Fat-tree", fraction)
+        for expander in ("Xpander", "Jellyfish"):
+            assert result.retained(expander, fraction) > ft, (
+                expander,
+                fraction,
+                result.series,
+            )

@@ -7,7 +7,6 @@ footnote 1's warning that bisection bandwidth is not a sound flexibility
 metric (it can sit a variable factor away from throughput).
 """
 
-import math
 
 from helpers import save_result
 

@@ -25,7 +25,10 @@ The package provides:
 * :mod:`repro.obs` — opt-in observability: metrics, spans, and a
   per-run JSONL trace + manifest (``python -m repro profile``);
 * :mod:`repro.registry` — string-spec construction registry for
-  topologies, traffic patterns, and routing policies.
+  topologies, traffic patterns, routing policies, and failure modes;
+* :mod:`repro.resilience` — seeded failure scenarios,
+  ``topology.degrade(...)``, and "throughput retained vs. fraction
+  failed" campaigns (``python -m repro resilience``).
 
 Quickstart::
 
@@ -51,6 +54,7 @@ from . import (
     obs,
     perf,
     registry,
+    resilience,
     sim,
     throughput,
     topologies,
@@ -71,5 +75,6 @@ __all__ = [
     "harness",
     "obs",
     "registry",
+    "resilience",
     "__version__",
 ]

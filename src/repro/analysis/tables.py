@@ -7,7 +7,7 @@ and diffed between runs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Union
+from typing import List, Mapping, Sequence, Union
 
 __all__ = ["format_table", "format_series", "format_number"]
 

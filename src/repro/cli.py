@@ -9,6 +9,8 @@ paper's Netbench artifact is driven from configs:
 * ``sweep``      — parallel, cached experiment sweep from a JSON spec file;
 * ``profile``    — run a sweep in-process under observability and print
   the per-stage span/counter breakdown (trace + manifest on disk);
+* ``resilience`` — failure campaign from a JSON file: throughput
+  retained vs. fraction failed across topologies (x routings);
 * ``cost``       — Table 1 port costs and a topology's port cost;
 * ``cabling``    — Fig 3-style cabling/bundling report.
 """
@@ -96,6 +98,25 @@ def _add_topology_args(p: argparse.ArgumentParser) -> None:
         "--servers", type=int, default=0, help="servers per switch (0 = family default)"
     )
     p.add_argument("--seed", type=int, default=0, help="construction seed")
+    p.add_argument(
+        "--failure",
+        default="",
+        help=(
+            "degrade the topology first: a failure spec like "
+            "'links:fraction=0.08,seed=3' or 'pods:count=1' "
+            "(modes: links, switches, pods, aggregation, metanodes, "
+            "bisection); append lcc=true to keep only the largest "
+            "surviving component"
+        ),
+    )
+
+
+def _maybe_degrade(topo, args: argparse.Namespace):
+    """Apply the --failure spec (if any) to a freshly built topology."""
+    failure = getattr(args, "failure", "")
+    if not failure:
+        return topo
+    return topo.degrade(failure)
 
 
 def _default_servers(kind: str, args: argparse.Namespace) -> None:
@@ -106,16 +127,27 @@ def _default_servers(kind: str, args: argparse.Namespace) -> None:
 def _cmd_topology(args: argparse.Namespace) -> int:
     _default_servers(args.kind, args)
     topo, _ = _topology_from_args(args.kind, args)
+    topo = _maybe_degrade(topo, args)
+    connected = topo.is_connected()
     rows = [
         ["name", topo.name],
         ["switches", topo.num_switches],
         ["links", topo.num_links],
         ["servers", topo.num_servers],
-        ["connected", topo.is_connected()],
-        ["diameter", topo.diameter()],
-        ["avg shortest path", round(topo.average_shortest_path_length(), 4)],
+        ["connected", connected],
+        ["diameter", topo.diameter() if connected else "-"],
+        [
+            "avg shortest path",
+            round(topo.average_shortest_path_length(), 4) if connected else "-",
+        ],
         ["total ports", topo.total_ports()],
     ]
+    if getattr(args, "failure", ""):
+        rows += [
+            ["failed links", len(topo.failed_links)],
+            ["failed switches", len(topo.failed_switches)],
+            ["connectivity", round(topo.connectivity(), 4)],
+        ]
     print(format_table(["property", "value"], rows))
     return 0
 
@@ -125,6 +157,7 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
 
     _default_servers(args.kind, args)
     topo, _ = _topology_from_args(args.kind, args)
+    topo = _maybe_degrade(topo, args)
     fractions = [float(x) for x in args.fractions.split(",")]
     result = skew_sweep(
         topo,
@@ -150,6 +183,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     _default_servers(args.kind, args)
     topo, _ = _topology_from_args(args.kind, args)
+    topo = _maybe_degrade(topo, args)
     if args.pattern == "skew":
         pattern_spec = {"pattern": "skew", "theta": 0.1, "phi": 0.77,
                         "seed": args.seed}
@@ -309,6 +343,85 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .harness import ResultCache, Runner
+    from .resilience import CampaignError, load_campaign_file, run_campaign
+
+    try:
+        campaign = load_campaign_file(args.campaign)
+    except (OSError, json.JSONDecodeError, CampaignError) as exc:
+        sys.stderr.write(f"resilience: cannot load {args.campaign}: {exc}\n")
+        return 2
+
+    manifest_path = ""
+    if args.run_dir:
+        from . import obs
+
+        if obs.enabled():
+            sys.stderr.write(
+                "resilience: an observability run is already active\n"
+            )
+            return 2
+        obs.enable(
+            run_dir=args.run_dir,
+            meta={"campaign_file": args.campaign, "campaign": campaign.name},
+        )
+        # Inline execution keeps the campaign's spans/gauges on this
+        # process's obs run (workers would take theirs with them).
+        runner = Runner(inline=True, retries=args.retries)
+    else:
+
+        def show_progress(p: dict) -> None:
+            sys.stderr.write(
+                f"\rresilience: {p['done']}/{p['total']} done "
+                f"({p['ok']} ok, {p['cached']} cached, "
+                f"{p['failed']} failed), {p['running']} running"
+            )
+            sys.stderr.flush()
+
+        runner = Runner(
+            jobs=args.jobs or None,
+            cache=None if args.no_cache else ResultCache(args.cache_dir),
+            timeout_s=args.timeout or None,
+            retries=args.retries,
+            progress=None if args.quiet else show_progress,
+        )
+    try:
+        result = run_campaign(campaign, runner)
+    finally:
+        if args.run_dir:
+            from . import obs
+
+            manifest_path = obs.disable()
+    if not args.quiet and not args.run_dir:
+        sys.stderr.write("\n")
+
+    print(result.render())
+    counts = result.counts
+    print(
+        f"\n{counts['total']} points: {counts['ok']} computed, "
+        f"{counts['cached']} cached, {counts['failed']} failed "
+        f"in {result.wall_clock_s:.1f}s"
+    )
+    for record in result.records:
+        if not record.ok:
+            sys.stderr.write(
+                f"resilience: point {record.name} failed: {record.error}\n"
+            )
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(result.to_payload(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"series: {args.out}")
+    if manifest_path:
+        print(f"trace: {os.path.join(args.run_dir, 'trace.jsonl')}")
+        print(f"manifest: {manifest_path}")
+    return 0 if result.ok else 1
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     rows = [
         [p.name, round(p.total, 2), round(delta_ratio(p), 3)]
@@ -431,6 +544,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="extra attempts for failed points",
     )
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "resilience",
+        help="failure campaign: throughput retained vs. fraction failed",
+    )
+    p.add_argument(
+        "campaign",
+        help="campaign JSON (topologies/failures grid; see docs/resilience.md)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=0, help="worker processes (0 = auto)"
+    )
+    p.add_argument(
+        "--cache-dir", default=".repro-cache", help="result cache directory"
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="recompute every point"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="per-point timeout in seconds (0 = unlimited)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for failed/timed-out points",
+    )
+    p.add_argument(
+        "--out", default="", help="write the retained-throughput series JSON here"
+    )
+    p.add_argument(
+        "--run-dir",
+        default="",
+        help=(
+            "run inline under observability, writing trace + manifest "
+            "to this directory (disables the worker pool)"
+        ),
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress live progress output"
+    )
+    p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser("cost", help="Table 1 costs (+ optional topology cost)")
     p.add_argument("--kind", default="", help="optionally price a topology")

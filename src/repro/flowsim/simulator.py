@@ -20,7 +20,6 @@ Routing approximations mirror the packet simulator's policies:
 
 from __future__ import annotations
 
-import heapq
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -64,14 +63,23 @@ class _Routes:
         return self.rng.choice(self._paths(src, dst))
 
     def vlb(self, src: int, dst: int) -> List[int]:
-        """A two-segment VLB path through a random intermediate."""
+        """A two-segment VLB path through a random intermediate.
+
+        An intermediate that failures have cut off from either endpoint
+        is abandoned in favor of the direct path (mirroring the packet
+        policies' early decapsulation); a disconnected src/dst pair still
+        raises, for the caller to strand the flow.
+        """
         if src == dst:
             return [src]
         via = self.rng.choice(self.switches)
         if via in (src, dst):
             return self.shortest(src, dst)
-        first = self.shortest(src, via)
-        second = self.shortest(via, dst)
+        try:
+            first = self.shortest(src, via)
+            second = self.shortest(via, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return self.shortest(src, dst)
         return first + second[1:]
 
 
@@ -100,41 +108,65 @@ class FlowLevelSimulation:
         self.topology = topology
         self.routing = routing
         self.hyb_threshold = hyb_threshold_bytes
+        self.link_rate_bps = link_rate_bps
+        self.server_link_rate_bps = server_link_rate_bps
+        self.server_arcs = server_link_rate_bps is not None
+        self._seed = seed
         self.routes = _Routes(topology, seed)
         self.server_to_tor = topology.server_to_tor()
+        self.capacities = self._build_capacities()
 
-        # Directed arc capacities in bits/s; server access arcs included
-        # unless unconstrained (None).
-        self.capacities: Dict[Tuple[int, int], float] = {}
-        for u, v, data in topology.graph.edges(data=True):
-            cap = link_rate_bps * data.get("capacity", 1.0)
-            self.capacities[(u, v)] = cap
-            self.capacities[(v, u)] = cap
-        self.server_arcs = server_link_rate_bps is not None
+    def _build_capacities(self) -> Dict[Tuple[int, int], float]:
+        """Directed arc capacities in bits/s for the current topology;
+        server access arcs included unless unconstrained (None)."""
+        capacities: Dict[Tuple[int, int], float] = {}
+        for u, v, data in self.topology.graph.edges(data=True):
+            cap = self.link_rate_bps * data.get("capacity", 1.0)
+            capacities[(u, v)] = cap
+            capacities[(v, u)] = cap
         if self.server_arcs:
             for server, tor in self.server_to_tor.items():
-                up = ("h", server), tor
-                down = tor, ("h", server)
-                self.capacities[up] = server_link_rate_bps
-                self.capacities[down] = server_link_rate_bps
+                capacities[("h", server), tor] = self.server_link_rate_bps
+                capacities[tor, ("h", server)] = self.server_link_rate_bps
+        return capacities
 
-    def _flow_arcs(self, spec: FlowSpec) -> List[Tuple[int, int]]:
-        src_tor = self.server_to_tor[spec.src_server]
-        dst_tor = self.server_to_tor[spec.dst_server]
+    def _arcs_for(
+        self, src_server: int, dst_server: int, size_bytes: int
+    ) -> List[Tuple[int, int]]:
+        """Route one flow on the current topology.
+
+        Raises ``KeyError`` (endpoint server gone), ``nx.NodeNotFound``,
+        or ``nx.NetworkXNoPath`` (endpoints disconnected) when failures
+        make the flow unroutable.
+        """
+        src_tor = self.server_to_tor[src_server]
+        dst_tor = self.server_to_tor[dst_server]
         if self.routing == "ecmp":
             path = self.routes.shortest(src_tor, dst_tor)
         elif self.routing == "vlb":
             path = self.routes.vlb(src_tor, dst_tor)
         else:  # hyb
-            if spec.size_bytes < self.hyb_threshold:
+            if size_bytes < self.hyb_threshold:
                 path = self.routes.shortest(src_tor, dst_tor)
             else:
                 path = self.routes.vlb(src_tor, dst_tor)
         arcs = list(zip(path[:-1], path[1:]))
         if self.server_arcs:
-            arcs.insert(0, ((("h", spec.src_server)), src_tor))
-            arcs.append((dst_tor, ("h", spec.dst_server)))
+            arcs.insert(0, (("h", src_server), src_tor))
+            arcs.append((dst_tor, ("h", dst_server)))
         return arcs
+
+    def _flow_arcs(self, spec: FlowSpec) -> List[Tuple[int, int]]:
+        return self._arcs_for(spec.src_server, spec.dst_server, spec.size_bytes)
+
+    def _degrade(self, scenario) -> None:
+        """Apply a failure scenario and refresh routing/capacity state."""
+        from ..registry import failure
+
+        self.topology = failure(scenario).apply(self.topology)
+        self.routes = _Routes(self.topology, self._seed)
+        self.server_to_tor = self.topology.server_to_tor()
+        self.capacities = self._build_capacities()
 
     def run(
         self,
@@ -142,9 +174,22 @@ class FlowLevelSimulation:
         measure_start: float = 0.0,
         measure_end: float = float("inf"),
         max_sim_time: float = 1e9,
+        failures: Optional[Sequence[Tuple[float, object]]] = None,
     ) -> FlowStats:
-        """Simulate the flow list and aggregate the paper's metrics."""
+        """Simulate the flow list and aggregate the paper's metrics.
+
+        ``failures`` is an optional list of ``(time, scenario)`` events
+        (any :func:`repro.registry.failure` spec).  At each event the
+        scenario degrades the *current* topology; in-flight flows whose
+        paths died are re-planned on the survivors, and flows whose
+        endpoints became unreachable are stranded (they never complete,
+        and count toward the run's ``flowsim.stranded``).
+        """
         arrivals = sorted(flows, key=lambda f: f.start_time)
+        fail_events = sorted(
+            ((float(t), scenario) for t, scenario in failures or ()),
+            key=lambda e: e[0],
+        )
         records = {
             f.flow_id: FlowRecord(
                 f.flow_id, f.src_server, f.dst_server, f.size_bytes, f.start_time
@@ -154,9 +199,11 @@ class FlowLevelSimulation:
         active: Dict[int, _ActiveFlow] = {}
         # Incremental fair-share state: arcs are interned once per flow
         # at arrival; every event re-runs only the vectorized water-fill.
+        # A failure event replaces it wholesale (capacities changed).
         share = FairShareState(self.capacities)
         now = 0.0
         i = 0
+        j = 0
         n = len(arrivals)
 
         def recompute() -> None:
@@ -164,14 +211,26 @@ class FlowLevelSimulation:
             for fid, af in active.items():
                 af.rate = rates[fid]
 
+        def advance(to: float) -> float:
+            for af in active.values():
+                af.remaining -= af.rate * (to - now) / 8.0
+            return to
+
         # Arrivals/completions tally in plain locals inside the event
         # loop and flush once as counters after it, so the per-event hot
         # path carries no instrumentation (obs disabled costs nothing).
         arrived = 0
         completed = 0
+        replanned = 0
+        stranded = 0
+        recomputes = 0
+        waterfill_rounds = 0
         with obs.span("flowsim.run", flows=n, routing=self.routing):
-            while (i < n or active) and now < max_sim_time:
+            while (i < n or active or j < len(fail_events)) and now < max_sim_time:
                 next_arrival = arrivals[i].start_time if i < n else float("inf")
+                next_failure = (
+                    fail_events[j][0] if j < len(fail_events) else float("inf")
+                )
                 # Earliest completion among active flows.
                 next_completion = float("inf")
                 completing: Optional[int] = None
@@ -182,19 +241,48 @@ class FlowLevelSimulation:
                             next_completion = t
                             completing = fid
 
-                if min(next_arrival, next_completion) > max_sim_time:
+                if min(next_arrival, next_completion, next_failure) > max_sim_time:
                     break  # nothing further happens inside the horizon
 
-                if next_arrival <= next_completion:
-                    elapsed = next_arrival - now
-                    for af in active.values():
-                        af.remaining -= af.rate * elapsed / 8.0
-                    now = next_arrival
+                if next_failure <= next_arrival and next_failure <= next_completion:
+                    now = advance(next_failure)
+                    scenario = fail_events[j][1]
+                    j += 1
+                    self._degrade(scenario)
+                    recomputes += share.recomputes
+                    waterfill_rounds += share.waterfill_rounds
+                    share = FairShareState(self.capacities)
+                    survivors: Dict[int, _ActiveFlow] = {}
+                    for fid, af in active.items():
+                        if all(arc in self.capacities for arc in af.arcs):
+                            survivors[fid] = af
+                            share.add_flow(fid, af.arcs)
+                            continue
+                        r = af.record
+                        try:
+                            af.arcs = self._arcs_for(
+                                r.src_server, r.dst_server, r.size_bytes
+                            )
+                        except (KeyError, nx.NetworkXNoPath, nx.NodeNotFound):
+                            stranded += 1  # endpoints cut off: never completes
+                            continue
+                        survivors[fid] = af
+                        share.add_flow(fid, af.arcs)
+                        replanned += 1
+                    active = survivors
+                    recompute()
+                elif next_arrival <= next_completion:
+                    now = advance(next_arrival)
                     spec = arrivals[i]
                     i += 1
+                    try:
+                        arcs = self._flow_arcs(spec)
+                    except (KeyError, nx.NetworkXNoPath, nx.NodeNotFound):
+                        stranded += 1  # arrived after its endpoints died
+                        continue
                     flow = _ActiveFlow(
                         record=records[spec.flow_id],
-                        arcs=self._flow_arcs(spec),
+                        arcs=arcs,
                         remaining=float(spec.size_bytes),
                     )
                     active[spec.flow_id] = flow
@@ -202,10 +290,7 @@ class FlowLevelSimulation:
                     arrived += 1
                     recompute()
                 elif completing is not None:
-                    elapsed = next_completion - now
-                    for af in active.values():
-                        af.remaining -= af.rate * elapsed / 8.0
-                    now = next_completion
+                    now = advance(next_completion)
                     done = active.pop(completing)
                     share.remove_flow(completing)
                     done.record.completion_time = now
@@ -215,8 +300,11 @@ class FlowLevelSimulation:
                     break  # no arrivals left and nothing can progress
         obs.add("flowsim.arrivals", arrived)
         obs.add("flowsim.completions", completed)
-        obs.add("flowsim.fairshare_recomputes", share.recomputes)
-        obs.add("flowsim.waterfill_rounds", share.waterfill_rounds)
+        obs.add("flowsim.fairshare_recomputes", recomputes + share.recomputes)
+        obs.add("flowsim.waterfill_rounds", waterfill_rounds + share.waterfill_rounds)
+        if failures is not None:
+            obs.add("flowsim.replans", replanned)
+            obs.add("flowsim.stranded", stranded)
 
         measured = [
             r
@@ -235,6 +323,7 @@ def run_flow_experiment(
     measure_start: float = 0.0,
     measure_end: float = float("inf"),
     seed: int = 0,
+    failures: Optional[Sequence[Tuple[float, object]]] = None,
 ) -> FlowStats:
     """Convenience wrapper around :class:`FlowLevelSimulation`."""
     sim = FlowLevelSimulation(
@@ -244,4 +333,9 @@ def run_flow_experiment(
         server_link_rate_bps=server_link_rate_bps,
         seed=seed,
     )
-    return sim.run(flows, measure_start=measure_start, measure_end=measure_end)
+    return sim.run(
+        flows,
+        measure_start=measure_start,
+        measure_end=measure_end,
+        failures=failures,
+    )

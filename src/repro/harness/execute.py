@@ -131,6 +131,7 @@ def _run_lp(spec: ExperimentSpec, topology: Topology) -> Dict[str, float]:
     return {
         "per_server_throughput": res.per_server,
         "fraction": float(fraction),
+        "disconnected_pairs": float(res.disconnected_pairs),
     }
 
 
@@ -192,6 +193,24 @@ def execute_spec(spec: ExperimentSpec) -> RunRecord:
     start = time.perf_counter()
     topology = _build_topology(spec.topology)
 
+    degraded_telemetry: Dict[str, float] = {}
+    if spec.failures is not None:
+        scenario = registry.failure(spec.failures)
+        topology = topology.degrade(scenario)
+        degraded_telemetry = {
+            "connectivity": topology.connectivity(),
+            "failed_links": float(len(topology.failed_links)),
+            "failed_switches": float(len(topology.failed_switches)),
+            "links_retained": topology.links_retained,
+            "switches_retained": topology.switches_retained,
+        }
+        if spec.engine != "lp":
+            # The simulators need every generated flow to be routable;
+            # the LP engines report disconnected pairs instead.
+            from ..topologies import largest_connected_component
+
+            topology = largest_connected_component(topology)
+
     if spec.engine == "lp":
         metrics = _run_lp(spec, topology)
         telemetry: Dict[str, float] = {}
@@ -213,6 +232,7 @@ def execute_spec(spec: ExperimentSpec) -> RunRecord:
         if spec.short_flow_bytes is not None:
             stats.short_flow_bytes = spec.short_flow_bytes
         metrics = stats.summary()
+    telemetry.update(degraded_telemetry)
 
     return RunRecord(
         spec=spec.to_dict(),

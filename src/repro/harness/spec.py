@@ -94,6 +94,13 @@ class ExperimentSpec:
         ``lp`` (throughput LP).
     seed:
         Master seed: workload generation, routing, and TM construction.
+    failures:
+        Optional failure scenario applied to the topology before the
+        engine runs: a :data:`repro.registry.FAILURES` spec — compact
+        string (``"links:fraction=0.08,seed=3"``) or mapping with a
+        ``mode`` key.  ``None`` (the default) runs the healthy topology
+        and is excluded from the content hash, so healthy specs keep
+        their historical hashes.
     """
 
     topology: Dict[str, Any]
@@ -108,6 +115,7 @@ class ExperimentSpec:
     hyb_threshold_bytes: int = 100_000
     short_flow_bytes: Optional[int] = None
     max_sim_time: Optional[float] = None
+    failures: Any = None
     name: str = ""
 
     # ------------------------------------------------------------------
@@ -136,6 +144,8 @@ class ExperimentSpec:
         """The semantic payload hashed for caching (excludes ``name``)."""
         data = self.to_dict()
         data.pop("name", None)
+        if data.get("failures") is None:
+            data.pop("failures", None)
         return data
 
     def content_hash(self) -> str:
@@ -192,6 +202,16 @@ class ExperimentSpec:
                 )
         if not isinstance(self.seed, int):
             raise SpecError(f"seed must be an int, got {self.seed!r}")
+        if self.failures is not None:
+            from ..registry import failure
+
+            try:
+                scenario = failure(self.failures)
+            except (ValueError, TypeError) as exc:
+                raise SpecError(f"bad failures spec: {exc}") from exc
+            # Normalize to the JSON spec form so string and mapping
+            # inputs hash identically and records stay serializable.
+            self.failures = scenario.to_spec()
         from ..sim.simulation import ROUTING_CHOICES
 
         if self.engine == "packet" and self.routing not in ROUTING_CHOICES:

@@ -9,6 +9,7 @@ package owns the structures they share.
 from .pathcache import (
     PathCache,
     clear_shared_caches,
+    invalidate_shared_cache,
     shared_path_cache,
     topology_content_hash,
 )
@@ -18,4 +19,5 @@ __all__ = [
     "shared_path_cache",
     "topology_content_hash",
     "clear_shared_caches",
+    "invalidate_shared_cache",
 ]

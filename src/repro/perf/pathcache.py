@@ -54,6 +54,7 @@ __all__ = [
     "topology_content_hash",
     "shared_path_cache",
     "clear_shared_caches",
+    "invalidate_shared_cache",
 ]
 
 
@@ -354,3 +355,21 @@ def clear_shared_caches() -> int:
     removed = len(_REGISTRY)
     _REGISTRY.clear()
     return removed
+
+
+def invalidate_shared_cache(graph_or_topology) -> int:
+    """Drop the shared entries for one topology; returns how many.
+
+    Called when a topology is degraded: any cache keyed on the degraded
+    graph's content hash (e.g. from a graph that was mutated in place
+    through the deprecated ``fail_*`` path) is discarded so distance
+    matrices, ECMP tables, and path sets are rebuilt against the actual
+    degraded structure on next use.
+    """
+    content = topology_content_hash(graph_or_topology)
+    stale = [key for key in _REGISTRY if key[0] == content]
+    for key in stale:
+        del _REGISTRY[key]
+    if stale:
+        obs.add("pathcache.invalidations", len(stale))
+    return len(stale)

@@ -15,6 +15,10 @@ family of objects lives in a :class:`Registry` keyed by name:
 * :data:`ROUTINGS` — packet-engine routing policies (registered by
   ``repro.sim.routing``): ``ecmp``, ``vlb``, ``hyb``, ``chyb``,
   ``aecmp``, ``ksp``.
+* :data:`FAILURES` — failure-scenario modes (registered by
+  ``repro.resilience.scenario``): ``links``, ``switches``, ``pods``,
+  ``aggregation``, ``metanodes``, ``bisection``; built scenarios apply
+  through ``Topology.degrade``.
 
 A *spec* is either a mapping (``{"family": "jellyfish", "switches": 10}``
 — the harness's native form) or a compact string ``"name:key=value,..."``
@@ -45,11 +49,13 @@ __all__ = [
     "TOPOLOGIES",
     "TRAFFIC",
     "ROUTINGS",
+    "FAILURES",
     "parse_spec",
     "topology",
     "build_topology",
     "traffic",
     "routing",
+    "failure",
 ]
 
 
@@ -308,9 +314,16 @@ def _load_routings() -> None:
     from .sim import routing as _routing  # noqa: F401
 
 
+def _load_failures() -> None:
+    # Failure-mode factories self-register at the bottom of
+    # repro.resilience.scenario (which imports topologies).
+    from .resilience import scenario as _scenario  # noqa: F401
+
+
 TOPOLOGIES = Registry("topology", loader=_load_topologies)
 TRAFFIC = Registry("traffic pattern", loader=_load_traffic)
 ROUTINGS = Registry("routing", loader=_load_routings)
+FAILURES = Registry("failure mode", loader=_load_failures)
 
 
 # ----------------------------------------------------------------------
@@ -352,3 +365,17 @@ def routing(spec: Any, topology: Any, **defaults: Any) -> Any:
         params.setdefault(pkey, value)
     graph = getattr(topology, "graph", topology)
     return ROUTINGS.build(name, graph, **params)
+
+
+def failure(spec: Any) -> Any:
+    """Build a failure spec into a :class:`~repro.resilience.FailureScenario`.
+
+    Accepts compact strings (``"links:fraction=0.08,seed=3"``,
+    ``"pods:count=1"``), mappings with a ``mode`` key (the harness's
+    JSON form), and — idempotently — scenario instances, so the same
+    spec works in CLI flags, sweep files, and campaign files.
+    """
+    if hasattr(spec, "apply") and hasattr(spec, "to_spec"):
+        return spec
+    mode, params = parse_spec(spec, key="mode")
+    return FAILURES.build(mode, **params)

@@ -1,0 +1,40 @@
+"""Failure campaigns end-to-end: scenarios, degradation, campaign runner.
+
+The resilience subsystem drives failures through every layer of the
+library:
+
+* :class:`FailureScenario` — a frozen, seeded, content-addressed
+  description of what fails (random link/switch fractions, correlated
+  fat-tree pod / aggregation wipeouts, Xpander meta-node wipeouts,
+  bisection cuts), applied with ``topology.degrade(scenario)``;
+* failure-aware execution — degraded topologies invalidate the shared
+  path cache, routing policies fall back instead of dying, the flow
+  simulator re-plans in-flight flows, and the LP/MCF engines report
+  disconnected pairs;
+* :class:`Campaign` / :func:`run_campaign` — "throughput retained vs.
+  fraction failed" sweeps over failure grids x topologies x routings via
+  the harness :class:`~repro.harness.Runner`
+  (``python -m repro resilience <campaign.json>``).
+
+See ``docs/resilience.md`` for the campaign file format.
+"""
+
+from .campaign import (
+    Campaign,
+    CampaignError,
+    CampaignResult,
+    load_campaign_file,
+    run_campaign,
+)
+from .scenario import MODES, FailureScenario, ScenarioError
+
+__all__ = [
+    "FailureScenario",
+    "ScenarioError",
+    "MODES",
+    "Campaign",
+    "CampaignError",
+    "CampaignResult",
+    "load_campaign_file",
+    "run_campaign",
+]

@@ -1,0 +1,387 @@
+"""Failure campaigns: throughput-retained-vs-fraction-failed sweeps.
+
+A *campaign* crosses a failure-rate grid with a set of topologies (and
+optionally routings), runs every point through the harness
+:class:`~repro.harness.Runner` — parallel workers, retries, and the
+content-addressed result cache all apply — and reduces the records to
+the paper's graceful-degradation figure: for each topology, the fraction
+of its own zero-failure metric retained at each failure rate.
+
+Campaign files are JSON::
+
+    {
+      "name": "equal-cost-degradation",
+      "engine": "lp",
+      "topologies": {
+        "Xpander":  {"family": "xpander", "degree": 5, "lift": 8,
+                     "servers": 3},
+        "Fat-tree": {"family": "fattree", "k": 6}
+      },
+      "failures": {"mode": "links",
+                   "fractions": [0.0, 0.04, 0.08, 0.12, 0.16],
+                   "seeds": [0, 1, 2]},
+      "workload": {"fraction": 1.0}
+    }
+
+``failures.mode`` is any :data:`repro.registry.FAILURES` mode;
+``fractions`` is the x-axis (0.0 is the healthy baseline); ``seeds``
+replicates each non-zero point and the reduction averages over them.
+Optional sections: ``routings`` (list; series become
+``topology/routing``), ``defaults`` (extra :class:`ExperimentSpec`
+fields, e.g. measure windows), ``metric`` (record metric to reduce;
+defaults to ``per_server_throughput`` for ``lp`` and ``avg_fct_ms`` —
+inverted, since lower is better — for the simulators), and ``lcc``
+(restrict degraded topologies to their largest component).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import obs
+from ..analysis import format_series
+from ..harness.records import RunRecord
+from ..harness.runner import Runner, SweepResult
+from ..harness.spec import ENGINES, ExperimentSpec, SpecError
+from ..registry import parse_spec
+
+__all__ = [
+    "CampaignError",
+    "Campaign",
+    "CampaignResult",
+    "load_campaign_file",
+    "run_campaign",
+]
+
+
+class CampaignError(ValueError):
+    """A campaign document is malformed."""
+
+
+#: Default (metric, invert) per engine: invert means lower-is-better, so
+#: retained = baseline / value instead of value / baseline.
+_DEFAULT_METRICS = {
+    "lp": ("per_server_throughput", False),
+    "flow": ("avg_fct_ms", True),
+    "packet": ("avg_fct_ms", True),
+}
+
+
+def _topology_mapping(spec: Any) -> Dict[str, Any]:
+    """Normalize a campaign topology entry to the harness mapping form."""
+    if isinstance(spec, str):
+        family, params = parse_spec(spec, key="family")
+        return {"family": family, **params}
+    if isinstance(spec, Mapping):
+        return dict(spec)
+    raise CampaignError(
+        f"topology spec must be a mapping or string, got {type(spec).__name__}"
+    )
+
+
+@dataclass
+class Campaign:
+    """A declarative failure campaign (see module docstring).
+
+    ``topologies`` maps series labels to topology specs; ``fractions``
+    is the shared failure-rate x-axis; each non-zero fraction is
+    replicated across ``failure_seeds``.
+    """
+
+    name: str
+    topologies: Dict[str, Dict[str, Any]]
+    mode: str = "links"
+    fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2)
+    failure_seeds: Sequence[int] = (0,)
+    engine: str = "lp"
+    routings: Sequence[str] = ()
+    workload: Dict[str, Any] = field(default_factory=dict)
+    defaults: Dict[str, Any] = field(default_factory=dict)
+    metric: str = ""
+    invert: Optional[bool] = None
+    lcc: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.topologies:
+            raise CampaignError("campaign needs at least one topology")
+        if self.engine not in ENGINES:
+            raise CampaignError(
+                f"unknown engine {self.engine!r}; valid engines: {ENGINES}"
+            )
+        if not self.fractions:
+            raise CampaignError("campaign needs at least one failure fraction")
+        if any(f < 0 for f in self.fractions):
+            raise CampaignError("failure fractions must be >= 0")
+        if not self.failure_seeds:
+            raise CampaignError("campaign needs at least one failure seed")
+        self.topologies = {
+            label: _topology_mapping(spec)
+            for label, spec in self.topologies.items()
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_document(cls, doc: Mapping[str, Any]) -> "Campaign":
+        """Build a campaign from a loaded JSON document."""
+        if not isinstance(doc, Mapping):
+            raise CampaignError("campaign document must be a JSON object")
+        known = {
+            "name", "topologies", "failures", "engine", "routings",
+            "workload", "defaults", "metric", "lcc",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise CampaignError(
+                f"unknown campaign sections {sorted(unknown)}; "
+                f"valid sections: {sorted(known)}"
+            )
+        failures = doc.get("failures")
+        if not isinstance(failures, Mapping) or "fractions" not in failures:
+            raise CampaignError(
+                "campaign needs a 'failures' object with 'fractions' "
+                "(and optionally 'mode' and 'seeds')"
+            )
+        extra = set(failures) - {"mode", "fractions", "seeds", "lcc"}
+        if extra:
+            raise CampaignError(
+                f"unknown failures keys {sorted(extra)}; "
+                "valid keys: mode, fractions, seeds, lcc"
+            )
+        metric = doc.get("metric", "")
+        invert: Optional[bool] = None
+        if isinstance(metric, Mapping):
+            invert = bool(metric.get("invert", False))
+            metric = str(metric.get("name", ""))
+        return cls(
+            name=str(doc.get("name", "resilience-campaign")),
+            topologies=dict(doc.get("topologies", {})),
+            mode=str(failures.get("mode", "links")),
+            fractions=[float(f) for f in failures["fractions"]],
+            failure_seeds=[int(s) for s in failures.get("seeds", [0])],
+            engine=str(doc.get("engine", "lp")),
+            routings=list(doc.get("routings", [])),
+            workload=dict(doc.get("workload", {})),
+            defaults=dict(doc.get("defaults", {})),
+            metric=str(metric),
+            invert=invert,
+            lcc=bool(failures.get("lcc", doc.get("lcc", False))),
+        )
+
+    # ------------------------------------------------------------------
+    def _routing_axis(self) -> List[Optional[str]]:
+        if self.engine == "lp" or not self.routings:
+            return [None]
+        return list(self.routings)
+
+    def series_label(self, topo_label: str, routing: Optional[str]) -> str:
+        if routing is None or len(self._routing_axis()) == 1:
+            return topo_label
+        return f"{topo_label}/{routing}"
+
+    def _failure_spec(self, fraction: float, seed: int) -> Dict[str, Any]:
+        spec: Dict[str, Any] = {
+            "mode": self.mode, "fraction": fraction, "seed": seed,
+        }
+        if self.lcc:
+            spec["lcc"] = True
+        return spec
+
+    def expand(
+        self,
+    ) -> Tuple[List[ExperimentSpec], List[Tuple[str, Optional[str], float, int]]]:
+        """All experiment points plus their (topo, routing, fraction, seed)
+        keys, in submission order.
+
+        The zero-failure baseline is generated once per series (failure
+        seeds only differentiate non-zero fractions), with ``failures``
+        left unset so it hashes — and caches — identically to an
+        ordinary healthy run of the same spec.
+        """
+        specs: List[ExperimentSpec] = []
+        keys: List[Tuple[str, Optional[str], float, int]] = []
+        for topo_label, topo_spec in self.topologies.items():
+            for routing in self._routing_axis():
+                for fraction in self.fractions:
+                    seeds = [0] if fraction == 0 else list(self.failure_seeds)
+                    for fseed in seeds:
+                        data: Dict[str, Any] = {
+                            "topology": dict(topo_spec),
+                            "workload": dict(self.workload),
+                            "engine": self.engine,
+                        }
+                        data.update(self.defaults)
+                        if routing is not None:
+                            data["routing"] = routing
+                        if fraction > 0:
+                            data["failures"] = self._failure_spec(
+                                fraction, fseed
+                            )
+                        label = self.series_label(topo_label, routing)
+                        data["name"] = f"{label}/f={fraction:g}/s={fseed}"
+                        try:
+                            specs.append(ExperimentSpec.from_dict(data))
+                        except SpecError as exc:
+                            raise CampaignError(
+                                f"campaign point {data['name']!r}: {exc}"
+                            ) from exc
+                        keys.append((topo_label, routing, fraction, fseed))
+        return specs, keys
+
+    def resolve_metric(self) -> Tuple[str, bool]:
+        """The record metric to reduce and whether lower is better."""
+        default_metric, default_invert = _DEFAULT_METRICS[self.engine]
+        metric = self.metric or default_metric
+        invert = self.invert if self.invert is not None else (
+            default_invert if metric == default_metric else False
+        )
+        return metric, invert
+
+
+@dataclass
+class CampaignResult:
+    """Reduced campaign outcome: retained-throughput series + records."""
+
+    campaign: Campaign
+    fractions: List[float]
+    series: Dict[str, List[float]]
+    values: Dict[str, List[float]]
+    records: List[RunRecord]
+    metric: str
+    wall_clock_s: float = 0.0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return SweepResult(records=self.records).counts
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.records)
+
+    def retained(self, label: str, fraction: float) -> float:
+        """Retained fraction for one series at one failure rate."""
+        return self.series[label][self.fractions.index(fraction)]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready summary (what ``--out`` writes)."""
+        return {
+            "schema": "repro.resilience/1",
+            "name": self.campaign.name,
+            "engine": self.campaign.engine,
+            "mode": self.campaign.mode,
+            "metric": self.metric,
+            "fraction_failed": list(self.fractions),
+            "throughput_retained": {
+                label: list(ys) for label, ys in self.series.items()
+            },
+            "metric_values": {
+                label: list(ys) for label, ys in self.values.items()
+            },
+            "counts": self.counts,
+        }
+
+    def render(self) -> str:
+        """Plain-text figure: throughput retained vs. fraction failed."""
+        return format_series(
+            "fraction failed",
+            [round(f, 6) for f in self.fractions],
+            {
+                label: [round(y, 4) if y == y else y for y in ys]
+                for label, ys in self.series.items()
+            },
+            title=(
+                f"{self.campaign.name}: {self.metric} retained vs. "
+                f"fraction of {self.campaign.mode} failed "
+                f"({self.campaign.engine} engine)"
+            ),
+        )
+
+
+def load_campaign_file(path: str) -> Campaign:
+    """Load a campaign JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    return Campaign.from_document(doc)
+
+
+def _gauge_slug(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.]+", "-", label).strip("-").lower()
+
+
+def run_campaign(
+    campaign: Campaign, runner: Optional[Runner] = None
+) -> CampaignResult:
+    """Run every campaign point and reduce to retained-throughput series.
+
+    Failed points (the :class:`Runner` never raises) leave ``nan`` holes
+    in the affected series; :attr:`CampaignResult.ok` reports whether
+    the campaign completed clean.
+    """
+    runner = runner or Runner()
+    specs, keys = campaign.expand()
+    metric, invert = campaign.resolve_metric()
+    with obs.span(
+        "resilience.campaign", campaign=campaign.name, points=len(specs)
+    ):
+        sweep = runner.run(specs)
+
+        # Collect per-(series, fraction) metric samples across seeds.
+        samples: Dict[Tuple[str, float], List[float]] = {}
+        for key, record in zip(keys, sweep.records):
+            topo_label, routing, fraction, _ = key
+            label = campaign.series_label(topo_label, routing)
+            if record.ok and metric in record.metrics:
+                value = float(record.metrics[metric])
+                if value == value:  # skip NaN metrics
+                    samples.setdefault((label, fraction), []).append(value)
+
+        fractions = [float(f) for f in campaign.fractions]
+        labels = [
+            campaign.series_label(topo_label, routing)
+            for topo_label in campaign.topologies
+            for routing in campaign._routing_axis()
+        ]
+        nan = float("nan")
+        values: Dict[str, List[float]] = {}
+        series: Dict[str, List[float]] = {}
+        for label in labels:
+            means = []
+            for fraction in fractions:
+                got = samples.get((label, fraction), [])
+                means.append(sum(got) / len(got) if got else nan)
+            values[label] = means
+            base = means[fractions.index(0.0)] if 0.0 in fractions else nan
+            retained = []
+            for mean in means:
+                if base == base and mean == mean and base > 0 and mean > 0:
+                    retained.append(base / mean if invert else mean / base)
+                else:
+                    retained.append(nan)
+            series[label] = retained
+
+        for label in labels:
+            obs.event(
+                "resilience.campaign_series",
+                label=label,
+                metric=metric,
+                retained=[
+                    round(y, 6) if y == y else None for y in series[label]
+                ],
+            )
+            finite = [y for y in series[label] if y == y]
+            if finite:
+                obs.set_gauge(
+                    f"resilience.throughput_retained.{_gauge_slug(label)}",
+                    finite[-1],
+                )
+    return CampaignResult(
+        campaign=campaign,
+        fractions=fractions,
+        series=series,
+        values=values,
+        records=sweep.records,
+        metric=metric,
+        wall_clock_s=sweep.wall_clock_s,
+    )

@@ -24,7 +24,7 @@ compared against the paper's simple schemes:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from .engine import Engine
 from .host import Host

@@ -9,13 +9,12 @@ a rate high enough never to bottleneck, with marking disabled).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..topologies.base import Topology
 from .engine import Engine
 from .host import Host
 from .link import DEFAULT_ECN_THRESHOLD_BYTES, DEFAULT_QUEUE_BYTES, Link
-from .packet import Packet
 from .routing import RoutingPolicy
 from .switch import Switch
 

@@ -25,6 +25,7 @@ from ..perf import PathCache, shared_path_cache
 from .packet import Packet
 
 __all__ = [
+    "RouteNotFound",
     "RoutingPolicy",
     "EcmpRouting",
     "VlbRouting",
@@ -34,6 +35,16 @@ __all__ = [
     "KspRouting",
     "DEFAULT_HYB_THRESHOLD_BYTES",
 ]
+
+
+class RouteNotFound(RuntimeError):
+    """A packet has no surviving next hop toward its destination.
+
+    Raised only when the destination is genuinely unreachable from the
+    current switch (e.g. after failures partition the topology) — an
+    unreachable VLB intermediate is handled by decapsulating early and
+    continuing toward the destination ToR instead.
+    """
 
 #: The paper's HYB ECMP->VLB switch-over threshold: Q = 100 KB.
 DEFAULT_HYB_THRESHOLD_BYTES = 100_000
@@ -90,17 +101,37 @@ class RoutingPolicy:
     # ------------------------------------------------------------------
     # Per-switch forwarding
     # ------------------------------------------------------------------
-    def next_hop(self, switch_id: int, packet: Packet) -> int:
-        """ECMP next hop at ``switch_id`` for ``packet`` (handles decap)."""
-        target = packet.dst_tor
+    def _choices_toward(self, switch_id: int, target: int) -> List[int]:
+        """Surviving ECMP next hops at ``switch_id`` toward ``target``.
+
+        Empty both when the switch has no finite-distance neighbor toward
+        the target and when either endpoint is absent from the tables
+        (e.g. a failed switch) — callers fall back or raise
+        :class:`RouteNotFound`.
+        """
+        table = self._tables.get(target)
+        if table is None:
+            return []
+        return table.get(switch_id, [])
+
+    def _resolve_target(self, switch_id: int, packet: Packet) -> int:
+        """The packet's current target, decapsulating when the VLB
+        intermediate is reached — or, after failures, unreachable."""
         if packet.via_tor is not None:
             if packet.via_tor == switch_id:
                 packet.via_tor = None  # decapsulate at the intermediate
+            elif self._choices_toward(switch_id, packet.via_tor):
+                return packet.via_tor
             else:
-                target = packet.via_tor
-        choices = self._tables[target][switch_id]
+                packet.via_tor = None  # intermediate died: go direct
+        return packet.dst_tor
+
+    def next_hop(self, switch_id: int, packet: Packet) -> int:
+        """ECMP next hop at ``switch_id`` for ``packet`` (handles decap)."""
+        target = self._resolve_target(switch_id, packet)
+        choices = self._choices_toward(switch_id, target)
         if not choices:
-            raise RuntimeError(
+            raise RouteNotFound(
                 f"no route from switch {switch_id} toward {target}"
             )
         if len(choices) == 1:
@@ -127,12 +158,24 @@ class RoutingPolicy:
         """Called when a flow completes; policies may release its state."""
 
     def _random_via(self, src_tor: int, dst_tor: int) -> Optional[int]:
-        """A uniform random intermediate, excluding the endpoints."""
+        """A uniform random intermediate, excluding the endpoints.
+
+        Candidates unreachable from the source or unable to reach the
+        destination (possible after failures) are rejected and redrawn;
+        on a connected graph the reachability checks never fire, so the
+        draw sequence is identical to the pre-failure-aware behavior.
+        """
         for _ in range(16):
             via = self._rng.choice(self._vlb_candidates)
-            if via != src_tor and via != dst_tor:
-                return via
-        return None  # tiny networks: fall back to direct
+            if via == src_tor or via == dst_tor:
+                continue
+            if (
+                self._path_cache.distance(src_tor, via) == float("inf")
+                or self._path_cache.distance(via, dst_tor) == float("inf")
+            ):
+                continue
+            return via
+        return None  # tiny/partitioned networks: fall back to direct
 
 
 class EcmpRouting(RoutingPolicy):
@@ -272,15 +315,10 @@ class AdaptiveEcmpRouting(RoutingPolicy):
         return None
 
     def next_hop(self, switch_id: int, packet: Packet) -> int:
-        target = packet.dst_tor
-        if packet.via_tor is not None:
-            if packet.via_tor == switch_id:
-                packet.via_tor = None
-            else:
-                target = packet.via_tor
-        choices = self._tables[target][switch_id]
+        target = self._resolve_target(switch_id, packet)
+        choices = self._choices_toward(switch_id, target)
         if not choices:
-            raise RuntimeError(
+            raise RouteNotFound(
                 f"no route from switch {switch_id} toward {target}"
             )
         if len(choices) == 1 or self._switches is None:

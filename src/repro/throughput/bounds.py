@@ -16,7 +16,6 @@ Two flavors:
 from __future__ import annotations
 
 import math
-from typing import Dict
 
 import networkx as nx
 

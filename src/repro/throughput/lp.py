@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+import networkx as nx
 import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import linprog
@@ -66,11 +67,44 @@ class ThroughputResult:
     link_utilization:
         Mapping of directed arc to carried-load fraction at optimum
         (``None`` for solvers that do not expose flows).
+    disconnected_pairs:
+        Demands dropped before solving because failures disconnected (or
+        removed) their endpoints; the reported throughput covers only
+        the surviving demands.  Zero on healthy topologies.
     """
 
     throughput: float
     per_server: float
     link_utilization: Optional[Dict[Tuple[int, int], float]] = None
+    disconnected_pairs: int = 0
+
+
+def _drop_disconnected_demands(
+    topology: Topology, tm: TrafficMatrix
+) -> Tuple[TrafficMatrix, int]:
+    """Split a TM into its routable part and a dropped-pair count.
+
+    A demand is routable when both endpoint ToRs exist in the (possibly
+    degraded) graph and lie in the same connected component.  On a
+    connected graph with all endpoints present the TM passes through
+    unchanged.
+    """
+    g = topology.graph
+    label: Dict[int, int] = {}
+    for ci, comp in enumerate(nx.connected_components(g)):
+        for v in comp:
+            label[v] = ci
+    kept: Dict[Tuple[int, int], float] = {}
+    dropped = 0
+    for (s, d), val in tm.demands.items():
+        if s in label and label[s] == label.get(d):
+            kept[(s, d)] = val
+        else:
+            dropped += 1
+    if not dropped:
+        return tm, 0
+    obs.add("lp.disconnected_pairs", dropped)
+    return TrafficMatrix(kept), dropped
 
 
 def _demands_by_destination(
@@ -256,6 +290,12 @@ def max_concurrent_throughput(
     if tm.num_flows == 0:
         return ThroughputResult(throughput=float("inf"), per_server=1.0)
 
+    tm, dropped = _drop_disconnected_demands(topology, tm)
+    if tm.num_flows == 0:
+        return ThroughputResult(
+            throughput=0.0, per_server=0.0, disconnected_pairs=dropped
+        )
+
     obs.add("lp.calls")
     with obs.span("lp.assemble", formulation="exact", demands=tm.num_flows):
         table = ArcTable.from_topology(topology)
@@ -292,6 +332,7 @@ def max_concurrent_throughput(
         throughput=t,
         per_server=min(1.0, t * per_server_demand),
         link_utilization=utilization,
+        disconnected_pairs=dropped,
     )
 
 
@@ -319,6 +360,12 @@ def path_throughput(
     if tm.num_flows == 0:
         return ThroughputResult(throughput=float("inf"), per_server=1.0)
 
+    tm, dropped = _drop_disconnected_demands(topology, tm)
+    if tm.num_flows == 0:
+        return ThroughputResult(
+            throughput=0.0, per_server=0.0, disconnected_pairs=dropped
+        )
+
     if path_cache is None:
         from ..perf import shared_path_cache
 
@@ -336,8 +383,6 @@ def path_throughput(
         var_owner: List[int] = []  # demand index
         for di, ((s, d), _) in enumerate(demands):
             paths = path_cache.k_shortest_paths(s, d, k)
-            if not paths:
-                return ThroughputResult(throughput=0.0, per_server=0.0)
             for p in paths:
                 var_arcs.append(
                     np.asarray(
@@ -411,4 +456,5 @@ def path_throughput(
         throughput=t,
         per_server=min(1.0, t * per_server_demand),
         link_utilization=utilization,
+        disconnected_pairs=dropped,
     )

@@ -29,7 +29,7 @@ from .. import obs
 from ..topologies.base import Topology
 from ..traffic.matrix import TrafficMatrix
 from .arcs import ArcTable
-from .lp import ThroughputResult
+from .lp import ThroughputResult, _drop_disconnected_demands
 
 __all__ = ["approx_concurrent_throughput"]
 
@@ -54,6 +54,12 @@ def approx_concurrent_throughput(
         raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
     if tm.num_flows == 0:
         return ThroughputResult(throughput=float("inf"), per_server=1.0)
+
+    tm, dropped = _drop_disconnected_demands(topology, tm)
+    if tm.num_flows == 0:
+        return ThroughputResult(
+            throughput=0.0, per_server=0.0, disconnected_pairs=dropped
+        )
 
     table = ArcTable.from_topology(topology)
     caps = table.caps
@@ -110,10 +116,12 @@ def approx_concurrent_throughput(
                     if total_length() >= 1.0 and phases > 0:
                         break
                     path = shortest_arc_path(src, dst)
-                    if not path:
+                    if not path:  # unreachable under pre-filtered demands
                         obs.add("mcf.phases", phases)
                         return ThroughputResult(
-                            throughput=0.0, per_server=0.0
+                            throughput=0.0,
+                            per_server=0.0,
+                            disconnected_pairs=dropped,
                         )
                     bottleneck = min(caps[a] for a in path)
                     g = min(remaining, bottleneck)
@@ -135,4 +143,5 @@ def approx_concurrent_throughput(
         throughput=t,
         per_server=min(1.0, t * per_server_demand),
         link_utilization=utilization,
+        disconnected_pairs=dropped,
     )

@@ -6,8 +6,7 @@ packet simulator (ECMP next-hop sets, VLB segments).
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -31,7 +30,8 @@ def k_shortest_paths(
 
     Delegates to :func:`networkx.shortest_simple_paths` (an implementation
     of Yen's algorithm) and truncates at ``k`` paths.  With ``weight=None``
-    paths are compared by hop count.
+    paths are compared by hop count.  Disconnected pairs — including an
+    endpoint that failures removed from the graph entirely — yield ``[]``.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -41,7 +41,7 @@ def k_shortest_paths(
             paths.append(list(p))
             if len(paths) == k:
                 break
-    except nx.NetworkXNoPath:
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
         return []
     return paths
 

@@ -15,13 +15,13 @@ for throughput in the fluid-flow model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..topologies.base import Topology
 from ..traffic.matrix import TrafficMatrix
 from ..traffic.patterns import longest_matching_tm
-from .lp import ThroughputResult, max_concurrent_throughput, path_throughput
+from .lp import max_concurrent_throughput, path_throughput
 
 __all__ = [
     "tp_curve",

@@ -24,6 +24,8 @@ from .dynamic import (
     unrestricted_dynamic_throughput,
 )
 from .failures import (
+    DegradedTopology,
+    degrade_topology,
     fail_links,
     fail_switches,
     largest_connected_component,
@@ -58,6 +60,8 @@ __all__ = [
     "fattree_cabling",
     "flat_cabling",
     "BUNDLING_DISCOUNT",
+    "DegradedTopology",
+    "degrade_topology",
     "fail_links",
     "fail_switches",
     "random_link_failures",

@@ -176,6 +176,24 @@ class Topology:
         return out
 
     # ------------------------------------------------------------------
+    # Degradation
+    # ------------------------------------------------------------------
+    def degrade(self, scenario) -> "Topology":
+        """Apply a failure scenario; returns a ``DegradedTopology``.
+
+        ``scenario`` is a :class:`~repro.resilience.FailureScenario`, a
+        compact registry string (``"links:fraction=0.08,seed=3"``), or a
+        mapping with a ``mode`` key.  This topology is left untouched.
+        """
+        apply = getattr(scenario, "apply", None)
+        if apply is None:
+            from ..registry import failure
+
+            scenario = failure(scenario)
+            apply = scenario.apply
+        return apply(self)
+
+    # ------------------------------------------------------------------
     # Mutation helpers used by generators
     # ------------------------------------------------------------------
     def attach_servers_uniformly(self, servers_per_tor: int, tors: Sequence[int]) -> None:

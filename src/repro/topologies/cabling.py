@@ -17,8 +17,8 @@ quantitative:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from .base import Topology, TopologyError
 from .fattree import AGG, CORE, EDGE, FatTree

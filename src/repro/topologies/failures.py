@@ -1,24 +1,37 @@
-"""Failure injection: degraded topologies for resilience analysis.
+"""Degraded topologies: the low-level surface behind failure scenarios.
 
 The expander-topology literature the paper builds on (Jellyfish, Xpander)
 evaluates resilience to random link and switch failures — expanders
 degrade gracefully (no structural cut-points), fat-trees lose whole
-subtrees.  This module produces degraded copies of a topology so the
-throughput engine and the simulators can measure performance under
-failures; the resilience ablation bench uses it.
+subtrees.  This module owns the *mechanics* of degradation: a
+:class:`DegradedTopology` is a :class:`Topology` copy with elements
+removed that additionally records *which* links and switches failed and
+the :class:`~repro.resilience.FailureScenario` that selected them, so
+every downstream consumer (routing, path cache, harness records, obs)
+can see that — and how — a failure happened.
+
+Selection policy (random fractions, correlated pod/meta-node wipeouts,
+bisection cuts) lives in :mod:`repro.resilience.scenario`; the idiomatic
+entry point is ``topology.degrade(scenario)``.  The historical free
+functions (``fail_links``, ``fail_switches``, ``random_link_failures``,
+``random_switch_failures``) remain as :class:`DeprecationWarning` shims
+that delegate to the scenario machinery and are pinned bit-for-bit
+against it by ``tests/resilience/test_shims.py``.
 """
 
 from __future__ import annotations
 
-import copy
-import random
-from typing import List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from .base import Topology, TopologyError
 
 __all__ = [
+    "DegradedTopology",
+    "degrade_topology",
     "fail_links",
     "fail_switches",
     "random_link_failures",
@@ -27,64 +40,157 @@ __all__ = [
 ]
 
 
-def _copy_topology(topology: Topology, name_suffix: str) -> Topology:
+@dataclass
+class DegradedTopology(Topology):
+    """A :class:`Topology` copy with failed elements removed — and recorded.
+
+    Attributes
+    ----------
+    failed_links:
+        The switch-to-switch cables removed, as sorted ``(u, v)`` pairs
+        with ``u < v``; for switch failures this includes every incident
+        cable that died with its switch.
+    failed_switches:
+        The switches (and their servers) removed, sorted.
+    scenario:
+        The :class:`~repro.resilience.FailureScenario` that selected the
+        failures (``None`` when elements were named explicitly through
+        the deprecated free functions).
+    base_switches / base_links / base_servers:
+        Size of the *original* (pre-degradation) topology, preserved
+        across chained degradations and LCC restriction so retention
+        ratios stay anchored to the healthy network.
+    """
+
+    failed_links: Tuple[Tuple[int, int], ...] = ()
+    failed_switches: Tuple[int, ...] = ()
+    scenario: Optional[Any] = None
+    base_switches: int = 0
+    base_links: int = 0
+    base_servers: int = 0
+
+    # ------------------------------------------------------------------
+    # Retention ratios (the obs `connectivity` gauge family)
+    # ------------------------------------------------------------------
+    @property
+    def links_retained(self) -> float:
+        """Fraction of the original cables still present."""
+        return self.num_links / self.base_links if self.base_links else 1.0
+
+    @property
+    def switches_retained(self) -> float:
+        """Fraction of the original switches still present."""
+        return (
+            self.num_switches / self.base_switches if self.base_switches else 1.0
+        )
+
+    @property
+    def servers_retained(self) -> float:
+        """Fraction of the original servers still attached."""
+        return self.num_servers / self.base_servers if self.base_servers else 1.0
+
+    def connectivity(self) -> float:
+        """Largest-component switch count over the original switch count.
+
+        1.0 means every surviving switch sits in one component and no
+        switch failed; the value drops both when switches die and when
+        the surviving graph fragments.
+        """
+        if not self.base_switches:
+            return 1.0
+        giant = max(
+            (len(c) for c in nx.connected_components(self.graph)), default=0
+        )
+        return giant / self.base_switches
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DegradedTopology({self.name!r}, switches={self.num_switches}, "
+            f"links={self.num_links}, servers={self.num_servers}, "
+            f"failed_links={len(self.failed_links)}, "
+            f"failed_switches={len(self.failed_switches)})"
+        )
+
+
+def _copy_graph(topology: Topology) -> nx.Graph:
     g = nx.Graph()
     g.add_nodes_from(topology.graph.nodes(data=True))
     g.add_edges_from(topology.graph.edges(data=True))
-    return Topology(
-        name=topology.name + name_suffix,
-        graph=g,
-        servers_per_switch=dict(topology.servers_per_switch),
+    return g
+
+
+def _base_counts(topology: Topology) -> Tuple[int, int, int]:
+    """Original-network sizes, carried through chained degradations."""
+    if isinstance(topology, DegradedTopology):
+        return (
+            topology.base_switches,
+            topology.base_links,
+            topology.base_servers,
+        )
+    return topology.num_switches, topology.num_links, topology.num_servers
+
+
+def degrade_topology(
+    topology: Topology,
+    links: Sequence[Tuple[int, int]] = (),
+    switches: Sequence[int] = (),
+    scenario: Optional[Any] = None,
+) -> DegradedTopology:
+    """Remove the given cables and switches; record what was lost.
+
+    The workhorse behind :meth:`FailureScenario.apply` and the deprecated
+    ``fail_*`` shims.  Exactly mirrors their historical semantics: a
+    missing link or switch raises :class:`TopologyError` (failing the
+    same element twice is a selection bug, not a degraded network), as
+    does removing every switch.  The name suffix — ``-swfail(N)`` when
+    switches fail, else ``-linkfail(N)`` — is part of the bit-for-bit
+    shim-equivalence contract.
+    """
+    base_sw, base_ln, base_srv = _base_counts(topology)
+    suffix = (
+        f"-swfail({len(switches)})" if switches else f"-linkfail({len(links)})"
     )
+    g = _copy_graph(topology)
+    servers = dict(topology.servers_per_switch)
 
-
-def fail_links(
-    topology: Topology, links: Sequence[Tuple[int, int]]
-) -> Topology:
-    """A copy of ``topology`` with the given cables removed."""
-    out = _copy_topology(topology, f"-linkfail({len(links)})")
+    dead_links = set(
+        tuple(topology.failed_links)
+        if isinstance(topology, DegradedTopology)
+        else ()
+    )
     for u, v in links:
-        if not out.graph.has_edge(u, v):
+        if not g.has_edge(u, v):
             raise TopologyError(f"link {u}-{v} not present")
-        out.graph.remove_edge(u, v)
-    return out
-
-
-def fail_switches(topology: Topology, switches: Sequence[int]) -> Topology:
-    """A copy of ``topology`` with the given switches (and their servers)
-    removed."""
-    out = _copy_topology(topology, f"-swfail({len(switches)})")
+        g.remove_edge(u, v)
+        dead_links.add((u, v) if u <= v else (v, u))
     for s in switches:
-        if s not in out.graph:
+        if s not in g:
             raise TopologyError(f"switch {s} not present")
-        out.graph.remove_node(s)
-        out.servers_per_switch.pop(s, None)
-    if out.graph.number_of_nodes() == 0:
+        for nbr in g.neighbors(s):
+            dead_links.add((s, nbr) if s <= nbr else (nbr, s))
+        g.remove_node(s)
+        servers.pop(s, None)
+    if g.number_of_nodes() == 0:
         raise TopologyError("all switches failed")
-    return out
 
+    dead_switches = set(
+        tuple(topology.failed_switches)
+        if isinstance(topology, DegradedTopology)
+        else ()
+    )
+    dead_switches.update(switches)
 
-def random_link_failures(
-    topology: Topology, fraction: float, seed: int = 0
-) -> Topology:
-    """Fail a uniform-random ``fraction`` of the cables."""
-    if not 0 <= fraction < 1:
-        raise TopologyError(f"failure fraction must be in [0, 1), got {fraction}")
-    rng = random.Random(seed)
-    edges = sorted(tuple(sorted(e)) for e in topology.graph.edges())
-    count = round(fraction * len(edges))
-    return fail_links(topology, rng.sample(edges, count))
-
-
-def random_switch_failures(
-    topology: Topology, fraction: float, seed: int = 0
-) -> Topology:
-    """Fail a uniform-random ``fraction`` of the switches."""
-    if not 0 <= fraction < 1:
-        raise TopologyError(f"failure fraction must be in [0, 1), got {fraction}")
-    rng = random.Random(seed)
-    count = round(fraction * topology.num_switches)
-    return fail_switches(topology, rng.sample(topology.switches, count))
+    return DegradedTopology(
+        name=topology.name + suffix,
+        graph=g,
+        servers_per_switch=servers,
+        failed_links=tuple(sorted(dead_links)),
+        failed_switches=tuple(sorted(dead_switches)),
+        scenario=scenario,
+        base_switches=base_sw,
+        base_links=base_ln,
+        base_servers=base_srv,
+    )
 
 
 def largest_connected_component(topology: Topology) -> Topology:
@@ -93,13 +199,98 @@ def largest_connected_component(topology: Topology) -> Topology:
 
     Simulations and the LP require a connected graph; after heavy failures
     this models the operational network (stranded racks are simply down).
+    Degradation provenance (failed elements, scenario, base sizes) is
+    preserved when the input is a :class:`DegradedTopology`.
     """
     if topology.is_connected():
         return topology
     giant = max(nx.connected_components(topology.graph), key=len)
-    out = _copy_topology(topology, "-lcc")
-    out.graph.remove_nodes_from(set(out.graph.nodes()) - giant)
-    out.servers_per_switch = {
-        s: n for s, n in out.servers_per_switch.items() if s in giant
+    g = _copy_graph(topology)
+    g.remove_nodes_from(set(g.nodes()) - giant)
+    servers = {
+        s: n for s, n in topology.servers_per_switch.items() if s in giant
     }
-    return out
+    if isinstance(topology, DegradedTopology):
+        return DegradedTopology(
+            name=topology.name + "-lcc",
+            graph=g,
+            servers_per_switch=servers,
+            failed_links=topology.failed_links,
+            failed_switches=topology.failed_switches,
+            scenario=topology.scenario,
+            base_switches=topology.base_switches,
+            base_links=topology.base_links,
+            base_servers=topology.base_servers,
+        )
+    return Topology(
+        name=topology.name + "-lcc",
+        graph=g,
+        servers_per_switch=servers,
+    )
+
+
+# ----------------------------------------------------------------------
+# Deprecated free functions (shims over the scenario machinery)
+# ----------------------------------------------------------------------
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def fail_links(
+    topology: Topology, links: Sequence[Tuple[int, int]]
+) -> Topology:
+    """Deprecated: a copy of ``topology`` with the given cables removed.
+
+    Use ``topology.degrade(FailureScenario(mode="links", links=...))``.
+    """
+    _deprecated(
+        "fail_links", 'Topology.degrade(FailureScenario(mode="links", ...))'
+    )
+    return degrade_topology(topology, links=links)
+
+
+def fail_switches(topology: Topology, switches: Sequence[int]) -> Topology:
+    """Deprecated: a copy of ``topology`` with the given switches (and
+    their servers) removed.
+
+    Use ``topology.degrade(FailureScenario(mode="switches", switches=...))``.
+    """
+    _deprecated(
+        "fail_switches",
+        'Topology.degrade(FailureScenario(mode="switches", ...))',
+    )
+    return degrade_topology(topology, switches=switches)
+
+
+def random_link_failures(
+    topology: Topology, fraction: float, seed: int = 0
+) -> Topology:
+    """Deprecated: fail a uniform-random ``fraction`` of the cables.
+
+    Use ``topology.degrade(f"links:fraction={fraction},seed={seed}")``.
+    """
+    _deprecated("random_link_failures", 'Topology.degrade("links:...")')
+    from ..resilience import FailureScenario
+
+    return FailureScenario(mode="links", fraction=fraction, seed=seed).apply(
+        topology
+    )
+
+
+def random_switch_failures(
+    topology: Topology, fraction: float, seed: int = 0
+) -> Topology:
+    """Deprecated: fail a uniform-random ``fraction`` of the switches.
+
+    Use ``topology.degrade(f"switches:fraction={fraction},seed={seed}")``.
+    """
+    _deprecated("random_switch_failures", 'Topology.degrade("switches:...")')
+    from ..resilience import FailureScenario
+
+    return FailureScenario(
+        mode="switches", fraction=fraction, seed=seed
+    ).apply(topology)

@@ -97,12 +97,15 @@ def fattree(k: int, servers_per_edge: int | None = None) -> FatTree:
     coordinates: Dict[int, Tuple[str, int, int]] = {}
     next_id = 0
 
+    # Layer/pod node annotations let failure scenarios (pod wipeout,
+    # aggregation attrition) work from a bare Topology, mirroring how
+    # the xpander generator stamps meta_node.
     core_ids: List[List[int]] = []  # core_ids[group][member]
     for group in range(half):
         row = []
         for member in range(half):
             coordinates[next_id] = (CORE, -1, group * half + member)
-            g.add_node(next_id)
+            g.add_node(next_id, layer=CORE, pod=-1)
             row.append(next_id)
             next_id += 1
         core_ids.append(row)
@@ -112,13 +115,13 @@ def fattree(k: int, servers_per_edge: int | None = None) -> FatTree:
         agg_ids = []
         for a in range(half):
             coordinates[next_id] = (AGG, pod, a)
-            g.add_node(next_id)
+            g.add_node(next_id, layer=AGG, pod=pod)
             agg_ids.append(next_id)
             next_id += 1
         edge_ids = []
         for e in range(half):
             coordinates[next_id] = (EDGE, pod, e)
-            g.add_node(next_id)
+            g.add_node(next_id, layer=EDGE, pod=pod)
             edge_ids.append(next_id)
             servers_per_switch[next_id] = servers_per_edge
             next_id += 1

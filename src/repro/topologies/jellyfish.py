@@ -20,7 +20,7 @@ Both are deterministic given ``seed``.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Set, Tuple
+from typing import Dict
 
 import networkx as nx
 

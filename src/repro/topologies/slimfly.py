@@ -20,7 +20,7 @@ graph:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Tuple
 
 import networkx as nx
 

@@ -26,7 +26,6 @@ The paper's §6 uses an Xpander at 2/3 the cost of a fat-tree; use
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
 
 import networkx as nx
 

@@ -16,7 +16,6 @@ Pareto with shape 1.05.
 from __future__ import annotations
 
 import bisect
-import math
 import random
 from typing import List, Sequence, Tuple
 

@@ -16,7 +16,6 @@ Two families live here:
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -107,7 +106,10 @@ def longest_matching_tm(
     weighted = nx.Graph()
     for i, a in enumerate(active):
         for b in active[i + 1 :]:
-            weighted.add_edge(a, b, weight=dist[a][b])
+            w = dist[a].get(b)
+            if w is None:
+                continue  # disconnected (degraded topology): unpairable
+            weighted.add_edge(a, b, weight=w)
     matching = nx.max_weight_matching(weighted, maxcardinality=True)
     demands: Dict[Tuple[int, int], float] = {}
     for a, b in matching:

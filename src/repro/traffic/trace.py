@@ -12,10 +12,9 @@ rack-pairs").
 from __future__ import annotations
 
 import csv
-import io
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, TextIO, Tuple, Union
+from typing import Dict, List, Sequence, TextIO, Tuple, Union
 
 from .workload import FlowSpec
 

@@ -1,6 +1,5 @@
 """Tests for ASCII table rendering."""
 
-import math
 
 from repro.analysis import format_number, format_series, format_table
 

@@ -1,13 +1,7 @@
 """Integration tests for the equal-cost methodology (paper §4, §6.4)."""
 
-import pytest
 
-from repro.cost import (
-    STATIC_PORT,
-    delta_ratio,
-    equal_cost_switch_budget,
-    topology_port_cost,
-)
+from repro.cost import delta_ratio, equal_cost_switch_budget, topology_port_cost
 from repro.topologies import (
     equal_cost_dynamic_ports,
     fattree,

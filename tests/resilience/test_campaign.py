@@ -1,0 +1,130 @@
+"""Campaign documents, expansion, and end-to-end reduction."""
+
+import json
+import math
+
+import pytest
+
+from repro.harness import Runner
+from repro.resilience import (
+    Campaign,
+    CampaignError,
+    load_campaign_file,
+    run_campaign,
+)
+
+DOC = {
+    "name": "unit-campaign",
+    "engine": "lp",
+    "topologies": {
+        "Xpander": {"family": "xpander", "degree": 4, "lift": 6, "servers": 2},
+        "Fat-tree": "fattree:k=4",
+    },
+    "failures": {"mode": "links", "fractions": [0.0, 0.1], "seeds": [0, 1]},
+    "workload": {"fraction": 1.0},
+}
+
+
+def test_from_document_round_trip():
+    c = Campaign.from_document(DOC)
+    assert c.name == "unit-campaign"
+    assert c.mode == "links"
+    assert c.fractions == [0.0, 0.1]
+    # String topology specs normalize to harness mappings.
+    assert c.topologies["Fat-tree"] == {"family": "fattree", "k": 4}
+
+
+def test_document_validation():
+    with pytest.raises(CampaignError):
+        Campaign.from_document({**DOC, "bogus_section": 1})
+    with pytest.raises(CampaignError):
+        Campaign.from_document({k: v for k, v in DOC.items() if k != "failures"})
+    with pytest.raises(CampaignError):
+        Campaign.from_document(
+            {**DOC, "failures": {"fractions": [0.1], "surprise": 2}}
+        )
+    with pytest.raises(CampaignError):
+        Campaign.from_document({**DOC, "topologies": {}})
+    with pytest.raises(CampaignError):
+        Campaign.from_document({**DOC, "engine": "quantum"})
+    with pytest.raises(CampaignError):
+        Campaign.from_document(
+            {**DOC, "failures": {"fractions": [-0.1]}}
+        )
+
+
+def test_expand_grid_shape():
+    c = Campaign.from_document(DOC)
+    specs, keys = c.expand()
+    # 2 topologies x (1 baseline + 2 seeds at f=0.1) = 6 points.
+    assert len(specs) == 6
+    assert len(keys) == 6
+    baselines = [s for s in specs if s.failures is None]
+    assert len(baselines) == 2  # one healthy baseline per series
+    for spec in specs:
+        if spec.failures is not None:
+            assert spec.failures["mode"] == "links"
+            assert spec.failures["fraction"] == 0.1
+
+
+def test_expand_rejects_bad_engine_fields():
+    doc = {**DOC, "defaults": {"no_such_field": 1}}
+    with pytest.raises(CampaignError):
+        Campaign.from_document(doc).expand()
+
+
+def test_resolve_metric_defaults():
+    assert Campaign.from_document(DOC).resolve_metric() == (
+        "per_server_throughput",
+        False,
+    )
+    flow_doc = {
+        **DOC,
+        "engine": "flow",
+        "workload": {
+            "pattern": "permute",
+            "fraction": 0.5,
+            "sizes": "pfabric",
+            "mean_flow_bytes": 50_000,
+            "rate": 2000.0,
+        },
+    }
+    assert Campaign.from_document(flow_doc).resolve_metric() == (
+        "avg_fct_ms",
+        True,
+    )
+    explicit = {**DOC, "metric": {"name": "max_link_utilization", "invert": True}}
+    assert Campaign.from_document(explicit).resolve_metric() == (
+        "max_link_utilization",
+        True,
+    )
+
+
+def test_run_campaign_end_to_end():
+    c = Campaign.from_document(DOC)
+    result = run_campaign(c, runner=Runner(inline=True))
+    assert result.ok
+    assert result.counts["ok"] == 6
+    assert set(result.series) == {"Xpander", "Fat-tree"}
+    # Baseline retained is exactly 1.0; degraded points are finite.
+    for label in result.series:
+        assert result.retained(label, 0.0) == pytest.approx(1.0)
+        assert not math.isnan(result.retained(label, 0.1))
+    payload = result.to_payload()
+    assert payload["schema"] == "repro.resilience/1"
+    assert payload["fraction_failed"] == [0.0, 0.1]
+    json.dumps(payload)  # JSON-ready
+    text = result.render()
+    assert "unit-campaign" in text
+    assert "fraction failed" in text
+
+
+def test_load_campaign_file(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text(json.dumps(DOC))
+    c = load_campaign_file(str(path))
+    assert c.name == "unit-campaign"
+    with pytest.raises(CampaignError):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({**DOC, "failures": {}}))
+        load_campaign_file(str(bad))

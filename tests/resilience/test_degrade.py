@@ -1,0 +1,110 @@
+"""Topology.degrade: the one entry point for failure application."""
+
+import pytest
+
+from repro.resilience import FailureScenario, ScenarioError
+from repro.topologies import (
+    DegradedTopology,
+    TopologyError,
+    fattree,
+    jellyfish,
+    xpander,
+)
+
+
+@pytest.fixture()
+def topo():
+    return jellyfish(20, 4, 2, seed=0)
+
+
+def test_degrade_accepts_scenario_string_and_mapping(topo):
+    by_obj = topo.degrade(FailureScenario(mode="links", fraction=0.1, seed=2))
+    by_str = topo.degrade("links:fraction=0.1,seed=2")
+    by_map = topo.degrade({"mode": "links", "fraction": 0.1, "seed": 2})
+    assert by_obj.failed_links == by_str.failed_links == by_map.failed_links
+
+
+def test_degrade_returns_provenance(topo):
+    degraded = topo.degrade("links:fraction=0.2,seed=0")
+    assert isinstance(degraded, DegradedTopology)
+    assert degraded.scenario == FailureScenario(mode="links", fraction=0.2, seed=0)
+    assert degraded.base_links == topo.num_links
+    assert degraded.base_switches == topo.num_switches
+    expected = round(0.2 * topo.num_links)
+    assert len(degraded.failed_links) == expected
+    assert degraded.num_links == topo.num_links - expected
+    assert 0.0 < degraded.links_retained < 1.0
+    assert degraded.switches_retained == 1.0
+
+
+def test_degrade_bad_spec_raises(topo):
+    with pytest.raises((ScenarioError, ValueError)):
+        topo.degrade("meteor:fraction=0.1")
+    with pytest.raises((ScenarioError, TypeError, ValueError)):
+        topo.degrade(3.14)
+
+
+def test_switch_failure_drops_servers(topo):
+    victim = topo.switches[0]
+    degraded = topo.degrade(FailureScenario(mode="switches", switches=[victim]))
+    assert degraded.failed_switches == (victim,)
+    assert degraded.num_servers == topo.num_servers - topo.servers_at(victim)
+    # Every cable incident to the victim is recorded as failed.
+    for u, v in degraded.failed_links:
+        assert victim in (u, v)
+
+
+def test_chained_degradation_preserves_base(topo):
+    once = topo.degrade("links:fraction=0.1,seed=0")
+    twice = once.degrade("switches:fraction=0.1,seed=1")
+    assert twice.base_links == topo.num_links
+    assert twice.base_switches == topo.num_switches
+    # Earlier failures stay recorded.
+    assert set(once.failed_links) <= set(twice.failed_links)
+
+
+def test_lcc_flag_restricts_to_giant_component():
+    ft = fattree(4).topology
+    heavy = ft.degrade("switches:fraction=0.4,seed=2,lcc=true")
+    assert heavy.is_connected()
+    # Base sizes still anchor to the healthy network.
+    assert heavy.base_switches == ft.num_switches
+    assert heavy.connectivity() <= 1.0
+
+
+def test_refailing_same_link_is_an_error(topo):
+    link = tuple(sorted(next(iter(topo.graph.edges()))))
+    degraded = topo.degrade(FailureScenario(mode="links", links=[link]))
+    with pytest.raises(TopologyError):
+        degraded.degrade(FailureScenario(mode="links", links=[link]))
+
+
+def test_metanodes_mode_on_xpander():
+    xp = xpander(4, 6, 2)
+    degraded = xp.degrade("metanodes:count=1,seed=0")
+    assert len(degraded.failed_switches) == 6  # one lift group
+    assert degraded.num_switches == xp.num_switches - 6
+
+
+def test_pods_and_aggregation_modes_on_fattree():
+    ft = fattree(4).topology
+    pod = ft.degrade("pods:count=1,seed=0")
+    assert len(pod.failed_switches) == 4
+    agg = ft.degrade("aggregation:fraction=0.5,seed=0")
+    assert len(agg.failed_switches) == 4  # half of 8 agg switches
+    for s in agg.failed_switches:
+        assert ft.graph.nodes[s]["layer"] == "agg"
+
+
+def test_bisection_mode_cuts_capacity(topo):
+    degraded = topo.degrade("bisection:fraction=0.5,seed=0")
+    assert degraded.num_links < topo.num_links
+    assert degraded.failed_switches == ()
+
+
+def test_fraction_zero_is_identity_copy(topo):
+    degraded = topo.degrade("links:fraction=0,seed=0")
+    assert degraded.failed_links == ()
+    assert degraded.num_links == topo.num_links
+    assert degraded.links_retained == 1.0
+    assert degraded.connectivity() == 1.0

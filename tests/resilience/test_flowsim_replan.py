@@ -1,0 +1,100 @@
+"""Flow-level simulator under mid-run failures: re-plan or strand."""
+
+from repro import obs
+from repro.flowsim import run_flow_experiment
+from repro.resilience import FailureScenario
+from repro.topologies import xpander
+from repro.traffic import FlowSpec
+
+
+def _long_flows(topo, n=8, size=5_000_000):
+    tor_of = topo.server_to_tor()
+    servers = list(range(topo.num_servers))
+    flows = []
+    fid = 0
+    for i, src in enumerate(servers):
+        dst = servers[(i + len(servers) // 2) % len(servers)]
+        if tor_of[src] == tor_of[dst]:
+            continue
+        flows.append(FlowSpec(fid, src, dst, size, 0.0))
+        fid += 1
+        if fid == n:
+            break
+    return flows
+
+
+def test_healthy_run_unchanged_by_failures_kwarg():
+    topo = xpander(4, 6, 2)
+    flows = _long_flows(topo)
+    base = run_flow_experiment(topo, flows, routing="ecmp", seed=0)
+    empt = run_flow_experiment(topo, flows, routing="ecmp", seed=0, failures=[])
+    assert [r.completion_time for r in base.records] == [
+        r.completion_time for r in empt.records
+    ]
+
+
+def test_midrun_link_failure_replans_and_completes():
+    topo = xpander(4, 6, 2)
+    flows = _long_flows(topo)
+    healthy = run_flow_experiment(topo, flows, routing="ecmp", seed=0)
+    t_half = min(r.completion_time for r in healthy.records) / 2
+    scenario = FailureScenario(mode="links", fraction=0.15, seed=3)
+    stats = run_flow_experiment(
+        topo, flows, routing="ecmp", seed=0, failures=[(t_half, scenario)]
+    )
+    done = [r for r in stats.records if r.completion_time is not None]
+    # Link loss at 15% leaves this expander connected: every flow is
+    # either untouched or re-planned, and all complete.
+    assert len(done) == len(flows)
+    # Capacity loss cannot make the workload finish faster.
+    assert max(r.completion_time for r in done) >= max(
+        r.completion_time for r in healthy.records
+    )
+
+
+def test_midrun_switch_failure_strands_cut_off_flows(tmp_path):
+    topo = xpander(4, 6, 2)
+    flows = _long_flows(topo)
+    healthy = run_flow_experiment(topo, flows, routing="ecmp", seed=0)
+    t_half = min(r.completion_time for r in healthy.records) / 2
+    # Kill 30% of switches mid-run; restrict to the surviving giant
+    # component so flows whose endpoints died are stranded.
+    scenario = FailureScenario(mode="switches", fraction=0.3, seed=1, lcc=True)
+    obs.enable(run_dir=str(tmp_path / "run"))
+    try:
+        stats = run_flow_experiment(
+            topo, flows, routing="ecmp", seed=0, failures=[(t_half, scenario)]
+        )
+        snap = obs.snapshot()
+    finally:
+        obs.disable()
+    stranded = snap.get("flowsim.stranded", {}).get("value", 0)
+    replanned = snap.get("flowsim.replans", {}).get("value", 0)
+    done = [r for r in stats.records if r.completion_time is not None]
+    assert stranded + replanned > 0
+    assert len(done) + int(stranded) == len(flows)
+
+
+def test_vlb_replans_through_survivors():
+    topo = xpander(4, 6, 2)
+    flows = _long_flows(topo, n=6)
+    scenario = FailureScenario(mode="links", fraction=0.1, seed=2)
+    stats = run_flow_experiment(
+        topo, flows, routing="vlb", seed=0, failures=[(0.001, scenario)]
+    )
+    assert all(r.completion_time is not None for r in stats.records)
+
+
+def test_failure_runs_are_deterministic():
+    topo = xpander(4, 6, 2)
+    flows = _long_flows(topo)
+    scenario = FailureScenario(mode="links", fraction=0.2, seed=5)
+    a = run_flow_experiment(
+        topo, flows, routing="hyb", seed=3, failures=[(0.002, scenario)]
+    )
+    b = run_flow_experiment(
+        topo, flows, routing="hyb", seed=3, failures=[(0.002, scenario)]
+    )
+    assert [r.completion_time for r in a.records] == [
+        r.completion_time for r in b.records
+    ]

@@ -1,0 +1,95 @@
+"""Failure-aware harness specs: normalization, hashing, execution."""
+
+import pytest
+
+from repro.harness import ExperimentSpec, SpecError, execute_spec
+
+XP = {"family": "xpander", "degree": 4, "lift": 6, "servers": 2}
+
+
+def _lp_spec(**kw):
+    return ExperimentSpec(
+        topology=dict(XP),
+        engine="lp",
+        workload={"fraction": 1.0},
+        **kw,
+    )
+
+
+def test_failures_default_none_keeps_historical_hash():
+    spec = _lp_spec()
+    assert "failures" not in spec.canonical()
+    # Setting then clearing must round back to the same hash.
+    with_failures = _lp_spec(failures="links:fraction=0.1,seed=0")
+    assert with_failures.content_hash() != spec.content_hash()
+
+
+def test_failures_string_and_mapping_hash_identically():
+    a = _lp_spec(failures="links:fraction=0.1,seed=3")
+    b = _lp_spec(failures={"mode": "links", "fraction": 0.1, "seed": 3})
+    a.validate()
+    b.validate()
+    assert a.failures == b.failures  # normalized to the to_spec() mapping
+    assert a.content_hash() == b.content_hash()
+
+
+def test_bad_failures_spec_is_a_spec_error():
+    spec = _lp_spec(failures="meteor:fraction=0.1")
+    with pytest.raises(SpecError):
+        spec.validate()
+
+
+def test_execute_spec_records_degradation_telemetry():
+    record = execute_spec(_lp_spec(failures="links:fraction=0.1,seed=0"))
+    assert record.ok
+    t = record.telemetry
+    assert t["failed_links"] > 0
+    assert t["failed_switches"] == 0
+    assert 0 < t["links_retained"] < 1
+    assert 0 < t["connectivity"] <= 1
+    assert "disconnected_pairs" in record.metrics
+
+
+def test_execute_spec_healthy_has_no_degradation_telemetry():
+    record = execute_spec(_lp_spec())
+    assert record.ok
+    assert "failed_links" not in record.telemetry
+
+
+def test_execute_spec_flow_engine_under_failures():
+    spec = ExperimentSpec(
+        topology=dict(XP),
+        engine="flow",
+        routing="ecmp",
+        workload={
+            "pattern": "permute",
+            "fraction": 0.5,
+            "sizes": "pfabric",
+            "mean_flow_bytes": 50_000,
+            "rate": 2000.0,
+        },
+        measure_start=0.0,
+        measure_end=0.02,
+        failures="links:fraction=0.1,seed=1",
+    )
+    record = execute_spec(spec)
+    assert record.ok
+    assert record.telemetry["failed_links"] > 0
+
+
+def test_failure_specs_cache_distinctly(tmp_path):
+    """Different failure seeds are different cache keys."""
+    from repro.harness import ResultCache, Runner
+
+    cache = ResultCache(str(tmp_path / "cache"))
+    specs = [
+        _lp_spec(failures=f"links:fraction=0.1,seed={s}", name=f"s{s}")
+        for s in (0, 1)
+    ]
+    runner = Runner(inline=True, cache=cache)
+    first = runner.run(specs)
+    assert first.counts["ok"] == 2
+    seeds = {r.spec["failures"]["seed"] for r in first.records}
+    assert seeds == {0, 1}
+    second = Runner(inline=True, cache=cache).run(specs)
+    assert all(r.cached for r in second.records)

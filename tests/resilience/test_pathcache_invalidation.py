@@ -1,0 +1,58 @@
+"""Degradation drops stale shared path-cache entries."""
+
+from repro.perf import (
+    clear_shared_caches,
+    invalidate_shared_cache,
+    shared_path_cache,
+)
+from repro.resilience import FailureScenario
+from repro.topologies import xpander
+
+
+def setup_function(_fn):
+    clear_shared_caches()
+
+
+def teardown_module(_mod):
+    clear_shared_caches()
+
+
+def test_invalidate_drops_matching_entry():
+    topo = xpander(4, 6, 2)
+    cache = shared_path_cache(topo.graph)
+    assert shared_path_cache(topo.graph) is cache
+    assert invalidate_shared_cache(topo.graph) == 1
+    assert shared_path_cache(topo.graph) is not cache
+    # Nothing left to invalidate the second time around.
+    clear_shared_caches()
+    assert invalidate_shared_cache(topo.graph) == 0
+
+
+def test_apply_invalidates_degraded_graph_entry():
+    """A cache keyed on the degraded structure is rebuilt after apply().
+
+    This covers the in-place-mutation hazard: if a stale cache exists
+    for a graph structurally equal to the degraded result, applying the
+    scenario must drop it so routing tables are rebuilt fresh.
+    """
+    topo = xpander(4, 6, 2)
+    scenario = FailureScenario(mode="links", fraction=0.1, seed=3)
+    degraded_first = scenario.apply(topo)
+    stale = shared_path_cache(degraded_first.graph)
+    # Re-applying the same scenario produces a structurally equal graph
+    # and must evict the existing entry.
+    degraded_again = scenario.apply(topo)
+    assert shared_path_cache(degraded_again.graph) is not stale
+
+
+def test_degraded_cache_reflects_removed_links():
+    topo = xpander(4, 6, 2)
+    healthy_cache = shared_path_cache(topo.graph)
+    degraded = topo.degrade("links:fraction=0.2,seed=5")
+    degraded_cache = shared_path_cache(degraded.graph)
+    assert degraded_cache is not healthy_cache
+    u, v = degraded.failed_links[0]
+    # The dead cable is no longer a one-hop path in the degraded cache.
+    assert degraded_cache.distance(u, v) != 1
+    # The healthy cache still sees it.
+    assert healthy_cache.distance(u, v) == 1

@@ -1,0 +1,174 @@
+"""FailureScenario: validation, serialization, and determinism."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.registry import FAILURES, failure
+from repro.resilience import MODES, FailureScenario, ScenarioError
+from repro.topologies import fattree, xpander
+
+
+def test_keyword_only_constructor():
+    with pytest.raises(TypeError):
+        FailureScenario("links", 0.1)  # noqa: F841 - positional forbidden
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ScenarioError):
+        FailureScenario(mode="meteor")
+
+
+def test_exactly_one_selector_required():
+    with pytest.raises(ScenarioError):
+        FailureScenario(mode="links")
+    with pytest.raises(ScenarioError):
+        FailureScenario(mode="links", fraction=0.1, count=3)
+
+
+def test_fraction_bounds():
+    with pytest.raises(ScenarioError):
+        FailureScenario(mode="links", fraction=1.0)  # half-open for links
+    with pytest.raises(ScenarioError):
+        FailureScenario(mode="links", fraction=-0.1)
+    # Structural modes accept a full wipeout.
+    FailureScenario(mode="pods", fraction=1.0)
+
+
+def test_explicit_elements_need_matching_mode():
+    with pytest.raises(ScenarioError):
+        FailureScenario(mode="switches", links=[(0, 1)])
+    with pytest.raises(ScenarioError):
+        FailureScenario(mode="links", switches=[0])
+
+
+def test_immutable():
+    s = FailureScenario(mode="links", fraction=0.1)
+    with pytest.raises(AttributeError):
+        s.fraction = 0.5
+    with pytest.raises(AttributeError):
+        del s.mode
+
+
+def test_spec_round_trip():
+    for s in (
+        FailureScenario(mode="links", fraction=0.08, seed=3),
+        FailureScenario(mode="switches", count=2, lcc=True),
+        FailureScenario(mode="links", links=[(5, 2), (0, 1)]),
+        FailureScenario(mode="bisection", fraction=0.5, seed=9),
+    ):
+        spec = s.to_spec()
+        json.dumps(spec)  # must be JSON-ready
+        assert FailureScenario.from_spec(spec) == s
+        assert FailureScenario.from_spec(spec).content_hash() == s.content_hash()
+
+
+def test_from_spec_accepts_strings_and_instances():
+    s = FailureScenario.from_spec("links:fraction=0.08,seed=3")
+    assert s == FailureScenario(mode="links", fraction=0.08, seed=3)
+    assert FailureScenario.from_spec(s) is s
+
+
+def test_links_normalized_sorted():
+    a = FailureScenario(mode="links", links=[(5, 2), (1, 0)])
+    b = FailureScenario(mode="links", links=[(0, 1), (2, 5)])
+    assert a == b
+    assert a.content_hash() == b.content_hash()
+
+
+def test_content_hash_distinguishes_seeds():
+    a = FailureScenario(mode="links", fraction=0.1, seed=0)
+    b = FailureScenario(mode="links", fraction=0.1, seed=1)
+    assert a.content_hash() != b.content_hash()
+
+
+def test_registry_exposes_all_modes():
+    available = FAILURES.available()
+    for mode in MODES:
+        assert mode in available
+
+
+def test_registry_failure_duck_types():
+    s = failure({"mode": "links", "fraction": 0.1, "seed": 2})
+    assert isinstance(s, FailureScenario)
+    with pytest.raises((ValueError, TypeError)):
+        failure(42)
+
+
+def test_selection_deterministic_in_process():
+    topo = xpander(4, 6, 2)
+    s = FailureScenario(mode="links", fraction=0.2, seed=5)
+    assert s.select(topo) == s.select(topo)
+    # Structurally equal topology built anew selects the same elements.
+    assert s.select(xpander(4, 6, 2)) == s.select(topo)
+
+
+_SUBPROCESS_SNIPPET = """
+import json, sys
+from repro.registry import failure
+from repro.topologies import fattree
+scenario = failure(json.loads(sys.argv[1]))
+links, switches = scenario.select(fattree(4).topology)
+print(json.dumps({"links": [list(p) for p in links],
+                  "switches": list(switches),
+                  "hash": scenario.content_hash()}))
+"""
+
+
+def test_selection_deterministic_cross_process():
+    scenario = FailureScenario(mode="links", fraction=0.15, seed=11)
+    local_links, local_switches = scenario.select(fattree(4).topology)
+    out = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SNIPPET, json.dumps(scenario.to_spec())],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    remote = json.loads(out.stdout)
+    assert remote["hash"] == scenario.content_hash()
+    assert [tuple(p) for p in remote["links"]] == list(local_links)
+    assert tuple(remote["switches"]) == local_switches
+
+
+def test_correlated_modes_need_annotations():
+    xp = xpander(4, 6, 2)
+    ft = fattree(4).topology
+    with pytest.raises(ScenarioError):
+        FailureScenario(mode="pods", count=1).select(xp)
+    with pytest.raises(ScenarioError):
+        FailureScenario(mode="metanodes", count=1).select(ft)
+
+
+def test_metanode_selection_kills_whole_lift_group():
+    xp = xpander(4, 6, 2)  # lift 6: meta-nodes of 6 switches each
+    links, switches = FailureScenario(mode="metanodes", count=1, seed=0).select(xp)
+    assert links == ()
+    metas = {xp.graph.nodes[s]["meta_node"] for s in switches}
+    assert len(metas) == 1
+    assert len(switches) == 6  # lift switches per meta-node
+
+
+def test_pod_selection_kills_agg_and_edge():
+    ft = fattree(4)
+    links, switches = FailureScenario(mode="pods", count=1, seed=0).select(
+        ft.topology
+    )
+    assert links == ()
+    layers = {ft.topology.graph.nodes[s]["layer"] for s in switches}
+    assert layers == {"agg", "edge"}
+    assert len(switches) == 4  # k/2 agg + k/2 edge for k=4
+
+
+def test_bisection_selects_only_crossing_links():
+    topo = xpander(4, 6, 2)
+    nodes = sorted(topo.graph.nodes())
+    left = set(nodes[: len(nodes) // 2])
+    links, switches = FailureScenario(mode="bisection", fraction=0.5, seed=1).select(
+        topo
+    )
+    assert switches == ()
+    assert links
+    for u, v in links:
+        assert (u in left) != (v in left)

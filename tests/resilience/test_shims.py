@@ -1,0 +1,72 @@
+"""The deprecated ``fail_*`` free functions are pinned bit-for-bit
+against the scenario machinery that replaced them."""
+
+import networkx as nx
+import pytest
+
+from repro.resilience import FailureScenario
+from repro.topologies import (
+    fail_links,
+    fail_switches,
+    fattree,
+    random_link_failures,
+    random_switch_failures,
+    xpander,
+)
+
+
+def _same_topology(a, b):
+    assert a.name == b.name
+    assert nx.utils.graphs_equal(a.graph, b.graph)
+    assert a.servers_per_switch == b.servers_per_switch
+
+
+@pytest.fixture()
+def topo():
+    return xpander(4, 6, 2)
+
+
+def test_fail_links_emits_deprecation_and_matches_degrade(topo):
+    link = tuple(sorted(next(iter(topo.graph.edges()))))
+    with pytest.warns(DeprecationWarning):
+        old = fail_links(topo, [link])
+    new = topo.degrade(FailureScenario(mode="links", links=[link]))
+    _same_topology(old, new)
+    assert new.failed_links == (link,)
+
+
+def test_fail_switches_emits_deprecation_and_matches_degrade(topo):
+    victim = topo.switches[3]
+    with pytest.warns(DeprecationWarning):
+        old = fail_switches(topo, [victim])
+    new = topo.degrade(FailureScenario(mode="switches", switches=[victim]))
+    _same_topology(old, new)
+    assert new.failed_switches == (victim,)
+
+
+@pytest.mark.parametrize("fraction", [0.05, 0.1, 0.2])
+@pytest.mark.parametrize("seed", [0, 3])
+def test_random_link_failures_bit_for_bit(topo, fraction, seed):
+    with pytest.warns(DeprecationWarning):
+        old = random_link_failures(topo, fraction, seed=seed)
+    new = topo.degrade(f"links:fraction={fraction},seed={seed}")
+    _same_topology(old, new)
+
+
+@pytest.mark.parametrize("fraction", [0.1, 0.25])
+def test_random_switch_failures_bit_for_bit(fraction):
+    topo = fattree(4).topology
+    with pytest.warns(DeprecationWarning):
+        old = random_switch_failures(topo, fraction, seed=7)
+    new = topo.degrade(f"switches:fraction={fraction},seed=7")
+    _same_topology(old, new)
+
+
+def test_shim_results_carry_provenance(topo):
+    with pytest.warns(DeprecationWarning):
+        degraded = random_link_failures(topo, 0.1, seed=1)
+    # The shim routes through FailureScenario.apply, so provenance is
+    # recorded just like for the new API.
+    assert degraded.scenario == FailureScenario(mode="links", fraction=0.1, seed=1)
+    assert degraded.base_links == topo.num_links
+    assert len(degraded.failed_links) == round(0.1 * topo.num_links)

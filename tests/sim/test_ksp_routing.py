@@ -1,6 +1,5 @@
 """Tests for source-routed k-shortest-path routing and the duty-cycle model."""
 
-import networkx as nx
 import pytest
 
 from repro.sim import KspRouting, NetworkParams, run_packet_experiment

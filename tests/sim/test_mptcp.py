@@ -100,7 +100,6 @@ class TestValidation:
         src = sim.network.hosts[0]
         dst = sim.network.hosts[55]
         from repro.sim import TransportParams
-        from repro.sim.routing import EcmpRouting
 
         with pytest.raises(ValueError):
             MptcpFlow(

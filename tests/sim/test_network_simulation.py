@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    NetworkParams,
-    PacketSimulation,
-    SHORT_FLOW_BYTES,
-    run_packet_experiment,
-)
+from repro.sim import NetworkParams, PacketSimulation, run_packet_experiment
 from repro.sim.simulation import ROUTING_CHOICES, make_routing
 from repro.topologies import fattree, xpander
 from repro.traffic import FlowSpec

@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.sim import Engine, Link, MSS, Packet, TransportParams
-from repro.sim.routing import EcmpRouting
+from repro.sim import Engine, Link, MSS, TransportParams
 from repro.sim.tcp import DctcpReceiver, DctcpSender
 
-import networkx as nx
 
 
 class _NullRouting:

@@ -1,6 +1,5 @@
 """Tests for link telemetry."""
 
-import pytest
 
 from repro.sim import (
     NetworkParams,

@@ -1,6 +1,5 @@
 """Miscellaneous cross-cutting behaviors."""
 
-import math
 
 import pytest
 

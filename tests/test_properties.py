@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) over core data structures and invariants."""
 
-import math
 import random
 
 import networkx as nx
@@ -16,17 +15,10 @@ from repro.throughput import (
     tm_throughput_upper_bound,
     tp_curve,
 )
-from repro.topologies import (
-    Topology,
-    fattree,
-    jellyfish,
-    moore_bound_mean_distance,
-    xpander,
-)
+from repro.topologies import Topology, jellyfish, moore_bound_mean_distance, xpander
 from repro.traffic import (
     EmpiricalCDF,
     ParetoFlowSizes,
-    TrafficMatrix,
     all_to_all_tm,
     longest_matching_tm,
     permutation_tm,

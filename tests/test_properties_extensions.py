@@ -1,7 +1,6 @@
 """Property-based tests for the extension modules (failures, cabling,
 adversarial TMs, MPTCP chunking)."""
 
-import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -11,7 +10,6 @@ from repro.sim.mptcp import MptcpFlow
 from repro.throughput.adversarial import random_hose_tm
 from repro.topologies import (
     FloorPlan,
-    fail_links,
     largest_connected_component,
     random_link_failures,
     xpander,

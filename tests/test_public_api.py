@@ -17,7 +17,7 @@ import repro
 
 DOCUMENTED_SUBPACKAGES = {
     "topologies", "traffic", "throughput", "sim", "flowsim", "perf",
-    "cost", "analysis", "harness", "obs", "registry",
+    "cost", "analysis", "harness", "obs", "registry", "resilience",
 }
 
 

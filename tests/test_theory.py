@@ -10,7 +10,6 @@ from repro.topologies import (
     oversubscribed_fattree,
     restricted_dynamic_throughput,
     unrestricted_dynamic_throughput,
-    xpander,
 )
 from repro.topologies.dynamic import moore_bound_mean_distance
 from repro.throughput import max_concurrent_throughput

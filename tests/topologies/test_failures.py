@@ -6,7 +6,6 @@ from repro.topologies import (
     TopologyError,
     fail_links,
     fail_switches,
-    fattree,
     jellyfish,
     largest_connected_component,
     random_link_failures,

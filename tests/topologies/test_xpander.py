@@ -1,6 +1,5 @@
 """Tests for the Xpander construction."""
 
-import networkx as nx
 import pytest
 
 from repro.topologies import (
