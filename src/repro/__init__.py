@@ -25,7 +25,11 @@ The package provides:
 * :mod:`repro.obs` — opt-in observability: metrics, spans, and a
   per-run JSONL trace + manifest (``python -m repro profile``);
 * :mod:`repro.registry` — string-spec construction registry for
-  topologies, traffic patterns, routing policies, and failure modes;
+  topologies, traffic patterns, routing policies, failure modes, and
+  throughput solver backends;
+* :mod:`repro.solvers` — pluggable throughput solver backends
+  (``highs-exact``, ``highs-batched``, ``highs-paths``, ``mcf-approx``)
+  returning typed :class:`~repro.solvers.SolveOutcome` values;
 * :mod:`repro.resilience` — seeded failure scenarios,
   ``topology.degrade(...)``, and "throughput retained vs. fraction
   failed" campaigns (``python -m repro resilience``).
@@ -56,6 +60,7 @@ from . import (
     registry,
     resilience,
     sim,
+    solvers,
     throughput,
     topologies,
     traffic,
@@ -76,5 +81,6 @@ __all__ = [
     "obs",
     "registry",
     "resilience",
+    "solvers",
     "__version__",
 ]

@@ -119,6 +119,22 @@ def _maybe_degrade(topo, args: argparse.Namespace):
     return topo.degrade(failure)
 
 
+def _build_degraded(command: str, kind: str, args: argparse.Namespace):
+    """Build and degrade the requested topology, or ``None`` after reporting.
+
+    Bad family names, bad construction parameters, and bad ``--failure``
+    specs all surface as ``ValueError`` from the registry; report them on
+    stderr and let the handler exit 2 (usage error) instead of leaking a
+    traceback.
+    """
+    try:
+        topo, raw = _topology_from_args(kind, args)
+        return _maybe_degrade(topo, args), raw
+    except ValueError as exc:
+        sys.stderr.write(f"{command}: {exc}\n")
+        return None
+
+
 def _default_servers(kind: str, args: argparse.Namespace) -> None:
     if args.servers == 0:
         args.servers = {"fattree": 0}.get(kind, 4)
@@ -126,8 +142,10 @@ def _default_servers(kind: str, args: argparse.Namespace) -> None:
 
 def _cmd_topology(args: argparse.Namespace) -> int:
     _default_servers(args.kind, args)
-    topo, _ = _topology_from_args(args.kind, args)
-    topo = _maybe_degrade(topo, args)
+    built = _build_degraded("topology", args.kind, args)
+    if built is None:
+        return 2
+    topo, _ = built
     connected = topo.is_connected()
     rows = [
         ["name", topo.name],
@@ -156,8 +174,10 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     from .throughput import skew_sweep
 
     _default_servers(args.kind, args)
-    topo, _ = _topology_from_args(args.kind, args)
-    topo = _maybe_degrade(topo, args)
+    built = _build_degraded("throughput", args.kind, args)
+    if built is None:
+        return 2
+    topo, _ = built
     fractions = [float(x) for x in args.fractions.split(",")]
     result = skew_sweep(
         topo,
@@ -165,6 +185,7 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
         solver=args.solver,
         k_paths=args.k_paths,
         seed=args.seed,
+        epsilon=args.epsilon,
     )
     print(
         format_series(
@@ -174,6 +195,13 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
             title="Per-server throughput under longest-matching TMs",
         )
     )
+    if not result.ok:
+        bad = sorted(set(s for s in result.statuses if s != "optimal"))
+        sys.stderr.write(
+            f"throughput: solver {args.solver} reported non-optimal "
+            f"solves ({', '.join(bad)}); nan entries above\n"
+        )
+        return 1
     return 0
 
 
@@ -182,8 +210,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .traffic import PoissonArrivals, Workload, pareto_hull, pfabric_web_search
 
     _default_servers(args.kind, args)
-    topo, _ = _topology_from_args(args.kind, args)
-    topo = _maybe_degrade(topo, args)
+    built = _build_degraded("simulate", args.kind, args)
+    if built is None:
+        return 2
+    topo, _ = built
     if args.pattern == "skew":
         pattern_spec = {"pattern": "skew", "theta": 0.1, "phi": 0.77,
                         "seed": args.seed}
@@ -436,14 +466,20 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     )
     if args.kind:
         _default_servers(args.kind, args)
-        topo, _ = _topology_from_args(args.kind, args)
+        built = _build_degraded("cost", args.kind, args)
+        if built is None:
+            return 2
+        topo, _ = built
         print(f"\n{topo.name}: total port cost ${topology_port_cost(topo):,.0f}")
     return 0
 
 
 def _cmd_cabling(args: argparse.Namespace) -> int:
     _default_servers(args.kind, args)
-    topo, ft = _topology_from_args(args.kind, args)
+    built = _build_degraded("cabling", args.kind, args)
+    if built is None:
+        return 2
+    topo, ft = built
     if args.kind == "xpander":
         report = xpander_cabling(topo)
     elif args.kind == "fattree":
@@ -478,8 +514,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("throughput", help="fluid-flow skew sweep")
     _add_topology_args(p)
     p.add_argument("--fractions", default="0.2,0.4,0.6,0.8,1.0")
-    p.add_argument("--solver", choices=["exact", "paths"], default="exact")
+    p.add_argument(
+        "--solver",
+        choices=sorted(registry.SOLVERS.available()),
+        default="exact",
+        help="throughput solver backend (see docs/solvers.md)",
+    )
     p.add_argument("--k-paths", type=int, default=8)
+    p.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="mcf-approx accuracy knob (ignored by other solvers)",
+    )
     p.set_defaults(func=_cmd_throughput)
 
     p = sub.add_parser("simulate", help="packet-level experiment")

@@ -21,20 +21,19 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from .. import registry
 from ..flowsim import FlowLevelSimulation
 from ..obs import emit_network_report
 from ..sim import NetworkParams, PacketSimulation
 from ..sim.stats import FlowStats
-from ..throughput import max_concurrent_throughput, path_throughput
 from ..topologies import Topology
 from ..traffic import PoissonArrivals, Workload, pareto_hull, pfabric_web_search
 from .records import RunRecord, provenance
 from .spec import ExperimentSpec, SpecError
 
-__all__ = ["build_topology", "execute_spec"]
+__all__ = ["build_topology", "execute_spec", "execute_lp_batch"]
 
 
 def build_topology(topo_spec: Mapping[str, Any]) -> Topology:
@@ -114,25 +113,52 @@ def _resolve_rate(spec: ExperimentSpec, topology: Topology, pairs, sizes) -> flo
     return (load * active_servers * rate_bps / 8.0) / mean_bytes
 
 
-def _run_lp(spec: ExperimentSpec, topology: Topology) -> Dict[str, float]:
+def _lp_solver_backend(wl: Mapping[str, Any]):
+    """The :data:`repro.registry.SOLVERS` backend an lp workload selects.
+
+    ``k_paths`` parameterizes the paths backends and ``epsilon`` the
+    approximation; the exact backends take no knobs.
+    """
+    name = str(wl.get("solver", "exact"))
+    params: Dict[str, Any] = {}
+    if name in ("paths", "highs-paths"):
+        params["k"] = wl.get("k_paths", 8)
+    elif name == "mcf-approx" and "epsilon" in wl:
+        params["epsilon"] = wl["epsilon"]
+    try:
+        return registry.SOLVERS.build(name, **params)
+    except registry.RegistryError as exc:
+        raise SpecError(str(exc)) from exc
+
+
+def _lp_tm(spec: ExperimentSpec, topology: Topology):
+    """The longest-matching TM an lp spec describes (plus its fraction)."""
     wl = spec.workload
     fraction = wl.get("fraction", 1.0)
     pattern_seed = wl.get("pattern_seed", spec.seed)
     tm = registry.TRAFFIC.build(
         "longest_matching", topology, fraction=fraction, seed=pattern_seed
     )
-    solver = wl.get("solver", "exact")
-    if solver == "exact":
-        res = max_concurrent_throughput(topology, tm)
-    elif solver == "paths":
-        res = path_throughput(topology, tm, k=wl.get("k_paths", 8))
-    else:
-        raise SpecError(f"unknown lp solver {solver!r} (exact/paths)")
+    return tm, fraction
+
+
+def _lp_metrics(result, fraction) -> Dict[str, float]:
     return {
-        "per_server_throughput": res.per_server,
+        "per_server_throughput": result.per_server,
         "fraction": float(fraction),
-        "disconnected_pairs": float(res.disconnected_pairs),
+        "disconnected_pairs": float(result.disconnected_pairs),
     }
+
+
+def _run_lp(spec: ExperimentSpec, topology: Topology) -> Dict[str, float]:
+    tm, fraction = _lp_tm(spec, topology)
+    backend = _lp_solver_backend(spec.workload)
+    outcome = backend.solve(topology, tm)
+    # Non-optimal outcomes re-raise the typed SolverFailure: the Runner
+    # turns it into a (non-retryable) failure record, so infeasible
+    # points degrade a sweep instead of aborting it.
+    outcome.raise_for_status()
+    return _lp_metrics(outcome.result, fraction)
 
 
 def _run_packet(
@@ -183,6 +209,23 @@ def _run_flow(spec: ExperimentSpec, topology: Topology, flows) -> FlowStats:
     )
 
 
+def _apply_failures(
+    spec: ExperimentSpec, topology: Topology
+) -> Tuple[Topology, Dict[str, float]]:
+    """Degrade ``topology`` per ``spec.failures`` (no-op when healthy)."""
+    if spec.failures is None:
+        return topology, {}
+    scenario = registry.failure(spec.failures)
+    topology = topology.degrade(scenario)
+    return topology, {
+        "connectivity": topology.connectivity(),
+        "failed_links": float(len(topology.failed_links)),
+        "failed_switches": float(len(topology.failed_switches)),
+        "links_retained": topology.links_retained,
+        "switches_retained": topology.switches_retained,
+    }
+
+
 def execute_spec(spec: ExperimentSpec) -> RunRecord:
     """Run one spec to completion and return its successful record.
 
@@ -193,17 +236,8 @@ def execute_spec(spec: ExperimentSpec) -> RunRecord:
     start = time.perf_counter()
     topology = _build_topology(spec.topology)
 
-    degraded_telemetry: Dict[str, float] = {}
+    topology, degraded_telemetry = _apply_failures(spec, topology)
     if spec.failures is not None:
-        scenario = registry.failure(spec.failures)
-        topology = topology.degrade(scenario)
-        degraded_telemetry = {
-            "connectivity": topology.connectivity(),
-            "failed_links": float(len(topology.failed_links)),
-            "failed_switches": float(len(topology.failed_switches)),
-            "links_retained": topology.links_retained,
-            "switches_retained": topology.switches_retained,
-        }
         if spec.engine != "lp":
             # The simulators need every generated flow to be routable;
             # the LP engines report disconnected pairs instead.
@@ -243,3 +277,62 @@ def execute_spec(spec: ExperimentSpec) -> RunRecord:
         wall_clock_s=time.perf_counter() - start,
         provenance=provenance(spec.engine),
     )
+
+
+def execute_lp_batch(specs: Sequence[ExperimentSpec]) -> List[RunRecord]:
+    """Run a group of lp specs sharing one topology through ``solve_many``.
+
+    The caller (the Runner's batch grouping) guarantees the specs agree
+    on ``topology``, ``failures``, and solver selection; the topology is
+    built and degraded once and the backend amortizes its per-topology
+    structure across the whole batch.  Returns one record per spec, in
+    order: per-record ``metrics`` are byte-identical to what
+    :func:`execute_spec` would produce for the same spec (the batched
+    backend issues identical solves), while non-optimal solves become
+    failure records carrying the typed error — one infeasible point
+    never takes down the rest of the batch.
+    """
+    first = specs[0]
+    setup_start = time.perf_counter()
+    topology = _build_topology(first.topology)
+    topology, degraded_telemetry = _apply_failures(first, topology)
+    backend = _lp_solver_backend(first.workload)
+
+    tms = []
+    fractions = []
+    for spec in specs:
+        spec.validate()
+        tm, fraction = _lp_tm(spec, topology)
+        tms.append(tm)
+        fractions.append(fraction)
+    setup_s = (time.perf_counter() - setup_start) / len(specs)
+
+    outcomes = backend.solve_many(topology, tms)
+    records: List[RunRecord] = []
+    for spec, outcome, fraction in zip(specs, outcomes, fractions):
+        common = dict(
+            spec=spec.to_dict(),
+            spec_hash=spec.content_hash(),
+            wall_clock_s=setup_s + outcome.wall_time_s,
+            provenance=provenance(spec.engine),
+        )
+        if outcome.ok:
+            records.append(
+                RunRecord(
+                    status="ok",
+                    metrics=_lp_metrics(outcome.result, fraction),
+                    telemetry=dict(degraded_telemetry),
+                    **common,
+                )
+            )
+        else:
+            error = outcome.error
+            records.append(
+                RunRecord(
+                    status="failed",
+                    error=f"{type(error).__name__}: {error}",
+                    attempts=1,
+                    **common,
+                )
+            )
+    return records

@@ -9,9 +9,22 @@ structured failure :class:`RunRecord` after bounded retries with
 exponential backoff; the remaining points always complete and the sweep
 never raises.
 
+Failure records are built from the worker's exception; *fatal*
+exceptions — :class:`~repro.harness.spec.SpecError` and the typed
+:class:`~repro.throughput.errors.SolverFailure` taxonomy, both
+deterministic functions of the spec — skip the retry loop entirely.
+
 Completed points are served from / written to the content-addressed
 :class:`~repro.harness.cache.ResultCache` when one is attached, so
 re-running a sweep only computes new or changed points.
+
+LP points that select a batching-capable solver (``highs-batched``)
+and share topology + failures are peeled off before the pool and solved
+in-process through one ``solve_many`` batch per group (see
+:func:`~repro.harness.execute.execute_lp_batch`): no per-point worker
+fork, topology and LP structure built once.  On fixed-topology sweeps
+this is the difference measured by ``benchmarks/perf``'s
+``lp_batched_sweep`` bench.
 
 ``Runner(inline=True)`` executes every point sequentially in the
 calling process instead.  That trades away parallelism and hard
@@ -29,18 +42,25 @@ the lifecycle.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..throughput.errors import SolverFailure
 from .cache import ResultCache
 from .records import ResultsStore, RunRecord, provenance
 from .spec import ExperimentSpec, SpecError
 
 __all__ = ["Runner", "SweepResult"]
+
+#: Exceptions that are deterministic outcomes of the spec itself —
+#: re-running the identical point cannot succeed, so retrying only
+#: burns backoff delay.  They settle as failure records on attempt 1.
+_FATAL_ERRORS = (SpecError, SolverFailure)
 
 
 def _task_main(conn, spec_data: dict) -> None:
@@ -50,6 +70,8 @@ def _task_main(conn, spec_data: dict) -> None:
 
         record = execute_spec(ExperimentSpec.from_dict(spec_data))
         conn.send(("ok", record.to_dict()))
+    except _FATAL_ERRORS as exc:
+        conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
     except BaseException as exc:  # noqa: BLE001 - becomes a failure record
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
     finally:
@@ -150,6 +172,7 @@ class Runner:
         t0 = time.perf_counter()
         with obs.span("runner.sweep", points=len(specs), inline=self.inline):
             records = self._prepare(specs)
+            self._run_batches(specs, records)
             if self.inline:
                 self._run_inline(specs, records)
             else:
@@ -177,6 +200,74 @@ class Runner:
                     records[i] = hit
                     obs.add("runner.cache_hits")
         return records
+
+    @staticmethod
+    def _batch_key(spec: ExperimentSpec) -> Optional[Tuple[str, str, str]]:
+        """Group key for batchable lp points; ``None`` = not batchable.
+
+        Points batch together when they share topology, failures, and a
+        solver whose backend advertises ``supports_batching`` — the TM
+        (fraction / seed) is the only thing that varies inside a group,
+        which is exactly what ``solve_many`` amortizes over.
+        """
+        if spec.engine != "lp":
+            return None
+        name = str(spec.workload.get("solver", "exact"))
+        from ..registry import SOLVERS, RegistryError
+
+        try:
+            factory = SOLVERS.get(name)
+        except RegistryError:
+            return None
+        if not getattr(factory, "supports_batching", False):
+            return None
+        return (
+            json.dumps(spec.topology, sort_keys=True),
+            json.dumps(spec.failures, sort_keys=True),
+            name,
+        )
+
+    def _run_batches(self, specs, records) -> None:
+        """Solve fixed-topology lp groups in-process via ``solve_many``.
+
+        Pending points whose solver supports batching are grouped by
+        (topology, failures, solver) and executed here — no worker
+        forks, topology/ArcTable built once per group.  ``timeout_s``
+        is not enforced for batched points (they run in this process);
+        a group that fails wholesale (e.g. the topology itself cannot
+        be built) falls back to per-point execution with its usual
+        retry semantics.
+        """
+        groups: Dict[Tuple[str, str, str], List[int]] = {}
+        for i, spec in enumerate(specs):
+            if records[i] is not None:
+                continue
+            key = self._batch_key(spec)
+            if key is not None:
+                groups.setdefault(key, []).append(i)
+        if not groups:
+            return
+        from .execute import execute_lp_batch
+
+        for indices in groups.values():
+            started = time.perf_counter()
+            try:
+                batch = execute_lp_batch([specs[i] for i in indices])
+            except Exception:  # noqa: BLE001 - fall back to per-point path
+                continue
+            obs.add("runner.batched_points", len(indices))
+            for i, record in zip(indices, batch):
+                record.attempts = 1
+                records[i] = record
+                self._note_task(
+                    specs[i], 1, record.status, started, record.wall_clock_s
+                )
+                if record.ok:
+                    if self.cache is not None:
+                        self.cache.put(specs[i], record)
+                else:
+                    obs.add("runner.failures")
+            self._emit(records, [])
 
     def _run_pool(self, specs, records) -> None:
         queue: deque = deque()  # (index, attempt, not_before)
@@ -207,8 +298,12 @@ class Runner:
                 started = time.perf_counter()
                 obs.event("runner.task_start", name=spec.name, attempt=attempt)
                 error: Optional[str] = None
+                fatal = False
                 try:
                     record = execute_spec(spec)
+                except _FATAL_ERRORS as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    fatal = True
                 except Exception as exc:  # noqa: BLE001 - failure record
                     error = f"{type(exc).__name__}: {exc}"
                 elapsed = time.perf_counter() - started
@@ -220,7 +315,7 @@ class Runner:
                     if self.cache is not None:
                         self.cache.put(spec, record)
                     break
-                if attempt > self.retries:
+                if fatal or attempt > self.retries:
                     records[i] = self._failure(
                         spec, "failed", error, attempt, elapsed
                     )
@@ -303,7 +398,7 @@ class Runner:
                 records[task.index] = record
                 if self.cache is not None:
                     self.cache.put(spec, record)
-            elif task.attempt <= self.retries:
+            elif status != "fatal" and task.attempt <= self.retries:
                 delay = self.backoff_base_s * 2 ** (task.attempt - 1)
                 queue.append((task.index, task.attempt + 1, now + delay))
             else:

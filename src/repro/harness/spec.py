@@ -85,7 +85,14 @@ class ExperimentSpec:
         sizes.  Load is either ``rate`` (flow arrivals/s, aggregate) or
         ``load`` (fraction of the active servers' access capacity).
         For the ``lp`` engine only ``pattern`` (``longest_matching``),
-        ``fraction``, and optionally ``solver``/``k_paths`` apply.
+        ``fraction``, and optionally ``solver``/``k_paths``/``epsilon``
+        apply.  ``solver`` is any :data:`repro.registry.SOLVERS` name
+        (``exact`` — the default — / ``highs-exact`` /
+        ``highs-batched`` / ``paths`` / ``highs-paths`` /
+        ``mcf-approx``); ``k_paths`` parameterizes the paths backends
+        and ``epsilon`` the approximation.  Points selecting a
+        batching-capable solver on a shared topology are solved through
+        one ``solve_many`` batch by the Runner.
     routing:
         Routing policy name (packet engine: any ``make_routing`` name;
         flow engine: ``ecmp``/``vlb``/``hyb``).  Ignored by ``lp``.
@@ -182,6 +189,15 @@ class ExperimentSpec:
                 f"unknown workload pattern {pattern!r}; "
                 f"valid patterns: {WORKLOAD_PATTERNS}"
             )
+        if self.engine == "lp":
+            from ..registry import SOLVERS
+
+            solver_name = self.workload.get("solver", "exact")
+            if solver_name not in SOLVERS:
+                raise SpecError(
+                    f"unknown lp solver {solver_name!r}; "
+                    f"valid solvers: {SOLVERS.available()}"
+                )
         if self.engine != "lp":
             if pattern == "longest_matching":
                 raise SpecError(

@@ -19,6 +19,11 @@ family of objects lives in a :class:`Registry` keyed by name:
   ``repro.resilience.scenario``): ``links``, ``switches``, ``pods``,
   ``aggregation``, ``metanodes``, ``bisection``; built scenarios apply
   through ``Topology.degrade``.
+* :data:`SOLVERS` — throughput solver backends (registered by
+  ``repro.solvers.backends``): ``highs-exact`` (alias ``exact``),
+  ``highs-batched``, ``highs-paths`` (alias ``paths``), ``mcf-approx``;
+  selectable from ``ExperimentSpec`` workloads, sweep JSON, and the
+  CLI ``--solver`` flag.
 
 A *spec* is either a mapping (``{"family": "jellyfish", "switches": 10}``
 — the harness's native form) or a compact string ``"name:key=value,..."``
@@ -50,12 +55,14 @@ __all__ = [
     "TRAFFIC",
     "ROUTINGS",
     "FAILURES",
+    "SOLVERS",
     "parse_spec",
     "topology",
     "build_topology",
     "traffic",
     "routing",
     "failure",
+    "solver",
 ]
 
 
@@ -320,10 +327,17 @@ def _load_failures() -> None:
     from .resilience import scenario as _scenario  # noqa: F401
 
 
+def _load_solvers() -> None:
+    from .solvers.backends import register_builtin_solvers
+
+    register_builtin_solvers(SOLVERS)
+
+
 TOPOLOGIES = Registry("topology", loader=_load_topologies)
 TRAFFIC = Registry("traffic pattern", loader=_load_traffic)
 ROUTINGS = Registry("routing", loader=_load_routings)
 FAILURES = Registry("failure mode", loader=_load_failures)
+SOLVERS = Registry("solver", loader=_load_solvers)
 
 
 # ----------------------------------------------------------------------
@@ -365,6 +379,20 @@ def routing(spec: Any, topology: Any, **defaults: Any) -> Any:
         params.setdefault(pkey, value)
     graph = getattr(topology, "graph", topology)
     return ROUTINGS.build(name, graph, **params)
+
+
+def solver(spec: Any, **defaults: Any) -> Any:
+    """Build a throughput solver backend from a spec.
+
+    Accepts registry names (``"highs-batched"``), compact strings with
+    parameters (``"mcf-approx:epsilon=0.1"``, ``"highs-paths:k=4"``),
+    and mappings with a ``name`` key.  ``defaults`` fill parameters the
+    spec itself does not set.
+    """
+    name, params = parse_spec(spec, key="name")
+    for pkey, value in defaults.items():
+        params.setdefault(pkey, value)
+    return SOLVERS.build(name, **params)
 
 
 def failure(spec: Any) -> Any:

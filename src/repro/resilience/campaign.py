@@ -69,6 +69,27 @@ _DEFAULT_METRICS = {
     "packet": ("avg_fct_ms", True),
 }
 
+#: Error-class names (the prefix of a failure record's ``error`` field)
+#: that mean the throughput solver itself reported a non-optimal status —
+#: e.g. an LP made infeasible by a heavy failure scenario — rather than
+#: the point crashing.  These flow through as nan holes like any other
+#: failure, but are counted separately (``solver_failures`` in the
+#: payload) so a campaign can distinguish "solver said no" from "bug".
+_SOLVER_ERRORS = frozenset(
+    {
+        "SolverFailure",
+        "InfeasibleError",
+        "UnboundedError",
+        "SolverNumericalError",
+    }
+)
+
+
+def _is_solver_failure(record: RunRecord) -> bool:
+    if record.ok or not record.error:
+        return False
+    return record.error.split(":", 1)[0] in _SOLVER_ERRORS
+
 
 def _topology_mapping(spec: Any) -> Dict[str, Any]:
     """Normalize a campaign topology entry to the harness mapping form."""
@@ -260,6 +281,11 @@ class CampaignResult:
     def ok(self) -> bool:
         return all(r.ok for r in self.records)
 
+    @property
+    def solver_failures(self) -> int:
+        """Failed points whose error was a typed throughput-solver failure."""
+        return sum(1 for r in self.records if _is_solver_failure(r))
+
     def retained(self, label: str, fraction: float) -> float:
         """Retained fraction for one series at one failure rate."""
         return self.series[label][self.fractions.index(fraction)]
@@ -280,6 +306,7 @@ class CampaignResult:
                 label: list(ys) for label, ys in self.values.items()
             },
             "counts": self.counts,
+            "solver_failures": self.solver_failures,
         }
 
     def render(self) -> str:
@@ -317,7 +344,11 @@ def run_campaign(
 
     Failed points (the :class:`Runner` never raises) leave ``nan`` holes
     in the affected series; :attr:`CampaignResult.ok` reports whether
-    the campaign completed clean.
+    the campaign completed clean.  Points whose LP came back infeasible
+    or otherwise non-optimal — disconnected demands under heavy failures,
+    say — arrive as typed solver failures and are additionally counted in
+    :attr:`CampaignResult.solver_failures`; ``workload: {"solver": ...}``
+    selects the backend (see docs/solvers.md).
     """
     runner = runner or Runner()
     specs, keys = campaign.expand()
@@ -326,6 +357,11 @@ def run_campaign(
         "resilience.campaign", campaign=campaign.name, points=len(specs)
     ):
         sweep = runner.run(specs)
+        solver_failures = sum(
+            1 for r in sweep.records if _is_solver_failure(r)
+        )
+        if solver_failures:
+            obs.add("resilience.solver_failures", solver_failures)
 
         # Collect per-(series, fraction) metric samples across seeds.
         samples: Dict[Tuple[str, float], List[float]] = {}

@@ -1,0 +1,45 @@
+"""Multi-backend throughput solving behind the fluid-flow engine.
+
+The throughput engine historically hard-wired two code paths (exact /
+paths LP) and raised bare exceptions on failure.  This package puts a
+backend abstraction in front of it:
+
+* :class:`SolverBackend` — ``solve(topology, tm)`` →
+  :class:`SolveOutcome` (status enum: optimal / infeasible / unbounded /
+  numerical, iterations, wall time), plus ``solve_many`` for batches;
+* ``highs-exact`` / ``highs-batched`` / ``highs-paths`` / ``mcf-approx``
+  — the built-in backends (see :mod:`repro.solvers.backends`);
+* registry integration — backends live in
+  :data:`repro.registry.SOLVERS` and are selectable from
+  ``ExperimentSpec`` (``workload.solver``), sweep JSON, and the CLI
+  (``--solver``); ``repro.registry.solver("mcf-approx:epsilon=0.1")``
+  builds one from a compact spec string.
+
+``highs-batched`` is byte-identical to ``highs-exact`` (same linprog
+calls on the same matrices); ``mcf-approx`` is guaranteed within its
+(1 - O(epsilon)) bound and never above the exact optimum.  See
+``docs/solvers.md``.
+"""
+
+from .backends import (
+    HighsBatchedBackend,
+    HighsExactBackend,
+    HighsPathsBackend,
+    McfApproxBackend,
+    register_builtin_solvers,
+)
+from .base import SolveOutcome, SolveStatus, SolverBackend, solve_outcome
+from .batched import BatchedTopologyContext
+
+__all__ = [
+    "SolveStatus",
+    "SolveOutcome",
+    "SolverBackend",
+    "solve_outcome",
+    "HighsExactBackend",
+    "HighsBatchedBackend",
+    "HighsPathsBackend",
+    "McfApproxBackend",
+    "BatchedTopologyContext",
+    "register_builtin_solvers",
+]

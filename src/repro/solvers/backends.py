@@ -1,0 +1,139 @@
+"""The built-in solver backends and their registry bindings.
+
+Four backends (plus the two legacy aliases the harness/CLI historically
+exposed):
+
+* ``highs-exact`` (alias ``exact``) — one exact edge-LP call per TM via
+  :func:`~repro.throughput.lp.max_concurrent_throughput`.
+* ``highs-batched`` — exact edge LP with per-topology structure reuse
+  (:class:`~repro.solvers.batched.BatchedTopologyContext`); results are
+  byte-identical to ``highs-exact``.  ``solve_many`` is where it wins.
+* ``highs-paths`` (alias ``paths``) — k-shortest-paths LP lower bound
+  via :func:`~repro.throughput.lp.path_throughput`; knob ``k``.
+* ``mcf-approx`` — the Fleischer/Garg–Könemann FPTAS
+  (:func:`~repro.throughput.mcf.approx_concurrent_throughput`); knob
+  ``epsilon`` in (0, 0.5), guaranteeing a (1 - O(epsilon)) fraction of
+  the exact optimum (never above it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .. import obs
+from ..throughput.lp import (
+    ThroughputResult,
+    max_concurrent_throughput,
+    path_throughput,
+)
+from ..throughput.mcf import approx_concurrent_throughput
+from .base import SolveOutcome, SolverBackend, solve_outcome
+from .batched import BatchedTopologyContext
+
+__all__ = [
+    "HighsExactBackend",
+    "HighsBatchedBackend",
+    "HighsPathsBackend",
+    "McfApproxBackend",
+    "register_builtin_solvers",
+]
+
+
+class HighsExactBackend(SolverBackend):
+    """Exact edge LP, one self-contained HiGHS call per TM."""
+
+    name = "highs-exact"
+
+    def _solve_result(self, topology, tm, per_server_demand: float) -> ThroughputResult:
+        return max_concurrent_throughput(topology, tm, per_server_demand)
+
+
+class HighsBatchedBackend(SolverBackend):
+    """Exact edge LP with per-topology structure hoisted across a batch.
+
+    ``solve`` on a single TM builds a one-shot context (still
+    byte-identical to ``highs-exact``); ``solve_many`` amortizes the
+    ArcTable + component labels over the whole batch and runs in the
+    calling process, which is what the harness Runner exploits for
+    fixed-topology sweeps.
+    """
+
+    name = "highs-batched"
+    supports_batching = True
+
+    def solve(self, topology, tm, per_server_demand: float = 1.0) -> SolveOutcome:
+        return self.solve_many(topology, [tm], per_server_demand)[0]
+
+    def solve_many(
+        self, topology, tms: Sequence, per_server_demand: float = 1.0
+    ) -> List[SolveOutcome]:
+        context = BatchedTopologyContext(topology)
+        with obs.span("solver.solve_many", backend=self.name, points=len(tms)):
+            return [
+                solve_outcome(
+                    self.name,
+                    lambda tm=tm: context.solve(tm, per_server_demand),
+                )
+                for tm in tms
+            ]
+
+
+class HighsPathsBackend(SolverBackend):
+    """k-shortest-paths LP: a lower bound that scales past the exact LP."""
+
+    name = "highs-paths"
+
+    def __init__(self, k: int = 8):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+
+    def _solve_result(self, topology, tm, per_server_demand: float) -> ThroughputResult:
+        return path_throughput(
+            topology, tm, k=self.k, per_server_demand=per_server_demand
+        )
+
+
+class McfApproxBackend(SolverBackend):
+    """Fleischer FPTAS: (1 - O(epsilon))-approximate, LP-free."""
+
+    name = "mcf-approx"
+
+    def __init__(self, epsilon: float = 0.05):
+        if not 0 < epsilon < 0.5:
+            raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def _solve_result(self, topology, tm, per_server_demand: float) -> ThroughputResult:
+        return approx_concurrent_throughput(
+            topology, tm, epsilon=self.epsilon,
+            per_server_demand=per_server_demand,
+        )
+
+
+def register_builtin_solvers(registry) -> None:
+    """Register the built-in backends (idempotent; called by the lazy
+    loader of :data:`repro.registry.SOLVERS`)."""
+    registry.register(
+        "highs-exact", HighsExactBackend,
+        "exact edge LP, one HiGHS call per TM",
+    )
+    registry.register(
+        "exact", HighsExactBackend, "alias of highs-exact"
+    )
+    registry.register(
+        "highs-batched", HighsBatchedBackend,
+        "exact edge LP, per-topology structure reuse; byte-identical "
+        "to highs-exact, batches fixed-topology sweeps",
+    )
+    registry.register(
+        "highs-paths", HighsPathsBackend,
+        "k-shortest-paths LP lower bound; k",
+    )
+    registry.register(
+        "paths", HighsPathsBackend, "alias of highs-paths; k"
+    )
+    registry.register(
+        "mcf-approx", McfApproxBackend,
+        "Fleischer (1-O(eps)) FPTAS; epsilon in (0, 0.5)",
+    )

@@ -1,0 +1,66 @@
+"""Structure-sharing exact solves: fixed topology, many traffic matrices.
+
+The exact LP's per-call cost splits into topology-dependent work (the
+:class:`~repro.throughput.arcs.ArcTable` incidence structure,
+connected-component labels for demand pre-filtering) and TM-dependent
+work (destination aggregation, the ``b_eq``/demand column, the HiGHS
+solve).  A fixed-topology sweep — the fig2/fig5/fig6 shape, one topology
+across a grid of traffic fractions — re-derives the former for every
+point.  :class:`BatchedTopologyContext` hoists it once and re-solves
+with only the demand side swapped.
+
+Byte-identity guarantee: each :meth:`BatchedTopologyContext.solve` call
+runs the *same* code path as
+:func:`~repro.throughput.lp.max_concurrent_throughput`
+(``repro.throughput.lp._solve_exact``: identical constraint matrices,
+identical ``linprog(method="highs")`` invocation, identical extraction),
+so results are bit-for-bit equal to the per-call path — not merely
+within tolerance.  The agreement property test in
+``tests/solvers/test_agreement.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..throughput.arcs import ArcTable
+from ..throughput.lp import (
+    ThroughputResult,
+    _component_labels,
+    _drop_by_labels,
+    _solve_exact,
+)
+
+__all__ = ["BatchedTopologyContext"]
+
+
+class BatchedTopologyContext:
+    """Prepared per-topology state for repeated exact throughput solves."""
+
+    def __init__(self, topology):
+        self.topology = topology
+        self.table = ArcTable.from_topology(topology)
+        self.labels: Dict[int, int] = _component_labels(topology.graph)
+
+    def solve(
+        self, tm, per_server_demand: float = 1.0
+    ) -> ThroughputResult:
+        """Exact solve of one TM, reusing the hoisted topology structure.
+
+        Degenerate conventions and failure taxonomy are exactly those of
+        :func:`~repro.throughput.lp.max_concurrent_throughput`.
+        """
+        if tm.num_flows == 0:
+            return ThroughputResult(throughput=float("inf"), per_server=1.0)
+        tm, dropped = _drop_by_labels(tm, self.labels)
+        if tm.num_flows == 0:
+            return ThroughputResult(
+                throughput=0.0, per_server=0.0, disconnected_pairs=dropped
+            )
+        context: Optional[Dict[str, object]] = {
+            "topology": self.topology.name,
+            "demands": tm.num_flows,
+        }
+        return _solve_exact(
+            self.table, tm, per_server_demand, dropped, context=context
+        )

@@ -11,6 +11,12 @@ from .bounds import (
     moore_bound_mean_distance,
     tm_throughput_upper_bound,
 )
+from .errors import (
+    InfeasibleError,
+    SolverFailure,
+    SolverNumericalError,
+    UnboundedError,
+)
 from .lp import ThroughputResult, max_concurrent_throughput, path_throughput
 from .mcf import approx_concurrent_throughput
 from .paths import all_shortest_paths, ecmp_next_hops, k_shortest_paths, path_edges
@@ -23,6 +29,10 @@ from .proportionality import (
 
 __all__ = [
     "ThroughputResult",
+    "SolverFailure",
+    "InfeasibleError",
+    "UnboundedError",
+    "SolverNumericalError",
     "random_hose_tm",
     "adversarial_matching_tm",
     "conjecture_2_4_evidence",

@@ -35,16 +35,29 @@ def tm_throughput_upper_bound(topology: Topology, tm: TrafficMatrix) -> float:
 
     ``t * sum_k d_k * dist(s_k, t_k) <= 2 * sum_e c_e`` (each cable carries
     capacity in both directions).  Exact shortest-path distances are used.
+
+    Degenerate conventions (shared with ``max_concurrent_throughput`` /
+    ``path_throughput``, which report throughput ``inf`` / per-server
+    ``1.0`` for an empty TM):
+
+    * an *empty* TM — reachable after resilience pre-filtering drops
+      every cross-component pair — constrains nothing: bound ``inf``;
+    * a TM that is all zero-demand or all self-demand consumes no
+      capacity: bound ``inf``;
+    * any endpoint missing from the graph (a failed/removed ToR) or
+      unreachable from its peer: no positive concurrent throughput
+      exists, bound ``0.0``.
     """
     if tm.num_flows == 0:
         return float("inf")
+    g = topology.graph
     total_capacity = 2.0 * sum(
-        data["capacity"] for _, _, data in topology.graph.edges(data=True)
+        data["capacity"] for _, _, data in g.edges(data=True)
     )
     sources = {s for (s, _) in tm.demands}
-    dist = {
-        s: nx.single_source_shortest_path_length(topology.graph, s) for s in sources
-    }
+    if any(s not in g for s in sources):
+        return 0.0
+    dist = {s: nx.single_source_shortest_path_length(g, s) for s in sources}
     consumed = 0.0
     for (s, d), val in tm.demands.items():
         if d not in dist[s]:

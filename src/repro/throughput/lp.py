@@ -39,6 +39,7 @@ from .. import obs
 from ..topologies.base import Topology
 from ..traffic.matrix import TrafficMatrix
 from .arcs import ArcTable
+from .errors import raise_for_linprog
 from .paths import path_edges
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,29 +72,48 @@ class ThroughputResult:
         Demands dropped before solving because failures disconnected (or
         removed) their endpoints; the reported throughput covers only
         the surviving demands.  Zero on healthy topologies.
+    iterations:
+        Solver iterations spent (simplex/IPM for the LPs, completed
+        phases for the MCF approximation); zero for degenerate results
+        that never reach a solver.
+
+    Notes
+    -----
+    Degenerate convention (shared by :func:`max_concurrent_throughput`,
+    :func:`path_throughput`, :func:`~repro.throughput.mcf.approx_concurrent_throughput`,
+    and :func:`~repro.throughput.bounds.tm_throughput_upper_bound`): an
+    *empty* TM constrains nothing, so ``throughput`` is ``inf`` and
+    ``per_server`` is ``1.0``.  A TM whose demands were *all* dropped as
+    disconnected reports ``0.0`` / ``0.0`` with ``disconnected_pairs``
+    set.
     """
 
     throughput: float
     per_server: float
     link_utilization: Optional[Dict[Tuple[int, int], float]] = None
     disconnected_pairs: int = 0
+    iterations: int = 0
 
 
-def _drop_disconnected_demands(
-    topology: Topology, tm: TrafficMatrix
-) -> Tuple[TrafficMatrix, int]:
-    """Split a TM into its routable part and a dropped-pair count.
-
-    A demand is routable when both endpoint ToRs exist in the (possibly
-    degraded) graph and lie in the same connected component.  On a
-    connected graph with all endpoints present the TM passes through
-    unchanged.
-    """
-    g = topology.graph
+def _component_labels(g: "nx.Graph") -> Dict[int, int]:
+    """Connected-component label per node (batchable pre-filter state)."""
     label: Dict[int, int] = {}
     for ci, comp in enumerate(nx.connected_components(g)):
         for v in comp:
             label[v] = ci
+    return label
+
+
+def _drop_by_labels(
+    tm: TrafficMatrix, label: Dict[int, int]
+) -> Tuple[TrafficMatrix, int]:
+    """Filter a TM against precomputed component labels.
+
+    A demand is routable when both endpoint ToRs exist in the (possibly
+    degraded) graph and lie in the same connected component.  On a
+    connected graph with all endpoints present the TM passes through
+    unchanged (same object, no copy).
+    """
     kept: Dict[Tuple[int, int], float] = {}
     dropped = 0
     for (s, d), val in tm.demands.items():
@@ -105,6 +125,13 @@ def _drop_disconnected_demands(
         return tm, 0
     obs.add("lp.disconnected_pairs", dropped)
     return TrafficMatrix(kept), dropped
+
+
+def _drop_disconnected_demands(
+    topology: Topology, tm: TrafficMatrix
+) -> Tuple[TrafficMatrix, int]:
+    """Split a TM into its routable part and a dropped-pair count."""
+    return _drop_by_labels(tm, _component_labels(topology.graph))
 
 
 def _demands_by_destination(
@@ -263,42 +290,24 @@ def _assemble_exact_vectorized(
     return a_eq, b_eq, a_ub
 
 
-def max_concurrent_throughput(
-    topology: Topology,
+def _solve_exact(
+    table: ArcTable,
     tm: TrafficMatrix,
-    per_server_demand: float = 1.0,
+    per_server_demand: float,
+    dropped: int,
+    context: Optional[Dict[str, object]] = None,
 ) -> ThroughputResult:
-    """Exact max-concurrent-flow throughput of ``tm`` on ``topology``.
+    """Assemble and solve the exact LP on a prepared :class:`ArcTable`.
 
-    Parameters
-    ----------
-    topology:
-        The switch-level network (capacities in server line-rate units).
-    tm:
-        Rack-to-rack demands in line-rate units.
-    per_server_demand:
-        Demand each active server requests (line-rate fraction); used only
-        to normalize ``per_server`` in the result.
-
-    Notes
-    -----
-    Destination-aggregated arc-flow LP: variables ``f[d, a]`` (flow bound
-    for destination ToR ``d`` on arc ``a``) plus the concurrency ``t``;
-    conservation at every node except the destination; arc capacity sums
-    over destinations.
+    The single implementation behind both :func:`max_concurrent_throughput`
+    and the batched :class:`repro.solvers.BatchedTopologyContext`:
+    sharing one code path (same matrices, same ``linprog`` invocation,
+    same extraction) is what makes batched results byte-identical to the
+    per-call path by construction.  ``tm`` must already be pre-filtered
+    (non-empty, routable demands only).
     """
-    if tm.num_flows == 0:
-        return ThroughputResult(throughput=float("inf"), per_server=1.0)
-
-    tm, dropped = _drop_disconnected_demands(topology, tm)
-    if tm.num_flows == 0:
-        return ThroughputResult(
-            throughput=0.0, per_server=0.0, disconnected_pairs=dropped
-        )
-
     obs.add("lp.calls")
     with obs.span("lp.assemble", formulation="exact", demands=tm.num_flows):
-        table = ArcTable.from_topology(topology)
         dests, demand_to = _demands_by_destination(tm)
         num_arcs = table.num_arcs
         num_dests = len(dests)
@@ -317,9 +326,9 @@ def max_concurrent_throughput(
             c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
             method="highs",
         )
-    obs.add("lp.solver_iterations", int(getattr(res, "nit", 0) or 0))
-    if not res.success:
-        raise RuntimeError(f"throughput LP failed: {res.message}")
+    iterations = int(getattr(res, "nit", 0) or 0)
+    obs.add("lp.solver_iterations", iterations)
+    raise_for_linprog(res, formulation="exact", context=context)
     t = float(res.x[t_var])
 
     utilization: Dict[Tuple[int, int], float] = {}
@@ -333,6 +342,62 @@ def max_concurrent_throughput(
         per_server=min(1.0, t * per_server_demand),
         link_utilization=utilization,
         disconnected_pairs=dropped,
+        iterations=iterations,
+    )
+
+
+def max_concurrent_throughput(
+    topology: Topology,
+    tm: TrafficMatrix,
+    per_server_demand: float = 1.0,
+) -> ThroughputResult:
+    """Exact max-concurrent-flow throughput of ``tm`` on ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        The switch-level network (capacities in server line-rate units).
+    tm:
+        Rack-to-rack demands in line-rate units.
+    per_server_demand:
+        Demand each active server requests (line-rate fraction); used only
+        to normalize ``per_server`` in the result.
+
+    Raises
+    ------
+    InfeasibleError, UnboundedError, SolverNumericalError
+        Typed :class:`~repro.throughput.errors.SolverFailure` subclasses
+        (all ``RuntimeError``) carrying topology/TM context when HiGHS
+        does not return an optimum.
+
+    Notes
+    -----
+    Destination-aggregated arc-flow LP: variables ``f[d, a]`` (flow bound
+    for destination ToR ``d`` on arc ``a``) plus the concurrency ``t``;
+    conservation at every node except the destination; arc capacity sums
+    over destinations.
+
+    Degenerate cases are conventions, not errors: an empty TM returns
+    ``(inf, 1.0)``; a TM whose demands are all disconnected returns
+    ``(0.0, 0.0)`` with ``disconnected_pairs`` set (see
+    :class:`ThroughputResult`).
+    """
+    if tm.num_flows == 0:
+        return ThroughputResult(throughput=float("inf"), per_server=1.0)
+
+    tm, dropped = _drop_disconnected_demands(topology, tm)
+    if tm.num_flows == 0:
+        return ThroughputResult(
+            throughput=0.0, per_server=0.0, disconnected_pairs=dropped
+        )
+
+    table = ArcTable.from_topology(topology)
+    return _solve_exact(
+        table,
+        tm,
+        per_server_demand,
+        dropped,
+        context={"topology": topology.name, "demands": tm.num_flows},
     )
 
 
@@ -348,6 +413,11 @@ def path_throughput(
     A lower bound on :func:`max_concurrent_throughput`; the LP has one
     variable per (demand, path) plus ``t``, and one capacity row per
     directed arc, so it scales to networks where the exact LP does not.
+
+    Degenerate cases follow the same convention as the exact LP: empty
+    TM returns ``(inf, 1.0)``, all-disconnected returns ``(0.0, 0.0)``;
+    solver failures raise the typed
+    :class:`~repro.throughput.errors.SolverFailure` subclasses.
 
     Parameters
     ----------
@@ -441,9 +511,13 @@ def path_throughput(
             bounds=[(0, None)] * num_vars,
             method="highs",
         )
-    obs.add("lp.solver_iterations", int(getattr(res, "nit", 0) or 0))
-    if not res.success:
-        raise RuntimeError(f"path throughput LP failed: {res.message}")
+    iterations = int(getattr(res, "nit", 0) or 0)
+    obs.add("lp.solver_iterations", iterations)
+    raise_for_linprog(
+        res,
+        formulation="paths",
+        context={"topology": topology.name, "demands": tm.num_flows, "k": k},
+    )
     t = float(res.x[t_var])
 
     flows = np.zeros(num_arcs)
@@ -457,4 +531,5 @@ def path_throughput(
         per_server=min(1.0, t * per_server_demand),
         link_utilization=utilization,
         disconnected_pairs=dropped,
+        iterations=iterations,
     )

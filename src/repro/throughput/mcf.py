@@ -15,6 +15,9 @@ built once.
 Reference: N. Garg and J. Könemann, "Faster and simpler algorithms for
 multicommodity flow and other fractional packing problems", and
 L. Fleischer's phase-based refinement.
+
+This engine is also exposed as the ``mcf-approx`` backend of
+:mod:`repro.solvers`, with ``epsilon`` as its accuracy knob.
 """
 
 from __future__ import annotations
@@ -122,6 +125,7 @@ def approx_concurrent_throughput(
                             throughput=0.0,
                             per_server=0.0,
                             disconnected_pairs=dropped,
+                            iterations=phases,
                         )
                     bottleneck = min(caps[a] for a in path)
                     g = min(remaining, bottleneck)
@@ -144,4 +148,5 @@ def approx_concurrent_throughput(
         per_server=min(1.0, t * per_server_demand),
         link_utilization=utilization,
         disconnected_pairs=dropped,
+        iterations=phases,
     )

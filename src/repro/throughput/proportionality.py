@@ -15,13 +15,12 @@ for throughput in the fluid-flow model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..topologies.base import Topology
 from ..traffic.matrix import TrafficMatrix
 from ..traffic.patterns import longest_matching_tm
-from .lp import max_concurrent_throughput, path_throughput
 
 __all__ = [
     "tp_curve",
@@ -67,11 +66,22 @@ def fattree_flexibility_curve(
 
 @dataclass
 class SkewSweepResult:
-    """Per-server throughput across a sweep of participating-server fractions."""
+    """Per-server throughput across a sweep of participating-server fractions.
+
+    ``statuses`` holds one :class:`repro.solvers.SolveStatus` value per
+    solve, in (fraction-major, trial-minor) order; fractions whose
+    trials were not all optimal report ``nan`` throughput.
+    """
 
     name: str
     fractions: List[float]
     throughput: List[float]
+    statuses: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every solve reached an optimum (vacuously true pre-backend)."""
+        return all(s == "optimal" for s in self.statuses)
 
     def as_rows(self) -> List[Dict[str, float]]:
         """Rows of {fraction, throughput} for table rendering."""
@@ -87,10 +97,11 @@ def skew_sweep(
     tm_builder: Optional[
         Callable[[Topology, float, int], TrafficMatrix]
     ] = None,
-    solver: str = "exact",
+    solver: Any = "exact",
     k_paths: int = 8,
     seed: int = 0,
     trials: int = 1,
+    epsilon: float = 0.05,
 ) -> SkewSweepResult:
     """Measure per-server throughput as the active-server fraction shrinks.
 
@@ -99,30 +110,66 @@ def skew_sweep(
     longest-matching) and solve the fluid-flow throughput.  With
     ``trials > 1`` the reported value is the mean over TM seeds.
 
+    All TMs go through one ``solve_many`` call, so a batching-capable
+    backend (``highs-batched``) amortizes its per-topology structure
+    across the whole sweep.  Non-optimal solves do not raise: they land
+    in ``statuses`` and leave ``nan`` at the affected fraction.
+
     Parameters
     ----------
     solver:
-        ``"exact"`` (edge LP) or ``"paths"`` (k-shortest-paths LP).
+        A :data:`repro.registry.SOLVERS` name or spec string
+        (``"exact"``, ``"highs-batched"``, ``"mcf-approx:epsilon=0.1"``,
+        ...) or an already-built backend instance.  Unknown names raise
+        ``ValueError`` listing the valid choices.
+    k_paths:
+        ``k`` for the paths backends (ignored by the others).
+    epsilon:
+        Accuracy knob for ``mcf-approx`` (ignored by the others).
     tm_builder:
         ``f(topology, fraction, seed) -> TrafficMatrix``; defaults to
         :func:`repro.traffic.patterns.longest_matching_tm`.
     """
-    if solver not in ("exact", "paths"):
-        raise ValueError(f"unknown solver {solver!r}")
+    if hasattr(solver, "solve_many"):
+        backend = solver
+    else:
+        from .. import registry  # lazy: avoids a module-import cycle
+
+        name = str(solver)
+        defaults: Dict[str, Any] = {}
+        base = name.split(":", 1)[0]
+        if base in ("paths", "highs-paths"):
+            defaults["k"] = k_paths
+        elif base == "mcf-approx":
+            defaults["epsilon"] = epsilon
+        backend = registry.solver(name, **defaults)
     if tm_builder is None:
         tm_builder = lambda topo, frac, s: longest_matching_tm(topo, frac, seed=s)
 
+    tms = [
+        tm_builder(topology, x, seed + trial)
+        for x in fractions
+        for trial in range(trials)
+    ]
+    outcomes = backend.solve_many(topology, tms)
+
     values: List[float] = []
-    for x in fractions:
+    statuses: List[str] = []
+    nan = float("nan")
+    it = iter(outcomes)
+    for _x in fractions:
         acc = 0.0
-        for trial in range(trials):
-            tm = tm_builder(topology, x, seed + trial)
-            if solver == "exact":
-                res = max_concurrent_throughput(topology, tm)
-            else:
-                res = path_throughput(topology, tm, k=k_paths)
-            acc += res.per_server
-        values.append(acc / trials)
+        good = 0
+        for _trial in range(trials):
+            outcome = next(it)
+            statuses.append(outcome.status.value)
+            if outcome.ok:
+                acc += outcome.result.per_server
+                good += 1
+        values.append(acc / trials if good == trials else nan)
     return SkewSweepResult(
-        name=topology.name, fractions=list(fractions), throughput=values
+        name=topology.name,
+        fractions=list(fractions),
+        throughput=values,
+        statuses=statuses,
     )

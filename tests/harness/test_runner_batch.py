@@ -1,0 +1,164 @@
+"""Runner auto-batching of fixed-topology lp sweeps + fatal-error handling."""
+
+import multiprocessing
+
+from repro.harness import ExperimentSpec, ResultCache, Runner
+from repro.harness.execute import execute_lp_batch, execute_spec
+from repro.harness.runner import _task_main
+from repro.throughput import InfeasibleError, SolverFailure
+
+TOPOLOGY = {
+    "family": "jellyfish", "switches": 10, "degree": 4,
+    "servers": 2, "seed": 1,
+}
+FRACTIONS = [1.0, 0.75, 0.5]
+
+
+def _specs(solver, prefix="p", **extra):
+    return [
+        ExperimentSpec(
+            name=f"{prefix}{i}",
+            engine="lp",
+            topology=dict(TOPOLOGY),
+            workload={"solver": solver, "fraction": f},
+            **extra,
+        )
+        for i, f in enumerate(FRACTIONS)
+    ]
+
+
+class _FakeRes:
+    def __init__(self, status, success=False, x=None, message="", nit=5):
+        self.status = status
+        self.success = success
+        self.x = x
+        self.message = message
+        self.nit = nit
+
+
+class TestAutoBatching:
+    def test_batched_records_match_per_point_exact(self):
+        batched = Runner(jobs=1, retries=0).run(_specs("highs-batched"))
+        exact = Runner(jobs=1, retries=0).run(_specs("exact", prefix="q"))
+        assert batched.ok and exact.ok
+        for a, b in zip(batched.records, exact.records):
+            assert a.attempts == 1
+            assert a.metrics == b.metrics
+            assert a.telemetry == b.telemetry
+
+    def test_batch_key_gates_on_backend_and_engine(self):
+        assert Runner._batch_key(_specs("highs-batched")[0]) is not None
+        assert Runner._batch_key(_specs("exact")[0]) is None
+        assert Runner._batch_key(_specs("mcf-approx")[0]) is None
+        flow = ExperimentSpec(
+            name="f", engine="flow", topology=dict(TOPOLOGY),
+            workload={"pattern": "permute", "load": 0.1},
+        )
+        assert Runner._batch_key(flow) is None
+
+    def test_points_split_by_topology(self):
+        specs = _specs("highs-batched")
+        other = dict(TOPOLOGY, seed=2)
+        specs.append(
+            ExperimentSpec(
+                name="other", engine="lp", topology=other,
+                workload={"solver": "highs-batched", "fraction": 1.0},
+            )
+        )
+        keys = {Runner._batch_key(s) for s in specs}
+        assert len(keys) == 2  # two groups, both batchable
+
+    def test_batched_records_are_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        specs = _specs("highs-batched")
+        first = Runner(jobs=1, retries=0, cache=cache).run(specs)
+        assert first.counts["ok"] == len(specs)
+        second = Runner(jobs=1, retries=0, cache=cache).run(specs)
+        assert second.counts["cached"] == len(specs)
+        for a, b in zip(first.records, second.records):
+            assert a.metrics == b.metrics
+
+    def test_degraded_batch_matches_per_point(self):
+        failures = {"mode": "links", "fraction": 0.1, "seed": 3}
+        batched = Runner(jobs=1, retries=0).run(
+            _specs("highs-batched", failures=dict(failures))
+        )
+        exact = Runner(jobs=1, retries=0).run(
+            _specs("exact", prefix="q", failures=dict(failures))
+        )
+        assert batched.ok and exact.ok
+        for a, b in zip(batched.records, exact.records):
+            assert a.metrics == b.metrics
+            assert a.telemetry == b.telemetry
+            assert "connectivity" in a.telemetry
+
+
+class TestBatchFailureIsolation:
+    def test_infeasible_point_becomes_failure_record(self, monkeypatch):
+        import repro.throughput.lp as lp
+
+        monkeypatch.setattr(
+            lp, "linprog", lambda *a, **k: _FakeRes(2, message="infeasible")
+        )
+        records = execute_lp_batch(_specs("highs-batched"))
+        assert all(r.status == "failed" for r in records)
+        assert all(r.error.startswith("InfeasibleError:") for r in records)
+        assert all(r.attempts == 1 for r in records)
+
+    def test_batch_matches_execute_spec(self):
+        records = execute_lp_batch(_specs("highs-batched"))
+        for spec, record in zip(_specs("highs-batched"), records):
+            assert record.ok
+            assert record.metrics == execute_spec(spec).metrics
+
+
+class TestFatalErrors:
+    def test_solver_failure_not_retried_inline(self, monkeypatch):
+        calls = []
+
+        def boom(spec):
+            calls.append(spec.name)
+            raise InfeasibleError("no flow", formulation="exact")
+
+        # Non-batchable solver keeps these points on the inline path,
+        # whose executor is the late-bound repro.harness.execute entry.
+        monkeypatch.setattr("repro.harness.execute.execute_spec", boom)
+        result = Runner(inline=True, retries=2, backoff_base_s=0.0).run(
+            _specs("exact")
+        )
+        assert all(not r.ok for r in result.records)
+        assert all(r.attempts == 1 for r in result.records)
+        assert all(r.error.startswith("InfeasibleError:") for r in result.records)
+        assert len(calls) == len(FRACTIONS)  # one attempt per point, no retries
+
+    def test_ordinary_errors_still_retry(self, monkeypatch):
+        calls = []
+
+        def flaky(spec):
+            calls.append(spec.name)
+            raise OSError("transient")
+
+        monkeypatch.setattr("repro.harness.execute.execute_spec", flaky)
+        result = Runner(inline=True, retries=1, backoff_base_s=0.0).run(
+            _specs("exact")[:1]
+        )
+        assert not result.records[0].ok
+        assert result.records[0].attempts == 2
+        assert len(calls) == 2
+
+    def test_task_main_wire_status_fatal(self):
+        parent, child = multiprocessing.Pipe(duplex=False)
+        spec = ExperimentSpec(
+            name="bad", engine="lp", topology={"family": "torus"},
+            workload={},
+        )
+        _task_main(child, spec.to_dict())
+        status, payload = parent.recv()
+        assert status == "fatal"
+        assert payload.startswith("SpecError:")
+
+    def test_solver_failure_is_fatal_class(self):
+        from repro.harness.runner import _FATAL_ERRORS
+
+        assert issubclass(SolverFailure, _FATAL_ERRORS)
+        assert issubclass(InfeasibleError, _FATAL_ERRORS)

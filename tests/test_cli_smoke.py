@@ -30,6 +30,12 @@ def _obs_disabled():
         ["throughput", "jellyfish", "--switches", "8", "--degree", "4",
          "--servers", "2", "--fractions", "1.0", "--solver", "paths",
          "--k-paths", "4"],
+        ["throughput", "jellyfish", "--switches", "8", "--degree", "4",
+         "--servers", "2", "--fractions", "1.0", "--solver",
+         "highs-batched"],
+        ["throughput", "jellyfish", "--switches", "8", "--degree", "4",
+         "--servers", "2", "--fractions", "1.0", "--solver", "mcf-approx",
+         "--epsilon", "0.1"],
         ["cost"],
         ["cost", "--kind", "jellyfish", "--switches", "8", "--degree", "4",
          "--servers", "2"],
@@ -42,6 +48,66 @@ def _obs_disabled():
 def test_command_exits_zero(argv, capsys):
     assert main(argv) == 0
     assert capsys.readouterr().out.strip()
+
+
+class TestExitCodes:
+    """Satellite regression: handlers report failure instead of exit 0.
+
+    ``cost``/``cabling``/``topology`` used to either return 0
+    unconditionally or leak a ValueError traceback on a bad ``--kind``;
+    they now exit 2 (usage error) with the message on stderr, and
+    ``throughput`` exits 1 when the solver reports non-optimal solves.
+    """
+
+    def test_cost_bad_kind_exits_two(self, capsys):
+        assert main(["cost", "--kind", "bogus"]) == 2
+        assert "unknown topology kind" in capsys.readouterr().err
+
+    def test_cabling_bad_failure_spec_exits_two(self, capsys):
+        rc = main(["cabling", "jellyfish", "--switches", "8", "--degree",
+                   "4", "--servers", "2", "--failure", "nonsense-mode"])
+        assert rc == 2
+        assert capsys.readouterr().err
+
+    def test_topology_bad_failure_spec_exits_two(self, capsys):
+        rc = main(["topology", "fattree", "--k", "4",
+                   "--failure", "nonsense-mode"])
+        assert rc == 2
+        assert capsys.readouterr().err
+
+    def test_throughput_solver_failure_exits_one(self, capsys, monkeypatch):
+        import repro.throughput.lp as lp
+
+        class _Fake:
+            status, success, x, message, nit = 2, False, None, "infeasible", 3
+
+        monkeypatch.setattr(lp, "linprog", lambda *a, **k: _Fake())
+        rc = main(["throughput", "jellyfish", "--switches", "8", "--degree",
+                   "4", "--servers", "2", "--fractions", "1.0"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "non-optimal" in captured.err
+
+    def test_sweep_with_failing_point_exits_one(self, tmp_path, capsys):
+        spec = {
+            "defaults": {
+                "topology": {"family": "jellyfish", "switches": 8,
+                             "degree": 4, "servers": 2, "seed": 1},
+                "workload": {"solver": "exact", "fraction": 1.0},
+                "engine": "lp",
+            },
+            "points": [
+                {"name": "good"},
+                {"name": "bad", "topology": {"family": "jellyfish",
+                                             "switches": 0}},
+            ],
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(spec))
+        rc = main(["sweep", str(path), "--no-cache", "--quiet",
+                   "--retries", "0", "--jobs", "1"])
+        assert rc == 1
+        assert "failed" in capsys.readouterr().out
 
 
 class TestProfileSmoke:

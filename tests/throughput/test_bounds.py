@@ -8,6 +8,7 @@ from repro.traffic import TrafficMatrix, longest_matching_tm
 from repro.throughput import (
     best_static_throughput_bound,
     max_concurrent_throughput,
+    path_throughput,
     tm_throughput_upper_bound,
 )
 
@@ -39,6 +40,66 @@ class TestTmUpperBound:
         g.add_edge(2, 3, capacity=1.0)
         topo = Topology("disc", g, {0: 1, 2: 1})
         assert tm_throughput_upper_bound(topo, TrafficMatrix({(0, 2): 1.0})) == 0.0
+
+
+class TestDegenerateConventions:
+    """Satellite regression: empty / all-dropped TMs are conventions.
+
+    An empty TM constrains nothing — bound ``inf``, LP throughput ``inf``
+    with per-server ``1.0`` — and the bound must agree with the LPs so a
+    resilience sweep that drops every demand never divides by a zero or
+    crashes on a missing endpoint.
+    """
+
+    def _empty(self):
+        return TrafficMatrix({})
+
+    def test_bound_empty_tm_is_inf(self):
+        jf = jellyfish(8, 3, 2, seed=0)
+        assert tm_throughput_upper_bound(jf, self._empty()) == float("inf")
+
+    def test_lp_empty_tm_convention(self):
+        jf = jellyfish(8, 3, 2, seed=0)
+        for solve in (max_concurrent_throughput, path_throughput):
+            result = solve(jf, self._empty())
+            assert result.throughput == float("inf")
+            assert result.per_server == 1.0
+            assert result.disconnected_pairs == 0
+            assert result.iterations == 0
+
+    def test_bound_missing_source_is_zero(self):
+        # A TM whose source ToR was removed by failures used to raise
+        # KeyError out of the distance lookup; it is simply unroutable.
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=1.0)
+        topo = Topology("tiny", g, {0: 1, 1: 1})
+        assert tm_throughput_upper_bound(topo, TrafficMatrix({(9, 0): 1.0})) == 0.0
+        assert tm_throughput_upper_bound(topo, TrafficMatrix({(0, 9): 1.0})) == 0.0
+
+    def test_lp_all_disconnected_convention(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=1.0)
+        g.add_edge(2, 3, capacity=1.0)
+        topo = Topology("disc", g, {0: 1, 2: 1})
+        tm = TrafficMatrix({(0, 2): 1.0, (2, 0): 1.0})
+        for solve in (max_concurrent_throughput, path_throughput):
+            result = solve(topo, tm)
+            assert result.throughput == 0.0
+            assert result.per_server == 0.0
+            assert result.disconnected_pairs == 2
+
+    def test_bound_still_bounds_lp_after_dropping(self):
+        # Mixed TM: the LP solves the surviving part; the bound on that
+        # surviving part still dominates it.
+        g = nx.Graph()
+        g.add_edge(0, 1, capacity=1.0)
+        g.add_edge(2, 3, capacity=1.0)
+        topo = Topology("disc", g, {0: 1, 1: 1, 2: 1})
+        tm = TrafficMatrix({(0, 1): 1.0, (0, 2): 1.0})
+        result = max_concurrent_throughput(topo, tm)
+        assert result.disconnected_pairs == 1
+        surviving = TrafficMatrix({(0, 1): 1.0})
+        assert result.throughput <= tm_throughput_upper_bound(topo, surviving) + 1e-9
 
 
 class TestBestStaticBound:
