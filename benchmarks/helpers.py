@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import registry
 from repro.analysis import format_series
+from repro.version import SPEC_HASH_VERSION, __version__
 from repro.harness import ExperimentSpec, ResultCache, Runner, RunRecord
 from repro.ioutils import atomic_write_text
 from repro.sim import NetworkParams, PacketSimulation
@@ -68,7 +69,11 @@ def save_result(name: str, text: str, data: Optional[dict] = None) -> str:
     """
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     atomic_write_text(path, text + "\n")
-    payload = data if data is not None else {"name": name, "text": text}
+    payload = dict(data) if data is not None else {"name": name, "text": text}
+    # Stamp provenance so stored bench trajectories are checkable
+    # against the code that produced them (see repro.version).
+    payload.setdefault("library_version", __version__)
+    payload.setdefault("spec_hash_version", SPEC_HASH_VERSION)
     atomic_write_text(
         os.path.join(RESULTS_DIR, f"{name}.json"),
         json.dumps(payload, indent=2, sort_keys=True) + "\n",

@@ -190,9 +190,13 @@ def test_fairshare_recompute_500_flows():
 def test_zzz_write_bench_json():
     """Aggregate the kernel timings into BENCH_perf.json (runs last)."""
     assert _RESULTS, "kernel benches did not run"
+    from repro.version import SPEC_HASH_VERSION, __version__
+
     payload = {
         "suite": "perf-kernels",
         "quick": QUICK,
+        "library_version": __version__,
+        "spec_hash_version": SPEC_HASH_VERSION,
         "kernels": _RESULTS,
         "speedups_ge_3x": sorted(
             k for k, v in _RESULTS.items() if v["speedup"] >= 3.0

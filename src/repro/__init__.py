@@ -32,7 +32,10 @@ The package provides:
   returning typed :class:`~repro.solvers.SolveOutcome` values;
 * :mod:`repro.resilience` — seeded failure scenarios,
   ``topology.degrade(...)``, and "throughput retained vs. fraction
-  failed" campaigns (``python -m repro resilience``).
+  failed" campaigns (``python -m repro resilience``);
+* :mod:`repro.api` — a long-lived, stdlib-only HTTP service exposing
+  throughput/simulate/sweep/compare over warm shared state
+  (``python -m repro serve``).
 
 Quickstart::
 
@@ -52,6 +55,7 @@ Quickstart::
 
 from . import (
     analysis,
+    api,
     cost,
     flowsim,
     harness,
@@ -65,8 +69,7 @@ from . import (
     topologies,
     traffic,
 )
-
-__version__ = "1.0.0"
+from .version import SPEC_HASH_VERSION, __version__
 
 __all__ = [
     "topologies",
@@ -78,9 +81,11 @@ __all__ = [
     "cost",
     "analysis",
     "harness",
+    "api",
     "obs",
     "registry",
     "resilience",
     "solvers",
+    "SPEC_HASH_VERSION",
     "__version__",
 ]

@@ -1,0 +1,40 @@
+"""``repro.api`` — the long-lived topology-evaluation HTTP service.
+
+A stdlib-only (``http.server``) front door over the library: resolve
+experiment specs through :mod:`repro.registry`, execute them through
+the harness and solver layers, and keep the expensive per-topology
+structure (built topologies, exact-LP ArcTables, the shared path cache,
+a content-addressed result memo) warm across requests.
+
+Quick start::
+
+    python -m repro serve --port 8070
+    curl -s localhost:8070/context | python -m json.tool
+    curl -s -X POST localhost:8070/throughput \\
+        -d '{"topology": "xpander:switches=30,degree=8", "fraction": 1.0}'
+
+See ``docs/api.md`` for the endpoint reference and the warm-state
+semantics, and :mod:`repro.api.errors` for the error contract.
+"""
+
+from .client import ApiResponse, HttpClient, InProcessClient
+from .errors import ApiError, classify_exception, error_payload
+from .schema import experiment_spec_schema
+from .server import ApiServer, serve_forever
+from .service import ApiService
+from .state import WarmState, canonical_key
+
+__all__ = [
+    "ApiError",
+    "ApiResponse",
+    "ApiServer",
+    "ApiService",
+    "HttpClient",
+    "InProcessClient",
+    "WarmState",
+    "canonical_key",
+    "classify_exception",
+    "error_payload",
+    "experiment_spec_schema",
+    "serve_forever",
+]

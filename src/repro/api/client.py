@@ -1,0 +1,145 @@
+"""Clients for the topology-evaluation service.
+
+:class:`InProcessClient` drives :meth:`ApiService.dispatch` directly —
+no sockets — so tests exercise the exact dispatcher the HTTP server
+uses (status codes, error bodies, warm-state behaviour) without port
+management.  :class:`HttpClient` is a thin ``http.client`` wrapper for
+talking to a real server (the CI smoke job and the load bench use it);
+it is stdlib-only like everything else in :mod:`repro.api`.
+
+Both return :class:`ApiResponse`, which deliberately mirrors the shape
+of popular HTTP clients (``status``, ``json``, ``ok``,
+``raise_for_status``) without depending on any.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from .service import ApiService
+
+__all__ = ["ApiResponse", "InProcessClient", "HttpClient"]
+
+
+@dataclass
+class ApiResponse:
+    """One service response: HTTP status + parsed JSON payload."""
+
+    status: int
+    json: Dict[str, Any]
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def request_id(self) -> str:
+        return str(self.json.get("request_id", ""))
+
+    def raise_for_status(self) -> "ApiResponse":
+        if not self.ok:
+            error = self.json.get("error", {})
+            raise RuntimeError(
+                f"API request failed with {self.status}: "
+                f"{error.get('code', '?')}: {error.get('message', '')}"
+            )
+        return self
+
+
+class InProcessClient:
+    """Drives an :class:`ApiService` without a network round-trip.
+
+    ``body`` may be a mapping (the common case) or raw ``bytes``/``str``
+    to exercise the JSON/size validation exactly as the wire path does.
+    """
+
+    def __init__(self, service: Optional[ApiService] = None) -> None:
+        self.service = service or ApiService()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Union[Dict[str, Any], bytes, str, None] = None,
+        request_id: Optional[str] = None,
+    ) -> ApiResponse:
+        status, payload = self.service.dispatch(
+            method, path, body, request_id=request_id
+        )
+        return ApiResponse(status=status, json=payload)
+
+    def get(self, path: str, **kwargs: Any) -> ApiResponse:
+        return self.request("GET", path, **kwargs)
+
+    def post(
+        self,
+        path: str,
+        body: Union[Dict[str, Any], bytes, str, None] = None,
+        **kwargs: Any,
+    ) -> ApiResponse:
+        return self.request("POST", path, body, **kwargs)
+
+
+class HttpClient:
+    """A minimal stdlib HTTP client for a running :class:`ApiServer`.
+
+    One persistent keep-alive connection per instance — callers doing
+    concurrent load use one ``HttpClient`` per thread.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Union[Dict[str, Any], bytes, str, None] = None,
+        request_id: Optional[str] = None,
+    ) -> ApiResponse:
+        if isinstance(body, dict):
+            body = json.dumps(body).encode()
+        elif isinstance(body, str):
+            body = body.encode()
+        headers = {"Content-Type": "application/json"}
+        if request_id:
+            headers["X-Request-Id"] = request_id
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            raw = self._conn.getresponse()
+        except (http.client.HTTPException, OSError):
+            # The server may close a keep-alive connection (e.g. after
+            # an aborted oversized upload); retry once on a fresh one.
+            self._conn.close()
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.request(method, path, body=body, headers=headers)
+            raw = self._conn.getresponse()
+        data = raw.read()
+        return ApiResponse(
+            status=raw.status,
+            json=json.loads(data.decode()) if data else {},
+            headers=dict(raw.headers.items()),
+        )
+
+    def get(self, path: str, **kwargs: Any) -> ApiResponse:
+        return self.request("GET", path, **kwargs)
+
+    def post(
+        self,
+        path: str,
+        body: Union[Dict[str, Any], bytes, str, None] = None,
+        **kwargs: Any,
+    ) -> ApiResponse:
+        return self.request("POST", path, body, **kwargs)
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,0 +1,576 @@
+"""The endpoint logic of the topology-evaluation service.
+
+:class:`ApiService` is the transport-independent core: it maps
+``(method, path, body)`` to ``(status, JSON payload)`` and owns the warm
+:class:`~repro.api.state.WarmState`.  The stdlib HTTP front end
+(:mod:`repro.api.server`) and the in-process test client
+(:mod:`repro.api.client`) both drive this one dispatcher, so every
+status code, error body, and cache interaction is exercised identically
+with and without sockets.
+
+Endpoints
+---------
+* ``GET /context`` — self-describing manifest: versions, registered
+  constructions, warm-cache statistics, request counters.
+* ``GET /schema`` — the :class:`ExperimentSpec` JSON schema.
+* ``GET /healthz`` — liveness (cheap, no library work).
+* ``POST /throughput`` — longest-matching throughput of one topology
+  over one or more traffic fractions, served from warm state.
+* ``POST /simulate`` — one :class:`ExperimentSpec` run to a
+  :class:`RunRecord` (packet / flow / lp engine).
+* ``POST /sweep`` — a ``defaults``/``grid``/``points`` sweep document
+  executed inline through the harness Runner.
+* ``POST /compare`` — ``POST /throughput`` across several topologies
+  plus a ranking.
+
+Warm-state semantics: repeated queries naming the same topology spec
+reuse the built topology, its exact-LP :class:`BatchedTopologyContext`
+(the persistent ArcTable), and the process-wide shared path cache;
+byte-identical queries are served from a content-addressed result memo.
+Any ``POST`` body may set ``"warm": false`` to bypass every warm layer
+and rebuild per request — that is the load bench's cold baseline, and a
+live way to check warm results against a from-scratch evaluation.
+
+Every request is observed when an obs run is active: one retrospective
+``api.request`` span (endpoint, status, request id) plus an
+``api.request`` event land in ``trace.jsonl``, and ``api.requests`` /
+``api.errors`` counters track the lifecycle.  Spans are recorded
+retrospectively — never through the nesting context manager — because
+handler threads would interleave a shared span stack.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from .. import obs, registry
+from ..harness import ResultCache, Runner
+from ..harness.execute import execute_spec
+from ..harness.spec import ENGINES, ExperimentSpec, expand_sweep
+from ..perf import PathCache, shared_path_cache
+from ..solvers.base import SolveOutcome, solve_outcome
+from ..solvers.batched import BatchedTopologyContext
+from ..version import SPEC_HASH_VERSION, __version__
+from .errors import ApiError, classify_exception
+from .schema import experiment_spec_schema
+from .state import WarmState, canonical_key
+
+__all__ = ["ApiService", "SERVICE_SCHEMA", "DEFAULT_MAX_BODY_BYTES"]
+
+#: Service payload-shape identifier, reported in ``/context``.
+SERVICE_SCHEMA = "repro.api/1"
+
+DEFAULT_MAX_BODY_BYTES = 2 * 1024 * 1024
+DEFAULT_MAX_SWEEP_POINTS = 256
+
+#: Solver names whose exact-LP structure the warm context cache serves.
+_CONTEXT_SOLVERS = ("exact", "highs-exact", "highs-batched")
+
+
+def _require(body: Dict[str, Any], key: str) -> Any:
+    if key not in body:
+        raise ApiError(400, "bad_spec", f"request body needs a {key!r} key")
+    return body[key]
+
+
+class ApiService:
+    """Transport-independent request dispatcher with warm shared state.
+
+    Parameters
+    ----------
+    cache_dir:
+        Optional content-addressed :class:`ResultCache` directory for
+        ``/simulate`` and ``/sweep`` records (``None`` disables disk
+        caching; the in-memory warm state is always on).
+    max_body_bytes:
+        Reject larger request bodies with 413.
+    max_sweep_points:
+        Reject sweep documents expanding past this with 400 — a
+        stateless front door should not accept unbounded work.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        max_sweep_points: int = DEFAULT_MAX_SWEEP_POINTS,
+        state: Optional[WarmState] = None,
+    ) -> None:
+        self.state = state or WarmState()
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.cache_dir = cache_dir
+        self.max_body_bytes = int(max_body_bytes)
+        self.max_sweep_points = int(max_sweep_points)
+        self._counter_lock = threading.Lock()
+        self.request_counts: Dict[str, int] = {}
+        self.error_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def routes(self) -> Dict[Tuple[str, str], Callable[[Dict[str, Any]], Dict[str, Any]]]:
+        return {
+            ("GET", "/context"): self._context,
+            ("GET", "/schema"): self._schema,
+            ("GET", "/healthz"): self._healthz,
+            ("POST", "/throughput"): self._throughput,
+            ("POST", "/simulate"): self._simulate,
+            ("POST", "/sweep"): self._sweep,
+            ("POST", "/compare"): self._compare,
+        }
+
+    def dispatch(
+        self,
+        method: str,
+        path: str,
+        body: Union[bytes, str, Dict[str, Any], None] = None,
+        request_id: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Handle one request; returns ``(http_status, json_payload)``.
+
+        Never raises: every failure is classified into the uniform error
+        body (see :mod:`repro.api.errors`).  ``body`` may be raw bytes
+        (the HTTP server), a str, or an already-parsed mapping (the
+        in-process client) — size and JSON validation run on raw forms.
+        """
+        rid = (request_id or "").strip()[:64] or uuid.uuid4().hex[:12]
+        started = time.perf_counter()
+        endpoint = f"{method} {path}"
+        try:
+            handler = self._resolve(method, path)
+            parsed = self._parse_body(body) if method == "POST" else {}
+            payload = handler(parsed)
+            status = 200
+        except Exception as exc:
+            error = classify_exception(exc)
+            status, payload = error.status, error.payload()
+        payload["request_id"] = rid
+        self._note_request(endpoint, rid, status, started)
+        return status, payload
+
+    def _resolve(self, method: str, path: str):
+        routes = self.routes()
+        handler = routes.get((method, path))
+        if handler is not None:
+            return handler
+        allowed = sorted(m for m, p in routes if p == path)
+        if allowed:
+            raise ApiError(
+                405,
+                "method_not_allowed",
+                f"{path} does not support {method}",
+                details={"allowed": allowed},
+            )
+        raise ApiError(
+            404,
+            "not_found",
+            f"unknown path {path!r}",
+            details={"paths": sorted({p for _, p in routes})},
+        )
+
+    def _parse_body(
+        self, body: Union[bytes, str, Dict[str, Any], None]
+    ) -> Dict[str, Any]:
+        if isinstance(body, dict):
+            return body
+        if body is None:
+            body = b""
+        if isinstance(body, str):
+            body = body.encode()
+        if len(body) > self.max_body_bytes:
+            raise ApiError(
+                413,
+                "payload_too_large",
+                f"request body is {len(body)} bytes; "
+                f"the limit is {self.max_body_bytes}",
+                details={"max_body_bytes": self.max_body_bytes},
+            )
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, "bad_json", f"body is not valid JSON: {exc}")
+        if not isinstance(parsed, dict):
+            raise ApiError(
+                400, "bad_json",
+                f"body must be a JSON object, got {type(parsed).__name__}",
+            )
+        return parsed
+
+    def _note_request(
+        self, endpoint: str, rid: str, status: int, started: float
+    ) -> None:
+        elapsed = time.perf_counter() - started
+        with self._counter_lock:
+            self.request_counts[endpoint] = (
+                self.request_counts.get(endpoint, 0) + 1
+            )
+            if status >= 400:
+                self.error_counts[endpoint] = (
+                    self.error_counts.get(endpoint, 0) + 1
+                )
+        obs.add("api.requests")
+        if status >= 400:
+            obs.add("api.errors")
+        run = obs.current()
+        if run is not None:
+            run.record_span(
+                "api.request",
+                started,
+                elapsed,
+                attrs={
+                    "endpoint": endpoint,
+                    "status": status,
+                    "request_id": rid,
+                },
+            )
+            run.record_event(
+                "api.request",
+                {
+                    "endpoint": endpoint,
+                    "status": status,
+                    "request_id": rid,
+                    "duration_s": round(elapsed, 9),
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # GET endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self, _body: Dict[str, Any]) -> Dict[str, Any]:
+        """Liveness probe (no library work)."""
+        return {"ok": True}
+
+    def _schema(self, _body: Dict[str, Any]) -> Dict[str, Any]:
+        """The ExperimentSpec JSON schema."""
+        return {"schema": experiment_spec_schema()}
+
+    def _context(self, _body: Dict[str, Any]) -> Dict[str, Any]:
+        """Self-describing manifest: versions, registries, cache stats."""
+        def describe(reg) -> Dict[str, str]:
+            return {name: reg.describe(name) for name in reg.available()}
+
+        with self._counter_lock:
+            requests = dict(self.request_counts)
+            errors = dict(self.error_counts)
+        payload = {
+            "service": SERVICE_SCHEMA,
+            "library_version": __version__,
+            "spec_hash_version": SPEC_HASH_VERSION,
+            "started_at_unix": self.state.started_at,
+            "uptime_s": round(time.time() - self.state.started_at, 3),
+            "engines": list(ENGINES),
+            "registries": {
+                "topologies": describe(registry.TOPOLOGIES),
+                "traffic": describe(registry.TRAFFIC),
+                "routings": describe(registry.ROUTINGS),
+                "failures": describe(registry.FAILURES),
+                "solvers": describe(registry.SOLVERS),
+            },
+            "endpoints": {
+                f"{method} {path}": (
+                    (handler.__doc__ or "").strip().splitlines() or [""]
+                )[0]
+                for (method, path), handler in sorted(self.routes().items())
+            },
+            "caches": self.state.stats(),
+            "requests": {"by_endpoint": requests, "errors": errors},
+            "limits": {
+                "max_body_bytes": self.max_body_bytes,
+                "max_sweep_points": self.max_sweep_points,
+            },
+        }
+        payload["result_cache"] = (
+            {"dir": self.cache_dir, "entries": len(self.cache)}
+            if self.cache is not None
+            else None
+        )
+        return payload
+
+    # ------------------------------------------------------------------
+    # POST /throughput (and the shared solve core /compare reuses)
+    # ------------------------------------------------------------------
+    def _throughput(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Longest-matching throughput of one topology, served warm.
+
+        Any non-optimal solve fails the request with 422 carrying the
+        solver taxonomy for each failed fraction.
+        """
+        evaluation = self._evaluate_throughput(body, _require(body, "topology"))
+        failed = [
+            r for r in evaluation["results"] if r["status"] != "optimal"
+        ]
+        if failed:
+            raise ApiError(
+                422,
+                "solver_failure",
+                f"{len(failed)} of {len(evaluation['results'])} solves "
+                "did not reach an optimum",
+                details={"results": evaluation["results"]},
+            )
+        return evaluation
+
+    def _evaluate_throughput(
+        self, body: Dict[str, Any], topology_spec: Any
+    ) -> Dict[str, Any]:
+        """The throughput core: build/fetch warm state, solve, memoize."""
+        fractions = self._fractions(body)
+        solver_spec = body.get("solver", "highs-batched")
+        solver_name, solver_params = registry.parse_spec(solver_spec, key="name")
+        if solver_name not in registry.SOLVERS:
+            raise ApiError(
+                400,
+                "bad_spec",
+                f"unknown solver {solver_name!r}; valid choices: "
+                + ", ".join(registry.SOLVERS.available()),
+            )
+        seed = int(body.get("seed", 0))
+        demand = float(body.get("per_server_demand", 1.0))
+        failures = body.get("failures")
+        warm = bool(body.get("warm", True))
+
+        t0 = time.perf_counter()
+        if warm:
+            topo, topo_hit = self.state.topology(topology_spec, failures)
+            topo_key = self.state.topology_key(topology_spec, failures)
+            properties = self._properties(shared_path_cache(topo), topo)
+        else:
+            topo = WarmState.build_topology(topology_spec, failures)
+            topo_hit = False
+            topo_key = ""
+            properties = self._properties(PathCache(topo.graph), topo)
+
+        context: Optional[BatchedTopologyContext] = None
+        context_hit = False
+        uses_context = solver_name in _CONTEXT_SOLVERS
+        if uses_context:
+            if warm:
+                context, context_hit = self.state.context(
+                    topology_spec, topo, failures
+                )
+            else:
+                context = BatchedTopologyContext(topo)
+        else:
+            backend = registry.SOLVERS.build(solver_name, **solver_params)
+
+        results: List[Dict[str, Any]] = []
+        for fraction in fractions:
+            memo_key = canonical_key(
+                {
+                    "kind": "throughput",
+                    "topology": topo_key,
+                    "fraction": fraction,
+                    "solver": [solver_name, solver_params],
+                    "seed": seed,
+                    "demand": demand,
+                }
+            )
+            if warm:
+                memo = self.state.result_get(memo_key)
+                if memo is not None:
+                    results.append({**memo, "cached": True})
+                    continue
+            tm = registry.TRAFFIC.build(
+                "longest_matching", topo, fraction=fraction, seed=seed
+            )
+            if uses_context:
+                outcome = solve_outcome(
+                    solver_name, lambda: context.solve(tm, demand)
+                )
+            else:
+                outcome = backend.solve(topo, tm, demand)
+            entry = self._outcome_entry(fraction, outcome)
+            if warm and outcome.ok:
+                self.state.result_put(memo_key, entry)
+            results.append({**entry, "cached": False})
+
+        return {
+            "topology": {"name": topo.name, **properties},
+            "solver": solver_name,
+            "seed": seed,
+            "results": results,
+            "warm": {
+                "enabled": warm,
+                "topology": "hit" if topo_hit else "miss",
+                "context": (
+                    ("hit" if context_hit else "miss") if uses_context else None
+                ),
+                "results_cached": sum(1 for r in results if r["cached"]),
+            },
+            "wall_time_s": round(time.perf_counter() - t0, 6),
+        }
+
+    @staticmethod
+    def _fractions(body: Dict[str, Any]) -> List[float]:
+        raw = body.get("fractions")
+        if raw is None:
+            raw = [body.get("fraction", 1.0)]
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ApiError(
+                400, "bad_spec", "'fractions' must be a non-empty array"
+            )
+        fractions: List[float] = []
+        for value in raw:
+            if not isinstance(value, (int, float)) or not 0 < value <= 1:
+                raise ApiError(
+                    400, "bad_spec",
+                    f"fractions must be numbers in (0, 1], got {value!r}",
+                )
+            fractions.append(float(value))
+        return fractions
+
+    @staticmethod
+    def _properties(path_cache: PathCache, topo) -> Dict[str, Any]:
+        """Structural properties served from the (warm) path cache."""
+        connected = topo.is_connected()
+        return {
+            "switches": topo.num_switches,
+            "links": topo.num_links,
+            "servers": topo.num_servers,
+            "connected": connected,
+            "diameter": path_cache.diameter() if connected else None,
+            "avg_path_length": (
+                round(path_cache.average_path_length(), 6)
+                if connected and path_cache.num_nodes > 1
+                else None
+            ),
+        }
+
+    @staticmethod
+    def _outcome_entry(fraction: float, outcome: SolveOutcome) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "fraction": fraction,
+            "status": outcome.status.value,
+            "iterations": outcome.iterations,
+            "solve_time_s": round(outcome.wall_time_s, 6),
+        }
+        if outcome.ok:
+            entry["per_server_throughput"] = outcome.result.per_server
+            entry["disconnected_pairs"] = outcome.result.disconnected_pairs
+        else:
+            from .errors import _solver_details
+
+            entry["error"] = _solver_details(outcome.error)
+            entry["error"]["message"] = outcome.message
+        return entry
+
+    # ------------------------------------------------------------------
+    # POST /simulate
+    # ------------------------------------------------------------------
+    def _simulate(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """One ExperimentSpec run to a RunRecord (packet/flow/lp)."""
+        body = dict(body)
+        options = body.pop("options", {})
+        warm = bool(options.get("warm", True)) if isinstance(options, dict) else True
+        try:
+            spec = ExperimentSpec.from_dict(body)
+        except TypeError as exc:
+            raise ApiError(400, "bad_spec", str(exc))
+        record = None
+        if warm and self.cache is not None:
+            record = self.cache.get(spec)
+        if record is None:
+            record = execute_spec(spec)
+            if warm and self.cache is not None and record.ok:
+                self.cache.put(spec, record)
+        return {"record": record.to_dict(), "spec_hash": spec.content_hash()}
+
+    # ------------------------------------------------------------------
+    # POST /sweep
+    # ------------------------------------------------------------------
+    def _sweep(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """A defaults/grid/points sweep document run inline."""
+        doc = {
+            key: body[key]
+            for key in ("defaults", "grid", "points")
+            if key in body
+        }
+        if not doc:
+            raise ApiError(
+                400, "bad_spec",
+                "sweep body needs at least one of defaults/grid/points",
+            )
+        specs = expand_sweep(doc)
+        if len(specs) > self.max_sweep_points:
+            raise ApiError(
+                400,
+                "too_many_points",
+                f"sweep expands to {len(specs)} points; the limit is "
+                f"{self.max_sweep_points}",
+                details={"max_sweep_points": self.max_sweep_points},
+            )
+        options = body.get("options", {})
+        warm = bool(options.get("warm", True)) if isinstance(options, dict) else True
+        runner = Runner(
+            inline=True,
+            retries=0,
+            cache=self.cache if warm else None,
+        )
+        result = runner.run(specs)
+        return {
+            "counts": result.counts,
+            "wall_clock_s": round(result.wall_clock_s, 6),
+            "records": [r.to_dict() for r in result.records],
+        }
+
+    # ------------------------------------------------------------------
+    # POST /compare
+    # ------------------------------------------------------------------
+    def _compare(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Throughput across several topologies, ranked."""
+        specs = _require(body, "topologies")
+        if not isinstance(specs, (list, tuple)) or len(specs) < 2:
+            raise ApiError(
+                400, "bad_spec",
+                "'topologies' must be an array of at least two specs",
+            )
+        entries: List[Dict[str, Any]] = []
+        for spec in specs:
+            evaluation = self._evaluate_throughput(body, spec)
+            solved = [
+                r["per_server_throughput"]
+                for r in evaluation["results"]
+                if r["status"] == "optimal"
+            ]
+            entries.append(
+                {
+                    "spec": spec,
+                    "topology": evaluation["topology"],
+                    "results": evaluation["results"],
+                    "warm": evaluation["warm"],
+                    # Cross-fraction mean: one scalar to rank on.
+                    "mean_per_server_throughput": (
+                        sum(solved) / len(solved) if solved else None
+                    ),
+                }
+            )
+        ranked = [
+            e for e in entries if e["mean_per_server_throughput"] is not None
+        ]
+        if not ranked:
+            raise ApiError(
+                422,
+                "solver_failure",
+                "no topology produced an optimal solve",
+                details={"results": [e["results"] for e in entries]},
+            )
+        best = max(ranked, key=lambda e: e["mean_per_server_throughput"])
+        best_value = best["mean_per_server_throughput"]
+        for entry in entries:
+            value = entry["mean_per_server_throughput"]
+            entry["relative_to_best"] = (
+                round(value / best_value, 6)
+                if value is not None and best_value
+                else None
+            )
+        solver_name, _ = registry.parse_spec(
+            body.get("solver", "highs-batched"), key="name"
+        )
+        return {
+            "solver": solver_name,
+            "results": entries,
+            "best": best["topology"]["name"],
+        }

@@ -263,8 +263,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (OSError, json.JSONDecodeError, SpecError) as exc:
         sys.stderr.write(f"sweep: cannot load {args.spec}: {exc}\n")
         return 2
+    if args.resume and args.no_cache:
+        sys.stderr.write(
+            "sweep: --resume reads the result cache and cannot be combined "
+            "with --no-cache\n"
+        )
+        return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     store = ResultsStore(args.results) if args.results else None
+
+    skipped = 0
+    if args.resume:
+        # Pre-filter completed points so an interrupted sweep restarts
+        # with only the remaining work (cache hits would be skipped
+        # anyway, but resume reports them up front and avoids
+        # re-submitting them at all).
+        remaining = [s for s in specs if cache.get(s) is None]
+        skipped = len(specs) - len(remaining)
+        sys.stderr.write(
+            f"sweep: resume skipped {skipped}/{len(specs)} "
+            "already-completed points\n"
+        )
+        specs = remaining
+        if not specs:
+            print(f"Sweep already complete: all {skipped} points cached.")
+            return 0
 
     def show_progress(p: dict) -> None:
         sys.stderr.write(
@@ -315,6 +338,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"Sweep of {counts['total']} points: {counts['ok']} computed, "
                 f"{counts['cached']} cached, {counts['failed']} failed "
                 f"in {result.wall_clock_s:.1f}s"
+                + (f" ({skipped} skipped by --resume)" if skipped else "")
             ),
         )
     )
@@ -452,6 +476,19 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api import serve_forever
+
+    serve_forever(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
+        quiet=args.quiet,
+    )
+    return 0
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     rows = [
         [p.name, round(p.total, 2), round(delta_ratio(p), 3)]
@@ -559,6 +596,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-cache", action="store_true", help="recompute every point"
     )
     p.add_argument(
+        "--resume", action="store_true",
+        help="skip points already in the cache; run only the remainder",
+    )
+    p.add_argument(
         "--results", default="", help="append RunRecords to this JSONL file"
     )
     p.add_argument(
@@ -630,6 +671,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quiet", action="store_true", help="suppress live progress output"
     )
     p.set_defaults(func=_cmd_resilience)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived topology-evaluation HTTP service (repro.api)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8070, help="bind port")
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="max requests doing library work concurrently",
+    )
+    p.add_argument(
+        "--cache-dir", default="",
+        help="on-disk result cache for /simulate and /sweep "
+        "(default: in-memory warm state only)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress the access log"
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("cost", help="Table 1 costs (+ optional topology cost)")
     p.add_argument("--kind", default="", help="optionally price a topology")

@@ -27,10 +27,11 @@ __all__ = [
 
 def provenance(engine: str = "") -> Dict[str, str]:
     """Environment fingerprint stored with every record."""
-    from .. import __version__
+    from ..version import SPEC_HASH_VERSION, __version__
 
     return {
         "library_version": __version__,
+        "spec_hash_version": SPEC_HASH_VERSION,
         "python_version": platform.python_version(),
         "platform": sys.platform,
         "engine": engine,

@@ -156,7 +156,12 @@ class ExperimentSpec:
         return data
 
     def content_hash(self) -> str:
-        """Stable SHA-256 over the canonical JSON encoding."""
+        """Stable SHA-256 over the canonical JSON encoding.
+
+        The algorithm is identified by
+        :data:`repro.version.SPEC_HASH_VERSION`; bump that constant if
+        the canonicalization or digest here ever changes.
+        """
         blob = json.dumps(
             self.canonical(), sort_keys=True, separators=(",", ":")
         )

@@ -203,6 +203,7 @@ class ObsRun:
             "duration_s": round(time.perf_counter() - self._t0, 6),
             "meta": self.meta,
             "library_version": _library_version(),
+            "spec_hash_version": _spec_hash_version(),
             "python_version": platform.python_version(),
             "metrics": self.metrics.snapshot(),
             "spans": {
@@ -250,9 +251,15 @@ class ObsRun:
 
 
 def _library_version() -> str:
-    from .. import __version__
+    from ..version import __version__
 
     return __version__
+
+
+def _spec_hash_version() -> str:
+    from ..version import SPEC_HASH_VERSION
+
+    return SPEC_HASH_VERSION
 
 
 # ----------------------------------------------------------------------

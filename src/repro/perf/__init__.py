@@ -10,6 +10,7 @@ from .pathcache import (
     PathCache,
     clear_shared_caches,
     invalidate_shared_cache,
+    shared_cache_stats,
     shared_path_cache,
     topology_content_hash,
 )
@@ -17,6 +18,7 @@ from .pathcache import (
 __all__ = [
     "PathCache",
     "shared_path_cache",
+    "shared_cache_stats",
     "topology_content_hash",
     "clear_shared_caches",
     "invalidate_shared_cache",

@@ -31,6 +31,15 @@ place yields stale tables, exactly as it would have with the previously
 per-instance precomputation); topology *generators* in this library
 always build fresh graphs, and the content-hash registry key means a
 rebuilt or edited graph never aliases a stale entry.
+
+Both the shared registry and each :class:`PathCache` are thread-safe:
+the registry's LRU get/insert/evict runs under one module lock, and a
+cache's lazy structures (distance matrix, ECMP tables, k-shortest-path
+sets) are computed under a per-instance lock, so the threaded request
+handlers of :mod:`repro.api` can share one warm cache without ever
+observing a half-built table or computing one twice.  Content addressing
+already made the caches safe across *processes*; the locks make them
+safe across *threads*.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ import hashlib
 import io
 import json
 import os
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -53,6 +63,7 @@ __all__ = [
     "PathCache",
     "topology_content_hash",
     "shared_path_cache",
+    "shared_cache_stats",
     "clear_shared_caches",
     "invalidate_shared_cache",
 ]
@@ -132,6 +143,8 @@ class PathCache:
         # and any k at all once Yen's has been exhausted (fewer than
         # k_computed simple paths exist).
         self._ksp: Dict[Tuple[int, int], Tuple[int, List[List[int]]]] = {}
+        # Reentrant: ecmp_tables -> ecmp_next_hops -> distances nest.
+        self._lock = threading.RLock()
         if persist_dir is not None:
             self._load_persisted()
 
@@ -148,17 +161,19 @@ class PathCache:
         Row/column order follows :attr:`nodes` (sorted switch ids).
         Computed by one C-speed unweighted sweep; cached thereafter.
         """
-        if self._dist is None:
-            obs.add("pathcache.misses")
-            with obs.span("pathcache.distances", nodes=self.num_nodes):
-                self._dist = csgraph.shortest_path(
-                    self._adjacency, method="D", directed=False, unweighted=True
-                )
-            if self.persist_dir is not None:
-                self._persist_distances()
-        else:
-            obs.add("pathcache.hits")
-        return self._dist
+        with self._lock:
+            if self._dist is None:
+                obs.add("pathcache.misses")
+                with obs.span("pathcache.distances", nodes=self.num_nodes):
+                    self._dist = csgraph.shortest_path(
+                        self._adjacency, method="D", directed=False,
+                        unweighted=True,
+                    )
+                if self.persist_dir is not None:
+                    self._persist_distances()
+            else:
+                obs.add("pathcache.hits")
+            return self._dist
 
     def distance(self, src: int, dst: int) -> float:
         """Hop distance between two switches (``inf`` if unreachable)."""
@@ -226,15 +241,16 @@ class PathCache:
         The returned mapping is cached on the :class:`PathCache` and
         handed out by reference — callers must treat it as read-only.
         """
-        if self._tables is None:
-            obs.add("pathcache.misses")
-            with obs.span("pathcache.ecmp_tables", nodes=self.num_nodes):
-                self._tables = {
-                    dst: self.ecmp_next_hops(dst) for dst in self.nodes
-                }
-        else:
-            obs.add("pathcache.hits")
-        return self._tables
+        with self._lock:
+            if self._tables is None:
+                obs.add("pathcache.misses")
+                with obs.span("pathcache.ecmp_tables", nodes=self.num_nodes):
+                    self._tables = {
+                        dst: self.ecmp_next_hops(dst) for dst in self.nodes
+                    }
+            else:
+                obs.add("pathcache.hits")
+            return self._tables
 
     # ------------------------------------------------------------------
     # K-shortest paths
@@ -250,19 +266,20 @@ class PathCache:
         if k < 1:
             raise ValueError("k must be >= 1")
         key = (src, dst)
-        cached = self._ksp.get(key)
-        if cached is not None:
-            k_computed, paths = cached
-            if k <= k_computed or len(paths) < k_computed:
-                obs.add("pathcache.hits")
-                return [list(p) for p in paths[:k]]
-        from ..throughput.paths import k_shortest_paths as yen
+        with self._lock:
+            cached = self._ksp.get(key)
+            if cached is not None:
+                k_computed, paths = cached
+                if k <= k_computed or len(paths) < k_computed:
+                    obs.add("pathcache.hits")
+                    return [list(p) for p in paths[:k]]
+            from ..throughput.paths import k_shortest_paths as yen
 
-        obs.add("pathcache.misses")
-        with obs.span("pathcache.ksp", k=k):
-            paths = yen(self.graph, src, dst, k)
-        self._ksp[key] = (k, paths)
-        return [list(p) for p in paths]
+            obs.add("pathcache.misses")
+            with obs.span("pathcache.ksp", k=k):
+                paths = yen(self.graph, src, dst, k)
+            self._ksp[key] = (k, paths)
+            return [list(p) for p in paths]
 
     # ------------------------------------------------------------------
     # Disk persistence (atomic, under e.g. .repro-cache/)
@@ -307,14 +324,15 @@ class PathCache:
         """
         if self.persist_dir is None:
             return
-        if self._dist is not None:
-            self._persist_distances()
-        if self._ksp:
-            payload = {
-                f"{s}|{d}": [k_computed, paths]
-                for (s, d), (k_computed, paths) in sorted(self._ksp.items())
-            }
-            atomic_write_json(self._ksp_path(), payload)
+        with self._lock:
+            if self._dist is not None:
+                self._persist_distances()
+            if self._ksp:
+                payload = {
+                    f"{s}|{d}": [k_computed, paths]
+                    for (s, d), (k_computed, paths) in sorted(self._ksp.items())
+                }
+                atomic_write_json(self._ksp_path(), payload)
 
 
 # ----------------------------------------------------------------------
@@ -322,6 +340,12 @@ class PathCache:
 # ----------------------------------------------------------------------
 _REGISTRY: "OrderedDict[Tuple[str, Optional[str]], PathCache]" = OrderedDict()
 _REGISTRY_MAX = 16
+# One lock for the LRU's get/insert/evict: the registry is tiny and the
+# guarded section never computes anything (PathCache construction builds
+# only the CSR adjacency; the expensive structures stay lazy), so a
+# single lock is cheap and keeps two threads from racing an insert with
+# an eviction.
+_REGISTRY_LOCK = threading.RLock()
 
 
 def shared_path_cache(
@@ -333,28 +357,52 @@ def shared_path_cache(
     and property analysis over structurally equal topologies shares one
     cache (and its already-computed tables).  A small LRU bound keeps
     long sweeps over many distinct topologies from accumulating matrices.
+    Thread-safe: concurrent callers with equal graphs get the *same*
+    instance, whose lazy tables are themselves computed under the
+    instance lock.
     """
     graph = _as_graph(graph_or_topology)
     key = (topology_content_hash(graph), persist_dir)
-    cache = _REGISTRY.get(key)
-    if cache is None:
-        obs.add("pathcache.shared_misses")
-        cache = PathCache(graph, persist_dir=persist_dir)
-        _REGISTRY[key] = cache
-        while len(_REGISTRY) > _REGISTRY_MAX:
-            _REGISTRY.popitem(last=False)
-            obs.add("pathcache.evictions")
-    else:
-        obs.add("pathcache.shared_hits")
-        _REGISTRY.move_to_end(key)
-    return cache
+    with _REGISTRY_LOCK:
+        cache = _REGISTRY.get(key)
+        if cache is None:
+            obs.add("pathcache.shared_misses")
+            cache = PathCache(graph, persist_dir=persist_dir)
+            _REGISTRY[key] = cache
+            while len(_REGISTRY) > _REGISTRY_MAX:
+                _REGISTRY.popitem(last=False)
+                obs.add("pathcache.evictions")
+        else:
+            obs.add("pathcache.shared_hits")
+            _REGISTRY.move_to_end(key)
+        return cache
+
+
+def shared_cache_stats() -> Dict[str, int]:
+    """Registry occupancy plus per-entry computed-structure counts.
+
+    A cheap, lock-consistent snapshot for status surfaces (the
+    ``repro.api`` ``/context`` manifest): how many topologies are warm
+    and how many have their distance matrix / ECMP tables / k-shortest
+    path sets already computed.
+    """
+    with _REGISTRY_LOCK:
+        caches = list(_REGISTRY.values())
+    return {
+        "entries": len(caches),
+        "max_entries": _REGISTRY_MAX,
+        "with_distances": sum(1 for c in caches if c._dist is not None),
+        "with_ecmp_tables": sum(1 for c in caches if c._tables is not None),
+        "ksp_pairs": sum(len(c._ksp) for c in caches),
+    }
 
 
 def clear_shared_caches() -> int:
     """Drop every registry entry; returns the number removed (tests)."""
-    removed = len(_REGISTRY)
-    _REGISTRY.clear()
-    return removed
+    with _REGISTRY_LOCK:
+        removed = len(_REGISTRY)
+        _REGISTRY.clear()
+        return removed
 
 
 def invalidate_shared_cache(graph_or_topology) -> int:
@@ -367,9 +415,10 @@ def invalidate_shared_cache(graph_or_topology) -> int:
     degraded structure on next use.
     """
     content = topology_content_hash(graph_or_topology)
-    stale = [key for key in _REGISTRY if key[0] == content]
-    for key in stale:
-        del _REGISTRY[key]
+    with _REGISTRY_LOCK:
+        stale = [key for key in _REGISTRY if key[0] == content]
+        for key in stale:
+            del _REGISTRY[key]
     if stale:
         obs.add("pathcache.invalidations", len(stale))
     return len(stale)

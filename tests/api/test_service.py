@@ -1,0 +1,191 @@
+"""Happy-path endpoint behaviour through the in-process client.
+
+These tests drive :meth:`ApiService.dispatch` directly — the exact code
+path the HTTP server uses minus the socket — so every payload shape
+asserted here is what a network client receives.
+"""
+
+import pytest
+
+import repro
+from repro.api import ApiService, InProcessClient
+from repro.harness.spec import ExperimentSpec
+from repro.perf import clear_shared_caches
+
+JELLYFISH = "jellyfish:switches=12,degree=4,servers=2"
+XPANDER = "xpander:degree=4,lift=3,servers=2"
+
+
+@pytest.fixture()
+def client():
+    clear_shared_caches()
+    yield InProcessClient(ApiService())
+    clear_shared_caches()
+
+
+def test_healthz(client):
+    resp = client.get("/healthz")
+    assert resp.status == 200
+    assert resp.json["ok"] is True
+    assert resp.request_id
+
+
+def test_context_manifest(client):
+    resp = client.get("/context").raise_for_status()
+    body = resp.json
+    assert body["service"] == "repro.api/1"
+    assert body["library_version"] == repro.__version__
+    assert body["spec_hash_version"] == repro.SPEC_HASH_VERSION
+    for registry_name in ("topologies", "traffic", "routings", "failures",
+                          "solvers"):
+        assert body["registries"][registry_name], registry_name
+    assert "POST /throughput" in body["endpoints"]
+    assert set(body["caches"]) == {
+        "topologies", "solver_contexts", "results", "path_cache",
+    }
+    assert body["limits"]["max_body_bytes"] > 0
+    assert body["result_cache"] is None
+    # The request counters include this very request.
+    again = client.get("/context").json
+    assert again["requests"]["by_endpoint"]["GET /context"] >= 1
+
+
+def test_schema_endpoint(client):
+    resp = client.get("/schema").raise_for_status()
+    assert resp.json["schema"]["title"] == "ExperimentSpec"
+
+
+def test_throughput_single_fraction(client):
+    resp = client.post("/throughput", {"topology": JELLYFISH})
+    assert resp.status == 200
+    body = resp.json
+    assert body["topology"]["switches"] == 12
+    assert body["topology"]["connected"] is True
+    assert body["topology"]["diameter"] >= 1
+    assert body["topology"]["avg_path_length"] > 1
+    (point,) = body["results"]
+    assert point["status"] == "optimal"
+    assert 0 < point["per_server_throughput"] <= 1.0
+    assert point["fraction"] == 1.0
+    assert body["warm"]["enabled"] is True
+
+
+def test_throughput_multiple_fractions_monotone(client):
+    resp = client.post(
+        "/throughput",
+        {"topology": JELLYFISH, "fractions": [0.3, 0.6, 1.0]},
+    ).raise_for_status()
+    values = [r["per_server_throughput"] for r in resp.json["results"]]
+    assert len(values) == 3
+    # Fewer participating servers → no less per-server throughput.
+    assert values[0] >= values[1] >= values[2]
+
+
+def test_throughput_with_failures(client):
+    resp = client.post(
+        "/throughput",
+        {"topology": JELLYFISH, "failures": "links:fraction=0.1,seed=3"},
+    )
+    assert resp.status in (200, 422)  # degraded may disconnect pairs
+    if resp.status == 200:
+        healthy = client.post(
+            "/throughput", {"topology": JELLYFISH}
+        ).raise_for_status()
+        assert (
+            resp.json["results"][0]["per_server_throughput"]
+            <= healthy.json["results"][0]["per_server_throughput"] + 1e-9
+        )
+
+
+def test_throughput_alternate_solver(client):
+    exact = client.post(
+        "/throughput", {"topology": XPANDER, "solver": "highs-exact"}
+    ).raise_for_status()
+    batched = client.post(
+        "/throughput", {"topology": XPANDER}
+    ).raise_for_status()
+    assert exact.json["results"][0]["per_server_throughput"] == pytest.approx(
+        batched.json["results"][0]["per_server_throughput"]
+    )
+    # Both exact backends share one warm LP context per topology.
+    assert exact.json["warm"]["context"] == "miss"
+    assert batched.json["warm"]["context"] == "hit"
+
+
+def test_throughput_non_context_solver(client):
+    resp = client.post(
+        "/throughput",
+        {"topology": XPANDER, "solver": "mcf-approx:epsilon=0.05"},
+    ).raise_for_status()
+    assert resp.json["warm"]["context"] is None  # no ArcTable involved
+    exact = client.post("/throughput", {"topology": XPANDER}).raise_for_status()
+    assert resp.json["results"][0]["per_server_throughput"] == pytest.approx(
+        exact.json["results"][0]["per_server_throughput"], rel=0.15
+    )
+
+
+def test_simulate_lp_engine(client):
+    body = {
+        "topology": {"family": "jellyfish", "switches": 10, "degree": 4,
+                     "servers": 2},
+        "workload": {"pattern": "longest_matching", "fraction": 0.5},
+        "engine": "lp",
+    }
+    resp = client.post("/simulate", dict(body)).raise_for_status()
+    record = resp.json["record"]
+    assert record["status"] == "ok"
+    assert 0 < record["metrics"]["per_server_throughput"] <= 1.0
+    assert resp.json["spec_hash"] == ExperimentSpec.from_dict(
+        body
+    ).content_hash()
+
+
+def test_sweep_grid(client):
+    resp = client.post(
+        "/sweep",
+        {
+            "defaults": {
+                "topology": {"family": "jellyfish", "switches": 10,
+                             "degree": 4, "servers": 2},
+                "workload": {"pattern": "longest_matching"},
+                "engine": "lp",
+            },
+            "grid": {"workload.fraction": [0.4, 0.8]},
+        },
+    ).raise_for_status()
+    assert resp.json["counts"]["total"] == 2
+    assert resp.json["counts"]["failed"] == 0
+    assert len(resp.json["records"]) == 2
+    fractions = sorted(
+        r["spec"]["workload"]["fraction"] for r in resp.json["records"]
+    )
+    assert fractions == [0.4, 0.8]
+
+
+def test_compare_ranks_topologies(client):
+    resp = client.post(
+        "/compare",
+        {"topologies": [JELLYFISH, XPANDER], "fraction": 0.7},
+    ).raise_for_status()
+    body = resp.json
+    assert len(body["results"]) == 2
+    names = [e["topology"]["name"] for e in body["results"]]
+    assert body["best"] in names
+    best_entry = next(
+        e for e in body["results"] if e["topology"]["name"] == body["best"]
+    )
+    assert best_entry["relative_to_best"] == pytest.approx(1.0)
+    for entry in body["results"]:
+        assert entry["mean_per_server_throughput"] > 0
+        assert entry["relative_to_best"] <= 1.0 + 1e-9
+
+
+def test_request_id_echoed(client):
+    resp = client.get("/healthz", request_id="abc-123")
+    assert resp.json["request_id"] == "abc-123"
+
+
+def test_request_id_generated_when_missing(client):
+    first = client.get("/healthz").request_id
+    second = client.get("/healthz").request_id
+    assert first and second and first != second

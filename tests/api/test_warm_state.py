@@ -1,0 +1,169 @@
+"""Warm-state behaviour: the acceptance criterion of the service.
+
+A second request naming the same topology spec must hit the warm layers
+— the built topology, the exact-LP context (persistent ArcTable), and
+the process-wide shared path cache — which is asserted here through the
+obs counters the caches emit (``api.topology.hits``,
+``api.context.hits``, ``pathcache.shared_hits``), not through private
+attributes.  Byte-identical queries short-circuit into the
+content-addressed result memo; ``"warm": false`` bypasses everything.
+"""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.api import ApiService, InProcessClient, WarmState
+from repro.perf import clear_shared_caches
+
+JELLYFISH = "jellyfish:switches=12,degree=4,servers=2"
+
+
+@pytest.fixture()
+def client():
+    clear_shared_caches()
+    yield InProcessClient(ApiService())
+    clear_shared_caches()
+
+
+def _counter(name):
+    snap = obs.snapshot().get(name)
+    return snap["value"] if snap else 0.0
+
+
+def test_second_request_hits_warm_state_via_obs_counters(client):
+    with obs.session():
+        first = client.post(
+            "/throughput", {"topology": JELLYFISH, "fraction": 1.0}
+        ).raise_for_status()
+        assert first.json["warm"]["topology"] == "miss"
+        assert first.json["warm"]["context"] == "miss"
+        assert _counter("api.topology.misses") == 1
+        assert _counter("api.context.misses") == 1
+
+        # Different fraction: skips the result memo, so the solve runs
+        # again — against every warm layer.
+        second = client.post(
+            "/throughput", {"topology": JELLYFISH, "fraction": 0.5}
+        ).raise_for_status()
+        assert second.json["warm"]["topology"] == "hit"
+        assert second.json["warm"]["context"] == "hit"
+        assert _counter("api.topology.hits") >= 1
+        assert _counter("api.context.hits") >= 1
+        assert _counter("pathcache.shared_hits") >= 1
+        assert _counter("api.requests") == 2
+
+
+def test_identical_request_served_from_result_memo(client):
+    body = {"topology": JELLYFISH, "fraction": 0.8}
+    first = client.post("/throughput", dict(body)).raise_for_status()
+    second = client.post("/throughput", dict(body)).raise_for_status()
+    assert first.json["results"][0]["cached"] is False
+    assert second.json["results"][0]["cached"] is True
+    assert second.json["warm"]["results_cached"] == 1
+    assert (
+        second.json["results"][0]["per_server_throughput"]
+        == first.json["results"][0]["per_server_throughput"]
+    )
+
+
+def test_cold_mode_bypasses_every_warm_layer(client):
+    body = {"topology": JELLYFISH, "warm": False}
+    first = client.post("/throughput", dict(body)).raise_for_status()
+    second = client.post("/throughput", dict(body)).raise_for_status()
+    for resp in (first, second):
+        assert resp.json["warm"]["enabled"] is False
+        assert resp.json["warm"]["topology"] == "miss"
+        assert resp.json["results"][0]["cached"] is False
+    stats = client.service.state.stats()
+    assert stats["topologies"]["entries"] == 0
+    assert stats["solver_contexts"]["entries"] == 0
+    assert stats["results"]["entries"] == 0
+
+
+def test_warm_and_cold_agree(client):
+    warm = client.post(
+        "/throughput", {"topology": JELLYFISH}
+    ).raise_for_status()
+    cold = client.post(
+        "/throughput", {"topology": JELLYFISH, "warm": False}
+    ).raise_for_status()
+    assert warm.json["results"][0]["per_server_throughput"] == pytest.approx(
+        cold.json["results"][0]["per_server_throughput"]
+    )
+    assert warm.json["topology"] == cold.json["topology"]
+
+
+def test_context_reports_cache_stats(client):
+    client.post("/throughput", {"topology": JELLYFISH}).raise_for_status()
+    caches = client.get("/context").raise_for_status().json["caches"]
+    assert caches["topologies"]["entries"] == 1
+    assert caches["solver_contexts"]["entries"] == 1
+    assert caches["results"]["entries"] == 1
+    assert caches["path_cache"]["entries"] == 1
+
+
+def test_failures_key_separates_warm_entries(client):
+    healthy = client.post(
+        "/throughput", {"topology": JELLYFISH}
+    ).raise_for_status()
+    degraded = client.post(
+        "/throughput",
+        {"topology": JELLYFISH, "failures": "links:fraction=0.1,seed=3"},
+    )
+    assert degraded.json["warm"]["topology"] == "miss"
+    stats = client.service.state.stats()
+    assert stats["topologies"]["entries"] == 2
+    if degraded.status == 200:
+        assert (
+            degraded.json["topology"]["links"]
+            < healthy.json["topology"]["links"]
+        )
+
+
+def test_warm_state_topology_identity():
+    state = WarmState()
+    a, hit_a = state.topology(JELLYFISH)
+    b, hit_b = state.topology(JELLYFISH)
+    assert (hit_a, hit_b) == (False, True)
+    assert a is b
+    # Equivalent mapping spec resolves to the same cache entry.
+    c, hit_c = state.topology(
+        {"family": "jellyfish", "switches": 12, "degree": 4, "servers": 2}
+    )
+    assert hit_c and c is a
+
+
+def test_result_memo_lru_eviction():
+    state = WarmState(max_results=2)
+    for i in range(4):
+        state.result_put(f"key-{i}", {"i": i})
+    assert state.result_get("key-0") is None
+    assert state.result_get("key-3") == {"i": 3}
+    assert state.stats()["results"]["evictions"] == 2
+
+
+def test_concurrent_requests_share_one_warm_entry(client):
+    statuses = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def worker(i):
+        barrier.wait(timeout=10)
+        resp = client.post(
+            "/throughput",
+            {"topology": JELLYFISH, "fraction": 0.2 + 0.2 * i},
+        )
+        with lock:
+            statuses.append(resp.status)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert statuses == [200, 200, 200, 200]
+    stats = client.service.state.stats()
+    assert stats["topologies"]["entries"] == 1
+    assert stats["solver_contexts"]["entries"] == 1

@@ -39,11 +39,16 @@ class TestRunRecord:
         assert not record("a", 0.5, 1.0, status="failed").ok
 
     def test_provenance_fingerprint(self):
+        from repro.version import SPEC_HASH_VERSION, __version__
+
         prov = provenance("lp")
         assert prov["engine"] == "lp"
         assert set(prov) == {
-            "library_version", "python_version", "platform", "engine"
+            "library_version", "spec_hash_version", "python_version",
+            "platform", "engine",
         }
+        assert prov["library_version"] == __version__
+        assert prov["spec_hash_version"] == SPEC_HASH_VERSION
 
 
 class TestResultsStore:

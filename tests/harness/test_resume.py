@@ -1,0 +1,90 @@
+"""``python -m repro sweep --resume``: restart with only the remaining work.
+
+Resume pre-filters the sweep against the result cache and submits only
+the points that have never completed — the restart story for a sweep
+killed halfway.  Different from plain caching (which still submits
+every point and reports hits): resume reports the skip count up front
+and the skipped points never reach the runner.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import ResultCache, load_sweep_file
+from repro.harness.execute import execute_spec
+
+LP_SWEEP = {
+    "defaults": {
+        "topology": {"family": "jellyfish", "switches": 8, "degree": 3,
+                     "servers": 1, "seed": 0},
+        "engine": "lp",
+        "workload": {"pattern": "longest_matching"},
+    },
+    "grid": {"workload.fraction": [0.4, 0.7, 1.0]},
+}
+
+
+@pytest.fixture()
+def sweep_file(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(LP_SWEEP))
+    return path
+
+
+def _seed_partial_cache(sweep_file, cache_dir, n):
+    """Pretend a previous run completed the first ``n`` points."""
+    cache = ResultCache(str(cache_dir))
+    specs = load_sweep_file(str(sweep_file))
+    for spec in specs[:n]:
+        cache.put(spec, execute_spec(spec))
+    return specs
+
+
+def test_resume_skips_completed_points(sweep_file, tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    _seed_partial_cache(sweep_file, cache_dir, 2)
+    rc = main([
+        "sweep", str(sweep_file), "--jobs", "1",
+        "--cache-dir", str(cache_dir), "--resume", "--quiet",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "resume skipped 2/3 already-completed points" in captured.err
+    # Only the one remaining point was computed.
+    assert "1 computed, 0 cached, 0 failed" in captured.out
+    assert "(2 skipped by --resume)" in captured.out
+
+
+def test_resume_on_fully_cached_sweep_is_a_noop(sweep_file, tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    _seed_partial_cache(sweep_file, cache_dir, 3)
+    rc = main([
+        "sweep", str(sweep_file), "--jobs", "1",
+        "--cache-dir", str(cache_dir), "--resume", "--quiet",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "resume skipped 3/3" in captured.err
+    assert "already complete" in captured.out
+
+
+def test_resume_with_cold_cache_runs_everything(sweep_file, tmp_path, capsys):
+    rc = main([
+        "sweep", str(sweep_file), "--jobs", "1",
+        "--cache-dir", str(tmp_path / "cache"), "--resume", "--quiet",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "resume skipped 0/3" in captured.err
+    assert "3 computed, 0 cached, 0 failed" in captured.out
+
+
+def test_resume_conflicts_with_no_cache(sweep_file, capsys):
+    rc = main([
+        "sweep", str(sweep_file), "--resume", "--no-cache", "--quiet",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "--resume" in captured.err and "--no-cache" in captured.err

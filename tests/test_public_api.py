@@ -18,7 +18,7 @@ import repro
 DOCUMENTED_SUBPACKAGES = {
     "topologies", "traffic", "throughput", "sim", "flowsim", "perf",
     "cost", "analysis", "harness", "obs", "registry", "resilience",
-    "solvers",
+    "solvers", "api",
 }
 
 
@@ -69,7 +69,10 @@ class TestAllDeclarations:
 
 class TestTopLevelSurface:
     def test_import_repro_exposes_documented_surface(self):
-        assert DOCUMENTED_SUBPACKAGES | {"__version__"} == set(repro.__all__)
+        assert (
+            DOCUMENTED_SUBPACKAGES | {"__version__", "SPEC_HASH_VERSION"}
+            == set(repro.__all__)
+        )
         for name in DOCUMENTED_SUBPACKAGES:
             assert isinstance(getattr(repro, name), types.ModuleType)
 
