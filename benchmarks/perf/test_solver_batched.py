@@ -86,6 +86,7 @@ def test_batched_sweep_speedup():
         "reference_s": base_s,
         "accelerated_s": batch_s,
         "speedup": round(speedup, 2),
+        "gate": 3.0,
         "params": {**TOPOLOGY, "points": NUM_POINTS},
     }
     if QUICK:

@@ -1,0 +1,135 @@
+"""Perf bench: warm-started incremental LP solving across a load sweep.
+
+A load sweep fixes the topology *and* the demand support, scaling only
+the demand values — the best case for ``highs-incremental``: the first
+point builds the model, every later point patches coefficients and
+re-solves.  The reference arm is what a sweep without any reuse pays:
+one self-contained ``max_concurrent_throughput`` per point (fresh
+ArcTable, fresh assembly, cold simplex).
+
+Records ``lp_warm_sweep`` into ``BENCH_perf.json`` (read-modify-write
+after the kernel writer, like ``test_solver_batched.py``) together with
+an equivalence check against ``highs-exact``.  The acceptance gate
+depends on the engine actually available:
+
+* with ``highspy`` (the ``[perf]`` extra): dual-simplex basis reuse —
+  gate >= 3x on the 14-point sweep;
+* pure-scipy fallback: structure/assembly reuse only (every point still
+  pays a cold simplex), so the gate is parity (1.0) and the teeth are in
+  the byte-identity assertions.
+
+Set ``REPRO_PERF_QUICK=1`` for a reduced grid (CI smoke).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.solvers import HighsIncrementalBackend, have_highspy
+from repro.throughput import max_concurrent_throughput
+from repro.topologies import jellyfish
+from repro.traffic import longest_matching_tm
+
+QUICK = os.environ.get("REPRO_PERF_QUICK") == "1"
+BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "BENCH_perf.json"
+)
+
+SWITCHES = 12
+NUM_POINTS = 6 if QUICK else 14
+
+_RESULTS: dict = {}
+
+
+def _workload():
+    topo = jellyfish(SWITCHES, 4, 2, seed=1)
+    base = longest_matching_tm(topo, 1.0, seed=1)
+    scales = [
+        round(0.3 + 1.2 * i / (NUM_POINTS - 1), 4) for i in range(NUM_POINTS)
+    ]
+    return topo, [base.scaled(s) for s in scales]
+
+
+def _best(fn, repeats: int = 2):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_warm_sweep_speedup_and_equivalence():
+    topo, tms = _workload()
+
+    def cold():
+        return [max_concurrent_throughput(topo, tm) for tm in tms]
+
+    def warm():
+        # Fresh backend per repeat: the measurement includes the one
+        # cold model build (a sweep costs ~1 cold + N-1 warm solves).
+        return HighsIncrementalBackend().solve_many(topo, tms)
+
+    cold_s, cold_results = _best(cold)
+    warm_s, warm_outcomes = _best(warm)
+
+    assert all(o.ok for o in warm_outcomes)
+    assert [o.warm_started for o in warm_outcomes] == (
+        [False] + [True] * (NUM_POINTS - 1)
+    )
+    highspy = have_highspy()
+    for exact, outcome in zip(cold_results, warm_outcomes):
+        # Equivalence gate vs highs-exact: byte-identical on the scipy
+        # fallback, 1e-9 with the highspy engine.
+        if highspy:
+            assert abs(outcome.result.throughput - exact.throughput) <= 1e-9
+        else:
+            assert outcome.result.throughput == exact.throughput
+            assert outcome.result.link_utilization == exact.link_utilization
+
+    gate = 3.0 if highspy else 1.0
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    _RESULTS["lp_warm_sweep"] = {
+        "reference_s": cold_s,
+        "accelerated_s": warm_s,
+        "speedup": round(speedup, 2),
+        "gate": gate,
+        "params": {
+            "switches": SWITCHES,
+            "points": NUM_POINTS,
+            "mode": "highspy" if highspy else "fallback",
+            "basis_reused": sum(o.basis_reused for o in warm_outcomes),
+        },
+    }
+    if QUICK:
+        assert speedup > 0.5
+    elif highspy:
+        assert speedup >= 3.0, _RESULTS["lp_warm_sweep"]
+    else:
+        # Fallback: structure reuse must not be slower than cold solves
+        # (the simplex dominates; allow generous scheduler noise).
+        assert speedup > 0.7, _RESULTS["lp_warm_sweep"]
+
+
+def test_zzz_update_bench_json():
+    """Merge this suite's result into BENCH_perf.json (runs last)."""
+    assert _RESULTS, "warm-sweep bench did not run"
+    path = os.path.abspath(BENCH_PATH)
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except (OSError, ValueError):
+        payload = {"suite": "perf-kernels", "quick": QUICK, "kernels": {}}
+    payload["kernels"].update(_RESULTS)
+    payload["speedups_ge_3x"] = sorted(
+        k for k, v in payload["kernels"].items() if v["speedup"] >= 3.0
+    )
+    from repro.ioutils import atomic_write_json
+
+    atomic_write_json(path, payload, sort_keys=True)
+    entry = payload["kernels"]["lp_warm_sweep"]
+    if not QUICK:
+        assert entry["speedup"] >= entry["gate"], entry

@@ -54,6 +54,10 @@ from ..harness.spec import ENGINES, ExperimentSpec, expand_sweep
 from ..perf import PathCache, shared_path_cache
 from ..solvers.base import SolveOutcome, solve_outcome
 from ..solvers.batched import BatchedTopologyContext
+from ..solvers.incremental import (
+    IncrementalTopologyContext,
+    incremental_solve_outcome,
+)
 from ..version import SPEC_HASH_VERSION, __version__
 from .errors import ApiError, classify_exception
 from .schema import experiment_spec_schema
@@ -69,6 +73,10 @@ DEFAULT_MAX_SWEEP_POINTS = 256
 
 #: Solver names whose exact-LP structure the warm context cache serves.
 _CONTEXT_SOLVERS = ("exact", "highs-exact", "highs-batched")
+
+#: Solver names served by the warm *incremental* context cache (model
+#: structure + simplex bases carried across requests).
+_INCREMENTAL_SOLVERS = ("highs-incremental",)
 
 
 def _require(body: Dict[str, Any], key: str) -> Any:
@@ -344,9 +352,18 @@ class ApiService:
             properties = self._properties(PathCache(topo.graph), topo)
 
         context: Optional[BatchedTopologyContext] = None
+        incremental: Optional[IncrementalTopologyContext] = None
         context_hit = False
+        uses_incremental = solver_name in _INCREMENTAL_SOLVERS
         uses_context = solver_name in _CONTEXT_SOLVERS
-        if uses_context:
+        if uses_incremental:
+            if warm:
+                incremental, context_hit = self.state.incremental(
+                    topology_spec, topo, failures
+                )
+            else:
+                incremental = IncrementalTopologyContext(topo)
+        elif uses_context:
             if warm:
                 context, context_hit = self.state.context(
                     topology_spec, topo, failures
@@ -376,13 +393,21 @@ class ApiService:
             tm = registry.TRAFFIC.build(
                 "longest_matching", topo, fraction=fraction, seed=seed
             )
-            if uses_context:
+            if uses_incremental:
+                outcome = incremental_solve_outcome(
+                    incremental, tm, demand,
+                    backend_name=solver_name, reuse_structure=warm,
+                )
+            elif uses_context:
                 outcome = solve_outcome(
                     solver_name, lambda: context.solve(tm, demand)
                 )
             else:
                 outcome = backend.solve(topo, tm, demand)
             entry = self._outcome_entry(fraction, outcome)
+            if uses_incremental:
+                entry["warm_started"] = outcome.warm_started
+                entry["basis_reused"] = outcome.basis_reused
             if warm and outcome.ok:
                 self.state.result_put(memo_key, entry)
             results.append({**entry, "cached": False})
@@ -396,7 +421,9 @@ class ApiService:
                 "enabled": warm,
                 "topology": "hit" if topo_hit else "miss",
                 "context": (
-                    ("hit" if context_hit else "miss") if uses_context else None
+                    ("hit" if context_hit else "miss")
+                    if (uses_context or uses_incremental)
+                    else None
                 ),
                 "results_cached": sum(1 for r in results if r["cached"]),
             },

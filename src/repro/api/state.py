@@ -12,6 +12,11 @@ structure survives between requests:
   component labels) is hoisted once per topology and reused by every
   subsequent solve, exactly as the harness Runner does for batched
   sweeps — but across *requests* instead of across sweep points;
+* **incremental solver contexts** — for warm-capable solvers
+  (``highs-incremental``), the assembled LP structures and (with the
+  optional ``highspy`` dependency) live solver instances whose simplex
+  bases carry over, so a repeated query re-solves from the previous
+  basis instead of from scratch;
 * **solve results** — throughput queries are deterministic functions of
   their canonical payload, so identical queries are served straight from
   a content-addressed memo (the in-memory analogue of the harness's
@@ -21,7 +26,7 @@ structure survives between requests:
   :func:`repro.perf.shared_path_cache`, which request handlers share
   with every other layer of the library.
 
-All three LRUs are guarded by one lock held only around dictionary
+All the LRUs are guarded by one lock held only around dictionary
 operations — construction happens outside it, so two concurrent misses
 on *different* topologies build in parallel, and a raced double-build of
 the *same* key keeps the first-inserted instance.  Counters are plain
@@ -40,6 +45,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from .. import obs, registry
 from ..solvers.batched import BatchedTopologyContext
+from ..solvers.incremental import IncrementalTopologyContext
 from ..topologies import Topology
 
 __all__ = ["WarmState", "canonical_key"]
@@ -108,11 +114,13 @@ class WarmState:
         max_topologies: int = 32,
         max_contexts: int = 32,
         max_results: int = 4096,
+        max_incremental: int = 8,
     ) -> None:
         self._lock = threading.RLock()
         self._topologies = _Lru("topology", max_topologies)
         self._contexts = _Lru("context", max_contexts)
         self._results = _Lru("results", max_results)
+        self._incremental = _Lru("incremental", max_incremental)
         self.started_at = time.time()
 
     # ------------------------------------------------------------------
@@ -178,6 +186,33 @@ class WarmState:
             return self._contexts.put(key, context), False
 
     # ------------------------------------------------------------------
+    # Incremental (warm-started) solver contexts
+    # ------------------------------------------------------------------
+    def incremental(
+        self, spec: Any, topology: Topology, failures: Any = None
+    ) -> Tuple[IncrementalTopologyContext, bool]:
+        """The warm incremental LP context; returns ``(context, was_hit)``.
+
+        Unlike :meth:`context` (a stateless ArcTable hoist), these hold
+        assembled LP structures — and with ``highspy`` installed, live
+        solver instances whose simplex bases carry over — so repeated
+        ``/throughput`` and ``/sweep`` requests against the same spec
+        warm-start off *prior requests*.  Each context guards its own
+        mutable state with an internal lock, so concurrent handlers
+        sharing one context serialize at the solve, not here.  Bounded
+        tighter than the other LRUs: contexts hold dense matrices per
+        cached demand structure.
+        """
+        key = self.topology_key(spec, failures)
+        with self._lock:
+            context = self._incremental.get(key)
+        if context is not None:
+            return context, True
+        context = IncrementalTopologyContext(topology)
+        with self._lock:
+            return self._incremental.put(key, context), False
+
+    # ------------------------------------------------------------------
     # Content-addressed result memo
     # ------------------------------------------------------------------
     def result_get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -192,6 +227,7 @@ class WarmState:
     def stats(self) -> Dict[str, Any]:
         """A JSON-ready snapshot for the ``/context`` manifest."""
         from ..perf import shared_cache_stats
+        from ..solvers.incremental import warm_start_stats
 
         with self._lock:
             warm = {
@@ -199,7 +235,13 @@ class WarmState:
                 "solver_contexts": self._contexts.stats(),
                 "results": self._results.stats(),
             }
+            incremental = self._incremental.stats()
+            incremental["contexts"] = [
+                ctx.stats() for ctx in self._incremental.entries.values()
+            ]
+        warm["incremental_contexts"] = incremental
         warm["path_cache"] = shared_cache_stats()
+        warm["warm_start"] = warm_start_stats()
         return warm
 
     def clear(self) -> None:
@@ -208,3 +250,4 @@ class WarmState:
             self._topologies.entries.clear()
             self._contexts.entries.clear()
             self._results.entries.clear()
+            self._incremental.entries.clear()

@@ -125,6 +125,8 @@ def _lp_solver_backend(wl: Mapping[str, Any]):
         params["k"] = wl.get("k_paths", 8)
     elif name == "mcf-approx" and "epsilon" in wl:
         params["epsilon"] = wl["epsilon"]
+    elif name == "highs-incremental" and "solver_mode" in wl:
+        params["mode"] = wl["solver_mode"]
     try:
         return registry.SOLVERS.build(name, **params)
     except registry.RegistryError as exc:
@@ -307,7 +309,11 @@ def execute_lp_batch(specs: Sequence[ExperimentSpec]) -> List[RunRecord]:
         fractions.append(fraction)
     setup_s = (time.perf_counter() - setup_start) / len(specs)
 
-    outcomes = backend.solve_many(topology, tms)
+    # All registry backends honor the SolverBackend warm contract; a
+    # workload can force every point cold with {"warm": false}.
+    outcomes = backend.solve_many(
+        topology, tms, warm=bool(first.workload.get("warm", True))
+    )
     records: List[RunRecord] = []
     for spec, outcome, fraction in zip(specs, outcomes, fractions):
         common = dict(

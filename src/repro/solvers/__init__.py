@@ -7,8 +7,9 @@ backend abstraction in front of it:
 * :class:`SolverBackend` — ``solve(topology, tm)`` →
   :class:`SolveOutcome` (status enum: optimal / infeasible / unbounded /
   numerical, iterations, wall time), plus ``solve_many`` for batches;
-* ``highs-exact`` / ``highs-batched`` / ``highs-paths`` / ``mcf-approx``
-  — the built-in backends (see :mod:`repro.solvers.backends`);
+* ``highs-exact`` / ``highs-batched`` / ``highs-incremental`` /
+  ``highs-paths`` / ``mcf-approx`` — the built-in backends (see
+  :mod:`repro.solvers.backends`);
 * registry integration — backends live in
   :data:`repro.registry.SOLVERS` and are selectable from
   ``ExperimentSpec`` (``workload.solver``), sweep JSON, and the CLI
@@ -16,20 +17,34 @@ backend abstraction in front of it:
   builds one from a compact spec string.
 
 ``highs-batched`` is byte-identical to ``highs-exact`` (same linprog
-calls on the same matrices); ``mcf-approx`` is guaranteed within its
+calls on the same matrices), and so is ``highs-incremental``'s
+pure-scipy fallback (patched cached matrices equal fresh assembly);
+with the optional ``highspy`` dependency (the ``[perf]`` extra)
+``highs-incremental`` re-solves each sweep point with dual simplex from
+the previous basis.  ``mcf-approx`` is guaranteed within its
 (1 - O(epsilon)) bound and never above the exact optimum.  See
-``docs/solvers.md``.
+``docs/solvers.md`` and the warm-start section of
+``docs/performance.md``.
 """
 
 from .backends import (
     HighsBatchedBackend,
     HighsExactBackend,
+    HighsIncrementalBackend,
     HighsPathsBackend,
     McfApproxBackend,
     register_builtin_solvers,
 )
 from .base import SolveOutcome, SolveStatus, SolverBackend, solve_outcome
 from .batched import BatchedTopologyContext
+from .incremental import (
+    IncrementalTopologyContext,
+    have_highspy,
+    incremental_solve_outcome,
+    reset_warm_start_stats,
+    topology_fingerprint,
+    warm_start_stats,
+)
 
 __all__ = [
     "SolveStatus",
@@ -38,8 +53,15 @@ __all__ = [
     "solve_outcome",
     "HighsExactBackend",
     "HighsBatchedBackend",
+    "HighsIncrementalBackend",
     "HighsPathsBackend",
     "McfApproxBackend",
     "BatchedTopologyContext",
+    "IncrementalTopologyContext",
+    "incremental_solve_outcome",
+    "have_highspy",
+    "topology_fingerprint",
+    "warm_start_stats",
+    "reset_warm_start_stats",
     "register_builtin_solvers",
 ]

@@ -1,6 +1,6 @@
 """The built-in solver backends and their registry bindings.
 
-Four backends (plus the two legacy aliases the harness/CLI historically
+Five backends (plus the two legacy aliases the harness/CLI historically
 exposed):
 
 * ``highs-exact`` (alias ``exact``) — one exact edge-LP call per TM via
@@ -8,6 +8,12 @@ exposed):
 * ``highs-batched`` — exact edge LP with per-topology structure reuse
   (:class:`~repro.solvers.batched.BatchedTopologyContext`); results are
   byte-identical to ``highs-exact``.  ``solve_many`` is where it wins.
+* ``highs-incremental`` — exact edge LP with warm starts across sweep
+  points *and* across calls
+  (:class:`~repro.solvers.incremental.HighsIncrementalBackend`): cached
+  constraint structure per demand support, and with the optional
+  ``highspy`` dependency (the ``[perf]`` extra) dual-simplex re-solves
+  from the previous basis.  Knob ``mode`` (auto / highspy / fallback).
 * ``highs-paths`` (alias ``paths``) — k-shortest-paths LP lower bound
   via :func:`~repro.throughput.lp.path_throughput`; knob ``k``.
 * ``mcf-approx`` — the Fleischer/Garg–Könemann FPTAS
@@ -29,11 +35,13 @@ from ..throughput.lp import (
 from ..throughput.mcf import approx_concurrent_throughput
 from .base import SolveOutcome, SolverBackend, solve_outcome
 from .batched import BatchedTopologyContext
+from .incremental import HighsIncrementalBackend
 
 __all__ = [
     "HighsExactBackend",
     "HighsBatchedBackend",
     "HighsPathsBackend",
+    "HighsIncrementalBackend",
     "McfApproxBackend",
     "register_builtin_solvers",
 ]
@@ -65,8 +73,13 @@ class HighsBatchedBackend(SolverBackend):
         return self.solve_many(topology, [tm], per_server_demand)[0]
 
     def solve_many(
-        self, topology, tms: Sequence, per_server_demand: float = 1.0
+        self,
+        topology,
+        tms: Sequence,
+        per_server_demand: float = 1.0,
+        warm: bool = True,
     ) -> List[SolveOutcome]:
+        del warm  # structure is rebuilt per batch; nothing outlives the call
         context = BatchedTopologyContext(topology)
         with obs.span("solver.solve_many", backend=self.name, points=len(tms)):
             return [
@@ -125,6 +138,12 @@ def register_builtin_solvers(registry) -> None:
         "highs-batched", HighsBatchedBackend,
         "exact edge LP, per-topology structure reuse; byte-identical "
         "to highs-exact, batches fixed-topology sweeps",
+    )
+    registry.register(
+        "highs-incremental", HighsIncrementalBackend,
+        "exact edge LP, warm-started across sweep points (structure + "
+        "basis reuse with the optional highspy [perf] extra; pure-scipy "
+        "fallback stays byte-identical to highs-exact); mode",
     )
     registry.register(
         "highs-paths", HighsPathsBackend,

@@ -71,6 +71,13 @@ class SolveOutcome:
         Failure message (empty on optimal outcomes).
     error:
         The caught :class:`SolverFailure` for non-optimal outcomes.
+    warm_started:
+        True when the solve reused a previously assembled model
+        structure (incremental backends; always False for cold paths).
+    basis_reused:
+        True when the solver additionally re-solved with dual simplex
+        from the previous basis (``highs-incremental`` with ``highspy``
+        installed; the scipy fallback reuses structure but not bases).
     """
 
     status: SolveStatus
@@ -80,6 +87,8 @@ class SolveOutcome:
     wall_time_s: float = 0.0
     message: str = ""
     error: Optional[SolverFailure] = field(default=None, repr=False)
+    warm_started: bool = False
+    basis_reused: bool = False
 
     @property
     def ok(self) -> bool:
@@ -160,7 +169,19 @@ class SolverBackend:
         )
 
     def solve_many(
-        self, topology, tms: Sequence, per_server_demand: float = 1.0
+        self,
+        topology,
+        tms: Sequence,
+        per_server_demand: float = 1.0,
+        warm: bool = True,
     ) -> List[SolveOutcome]:
-        """Solve many TMs on one topology (default: sequential solves)."""
+        """Solve many TMs on one topology (default: sequential solves).
+
+        ``warm=True`` permits the backend to reuse state from earlier
+        points or earlier calls (model structure, simplex bases); cold
+        backends ignore it.  ``warm=False`` demands every point be
+        solved from scratch — the contract equivalence tests and cold
+        baselines rely on.
+        """
+        del warm  # sequential per-point solves carry no reusable state
         return [self.solve(topology, tm, per_server_demand) for tm in tms]

@@ -1,0 +1,671 @@
+"""Warm-started incremental exact-LP solving: basis and structure reuse.
+
+A sweep solves dozens of *near-identical* LPs: adjacent load/skew points
+share the topology (so the :class:`~repro.throughput.arcs.ArcTable`,
+component labels, and the constraint sparsity pattern are all equal) and
+usually the demand *support* (so only the coefficient of ``t`` in each
+conservation row changes).  ``highs-batched`` already hoists the
+topology side; this module hoists the rest:
+
+* :class:`IncrementalTopologyContext` keeps, per demand structure
+  (destination set + demand support), the fully assembled LP.  A
+  subsequent solve with the same structure patches only the changed
+  demand coefficients and re-solves.
+* With ``highspy`` installed (the optional ``[perf]`` extra), the model
+  lives inside a persistent ``highspy.Highs`` instance: mutated
+  coefficients go through ``changeCoeff`` and the re-solve runs dual
+  simplex **from the previous basis** — a 14-point sweep costs ~1 cold
+  solve + 13 warm ones.
+* Without ``highspy`` the pure-scipy fallback still reuses the cached
+  canonical CSR matrices (patching values in place yields *identical*
+  matrices to fresh assembly, so results are byte-identical to
+  ``highs-exact`` — by construction, not tolerance) and re-solves cold
+  through the shared :func:`~repro.throughput.lp._solve_exact_assembled`
+  path.  No new hard dependency; CI without the extra passes the full
+  equivalence suite.
+
+The structure cache is bounded (LRU) and capacity-aware: the context is
+keyed on a fingerprint covering nodes, edges, *and* per-edge capacities,
+so a changed topology forces a full refactorization instead of silently
+reusing a stale basis.
+
+Every warm/cold decision is observed: ``solver.warm_start.hit`` /
+``solver.warm_start.miss`` count per-solve structure reuse,
+``solver.warm_start.context_hit`` / ``context_miss`` count per-batch
+context reuse, and each solve's span carries ``warm_started`` /
+``basis_reused`` attributes.  The same counts are mirrored into
+process-global :func:`warm_start_stats` so long-lived services
+(:mod:`repro.api`) can surface them without an obs session.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..throughput.arcs import ArcTable
+from ..throughput.errors import (
+    InfeasibleError,
+    SolverFailure,
+    SolverNumericalError,
+    UnboundedError,
+)
+from ..throughput.lp import (
+    ThroughputResult,
+    _assemble_exact_vectorized,
+    _component_labels,
+    _demands_by_destination,
+    _drop_by_labels,
+    _solve_exact_assembled,
+    _c_for_exact,
+)
+
+__all__ = [
+    "have_highspy",
+    "topology_fingerprint",
+    "IncrementalTopologyContext",
+    "HighsIncrementalBackend",
+    "incremental_solve_outcome",
+    "warm_start_stats",
+    "reset_warm_start_stats",
+]
+
+#: Bound on cached LP structures per context (distinct demand supports).
+DEFAULT_MAX_STRUCTURES = 32
+
+# ----------------------------------------------------------------------
+# Optional highspy dependency (the [perf] extra)
+# ----------------------------------------------------------------------
+_HIGHSPY: Optional[Any] = None
+_HIGHSPY_CHECKED = False
+
+
+def have_highspy() -> bool:
+    """Whether the optional ``highspy`` module (``[perf]`` extra) imports."""
+    return _highspy() is not None
+
+
+def _highspy() -> Optional[Any]:
+    global _HIGHSPY, _HIGHSPY_CHECKED
+    if not _HIGHSPY_CHECKED:
+        _HIGHSPY_CHECKED = True
+        try:
+            import highspy  # type: ignore
+
+            _HIGHSPY = highspy
+        except ImportError:
+            _HIGHSPY = None
+    return _HIGHSPY
+
+
+# ----------------------------------------------------------------------
+# Process-global warm-start counters (mirrored to obs)
+# ----------------------------------------------------------------------
+_STATS_LOCK = threading.Lock()
+_STATS_KEYS = (
+    "hit",
+    "miss",
+    "context_hit",
+    "context_miss",
+    "basis_reused",
+    "models_built",
+)
+_STATS: Dict[str, int] = {k: 0 for k in _STATS_KEYS}
+
+
+def _note(key: str, amount: int = 1) -> None:
+    with _STATS_LOCK:
+        _STATS[key] += amount
+    obs.add(f"solver.warm_start.{key}", amount)
+
+
+def warm_start_stats() -> Dict[str, int]:
+    """Process-wide ``solver.warm_start.*`` counts (JSON-ready copy)."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_warm_start_stats() -> None:
+    """Zero the process-wide counters (tests)."""
+    with _STATS_LOCK:
+        for k in _STATS_KEYS:
+            _STATS[k] = 0
+
+
+# ----------------------------------------------------------------------
+# Topology fingerprinting (capacity-aware, unlike the path cache's hash)
+# ----------------------------------------------------------------------
+def topology_fingerprint(topology) -> str:
+    """A stable content hash of a topology's LP-relevant structure.
+
+    Unlike :func:`repro.perf.topology_content_hash` (hop counts only,
+    capacities deliberately ignored), this covers nodes, edges, *and*
+    per-edge capacities — everything the exact LP's constraint matrices
+    bake in.  Two topologies with equal fingerprints produce identical
+    ArcTables; anything else must force a model rebuild.
+    """
+    g = topology.graph
+    h = hashlib.sha256()
+    for v in sorted(g.nodes()):
+        h.update(repr(v).encode())
+        h.update(b";")
+    h.update(b"|")
+    for u, v, cap in sorted(
+        (min(u, v), max(u, v), data.get("capacity"))
+        for u, v, data in g.edges(data=True)
+    ):
+        h.update(repr((u, v, cap)).encode())
+        h.update(b";")
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Prepared LP structures
+# ----------------------------------------------------------------------
+def _structure_key(
+    dests: List[int], demand_to: Dict[int, Dict[int, float]]
+) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]:
+    """The demand-structure identity: destination set + nonzero support.
+
+    Zero-valued demands are excluded exactly as assembly excludes them,
+    so a TM whose entry drops to zero keys a different (correct)
+    structure instead of patching a coefficient that does not exist.
+    """
+    support = tuple(
+        sorted(
+            (d, v)
+            for d in dests
+            for v, dem in demand_to[d].items()
+            if dem
+        )
+    )
+    return tuple(dests), support
+
+
+@dataclass
+class _LpStructure:
+    """One fully assembled exact LP, ready for coefficient patching."""
+
+    dests: List[int]
+    support: Tuple[Tuple[int, int], ...]
+    num_dests: int
+    a_eq: Any  # scipy CSR; data patched in place between solves
+    b_eq: np.ndarray
+    a_ub: Any
+    demand_slots: np.ndarray  # index into a_eq.data per support entry
+    demand_rows: np.ndarray  # equality-row index per support entry
+    values: np.ndarray  # current (positive) demand values, support order
+    highs: Any = None  # persistent highspy.Highs, when available
+    solved_once: bool = field(default=False)
+    solves: int = 0
+
+
+class IncrementalTopologyContext:
+    """Prepared per-topology state for warm-started exact solves.
+
+    Extends :class:`~repro.solvers.batched.BatchedTopologyContext`'s
+    topology hoisting (ArcTable + component labels) with a bounded LRU
+    of assembled LP structures keyed by demand structure, so repeated
+    solves over the same support pay only a coefficient patch + re-solve
+    (dual simplex from the previous basis when ``highspy`` is present).
+
+    Thread-safe: solves serialize on a per-context lock (they mutate
+    cached matrices / the embedded solver instance).
+    """
+
+    def __init__(
+        self,
+        topology,
+        use_highspy: Optional[bool] = None,
+        max_structures: int = DEFAULT_MAX_STRUCTURES,
+    ):
+        self.topology = topology
+        self.fingerprint = topology_fingerprint(topology)
+        self.table = ArcTable.from_topology(topology)
+        self.labels: Dict[int, int] = _component_labels(topology.graph)
+        self.use_highspy = have_highspy() if use_highspy is None else bool(use_highspy)
+        if self.use_highspy and not have_highspy():
+            raise ValueError(
+                "highspy is not installed; install the [perf] extra "
+                "(pip install 'repro[perf]') or use the scipy fallback"
+            )
+        self.max_structures = int(max_structures)
+        self._structures: "OrderedDict[Any, _LpStructure]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.models_built = 0
+        self.warm_solves = 0
+        self.cold_solves = 0
+        self.last_solve: Dict[str, bool] = {
+            "warm_started": False,
+            "basis_reused": False,
+        }
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, tm, per_server_demand: float = 1.0, reuse_structure: bool = True
+    ) -> ThroughputResult:
+        """Solve one TM, warm-starting off any cached matching structure.
+
+        Degenerate conventions and the failure taxonomy are exactly
+        those of
+        :func:`~repro.throughput.lp.max_concurrent_throughput`.  With
+        ``reuse_structure=False`` the solve assembles fresh and caches
+        nothing (the cold-bypass contract of ``warm=False``).
+        """
+        with self._lock:
+            return self._solve_locked(tm, per_server_demand, reuse_structure)
+
+    def _solve_locked(
+        self, tm, per_server_demand: float, reuse_structure: bool
+    ) -> ThroughputResult:
+        self.last_solve = {"warm_started": False, "basis_reused": False}
+        if tm.num_flows == 0:
+            return ThroughputResult(throughput=float("inf"), per_server=1.0)
+        tm, dropped = _drop_by_labels(tm, self.labels)
+        if tm.num_flows == 0:
+            return ThroughputResult(
+                throughput=0.0, per_server=0.0, disconnected_pairs=dropped
+            )
+
+        obs.add("lp.calls")
+        dests, demand_to = _demands_by_destination(tm)
+        key = _structure_key(dests, demand_to)
+        structure = self._structures.get(key) if reuse_structure else None
+        values = np.asarray(
+            [demand_to[d][v] for d, v in key[1]], dtype=float
+        )
+        context = {"topology": self.topology.name, "demands": tm.num_flows}
+
+        if structure is None:
+            structure = self._build_structure(dests, demand_to, key[1])
+            if reuse_structure:
+                self._structures[key] = structure
+                while len(self._structures) > self.max_structures:
+                    self._structures.popitem(last=False)
+            self.cold_solves += 1
+            _note("miss")
+        else:
+            self._structures.move_to_end(key)
+            self._patch_values(structure, values)
+            self.warm_solves += 1
+            self.last_solve["warm_started"] = True
+            _note("hit")
+            if structure.highs is not None and structure.solved_once:
+                self.last_solve["basis_reused"] = True
+                _note("basis_reused")
+
+        if structure.highs is not None:
+            result = self._solve_highspy(
+                structure, per_server_demand, dropped, context
+            )
+        else:
+            result = _solve_exact_assembled(
+                self.table,
+                structure.num_dests,
+                structure.a_eq,
+                structure.b_eq,
+                structure.a_ub,
+                per_server_demand,
+                dropped,
+                context=context,
+            )
+        structure.solved_once = True
+        structure.solves += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def _build_structure(
+        self,
+        dests: List[int],
+        demand_to: Dict[int, Dict[int, float]],
+        support: Tuple[Tuple[int, int], ...],
+    ) -> _LpStructure:
+        table = self.table
+        num_dests = len(dests)
+        n = table.num_nodes
+        num_vars = num_dests * table.num_arcs + 1
+        t_var = num_vars - 1
+        with obs.span(
+            "lp.assemble", formulation="exact", demands=len(support)
+        ):
+            a_eq, b_eq, a_ub = _assemble_exact_vectorized(
+                table, dests, demand_to
+            )
+        dest_index = {d: i for i, d in enumerate(dests)}
+        rows = np.empty(len(support), dtype=np.intp)
+        slots = np.empty(len(support), dtype=np.intp)
+        for i, (d, v) in enumerate(support):
+            dn_i = table.node_index[d]
+            vi = table.node_index[v]
+            row = dest_index[d] * (n - 1) + vi - (vi > dn_i)
+            slot = a_eq.indptr[row + 1] - 1
+            # t has the largest column index, so its coefficient is the
+            # last entry of its (canonically sorted) row.
+            if a_eq.indices[slot] != t_var:  # pragma: no cover - invariant
+                raise SolverNumericalError(
+                    "incremental assembly lost a demand coefficient",
+                    formulation="exact",
+                )
+            rows[i] = row
+            slots[i] = slot
+        structure = _LpStructure(
+            dests=list(dests),
+            support=support,
+            num_dests=num_dests,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            a_ub=a_ub,
+            demand_slots=slots,
+            demand_rows=rows,
+            values=-a_eq.data[slots].copy(),
+        )
+        if self.use_highspy:
+            structure.highs = self._build_highs_model(structure)
+        self.models_built += 1
+        _note("models_built")
+        return structure
+
+    def _patch_values(
+        self, structure: _LpStructure, values: np.ndarray
+    ) -> None:
+        """Mutate only the changed demand coefficients (scipy + highspy)."""
+        changed = np.nonzero(values != structure.values)[0]
+        if changed.size == 0:
+            return
+        structure.a_eq.data[structure.demand_slots[changed]] = -values[changed]
+        if structure.highs is not None:
+            t_var = structure.num_dests * self.table.num_arcs
+            for i in changed:
+                structure.highs.changeCoeff(
+                    int(structure.demand_rows[i]), t_var, float(-values[i])
+                )
+        structure.values = values.copy()
+
+    # ------------------------------------------------------------------
+    # highspy model: built once, mutated + re-solved from the basis
+    # ------------------------------------------------------------------
+    def _build_highs_model(self, structure: _LpStructure):
+        import scipy.sparse as sp
+
+        highspy = _highspy()
+        table = self.table
+        num_vars = structure.num_dests * table.num_arcs + 1
+        num_eq = structure.a_eq.shape[0]
+        matrix = sp.vstack([structure.a_eq, structure.a_ub]).tocsc()
+        inf = highspy.kHighsInf
+
+        lp = highspy.HighsLp()
+        lp.num_col_ = num_vars
+        lp.num_row_ = num_eq + table.num_arcs
+        lp.col_cost_ = _c_for_exact(num_vars)
+        lp.col_lower_ = np.zeros(num_vars)
+        lp.col_upper_ = np.full(num_vars, inf)
+        lp.row_lower_ = np.concatenate(
+            [np.zeros(num_eq), np.full(table.num_arcs, -inf)]
+        )
+        lp.row_upper_ = np.concatenate(
+            [np.zeros(num_eq), np.asarray(table.caps, dtype=float)]
+        )
+        lp.a_matrix_.format_ = highspy.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = matrix.indptr
+        lp.a_matrix_.index_ = matrix.indices
+        lp.a_matrix_.value_ = matrix.data
+
+        h = highspy.Highs()
+        h.setOptionValue("output_flag", False)
+        h.setOptionValue("threads", 1)
+        h.passModel(lp)
+        return h
+
+    def _solve_highspy(
+        self,
+        structure: _LpStructure,
+        per_server_demand: float,
+        dropped: int,
+        context: Dict[str, Any],
+    ) -> ThroughputResult:
+        highspy = _highspy()
+        table = self.table
+        num_arcs = table.num_arcs
+        num_dests = structure.num_dests
+        t_var = num_dests * num_arcs
+        h = structure.highs
+        with obs.span(
+            "lp.solve", formulation="exact", variables=t_var + 1,
+            warm=structure.solved_once,
+        ):
+            h.run()
+        status = h.getModelStatus()
+        info = h.getInfo()
+        iterations = int(getattr(info, "simplex_iteration_count", 0) or 0)
+        obs.add("lp.solver_iterations", iterations)
+        if status != highspy.HighsModelStatus.kOptimal:
+            raise self._classify_highs_status(
+                highspy, status, iterations, context
+            )
+        x = np.asarray(h.getSolution().col_value, dtype=float)
+        t = float(x[t_var])
+
+        utilization: Dict[Tuple[int, int], float] = {}
+        flows = x[:t_var].reshape(num_dests, num_arcs).sum(axis=0)
+        caps = table.caps
+        for a, (u, v) in enumerate(table.arcs):
+            utilization[(u, v)] = float(flows[a] / caps[a]) if caps[a] else 0.0
+        return ThroughputResult(
+            throughput=t,
+            per_server=min(1.0, t * per_server_demand),
+            link_utilization=utilization,
+            disconnected_pairs=dropped,
+            iterations=iterations,
+        )
+
+    @staticmethod
+    def _classify_highs_status(
+        highspy, status, iterations: int, context: Dict[str, Any]
+    ) -> SolverFailure:
+        name = str(status)
+        kinds = {
+            getattr(highspy.HighsModelStatus, "kInfeasible", None):
+                InfeasibleError,
+            getattr(highspy.HighsModelStatus, "kUnbounded", None):
+                UnboundedError,
+            getattr(highspy.HighsModelStatus, "kUnboundedOrInfeasible", None):
+                InfeasibleError,
+        }
+        cls = kinds.get(status, SolverNumericalError)
+        return cls(
+            f"throughput LP failed: HiGHS reported {name}",
+            formulation="exact",
+            iterations=iterations,
+            context=context,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """JSON-ready per-context counters (for ``/context`` surfacing)."""
+        with self._lock:
+            return {
+                "structures": len(self._structures),
+                "max_structures": self.max_structures,
+                "models_built": self.models_built,
+                "warm_solves": self.warm_solves,
+                "cold_solves": self.cold_solves,
+                "highspy": self.use_highspy,
+            }
+
+
+# ----------------------------------------------------------------------
+# Outcome wrapper: SolveOutcome with warm-start flags + observed span
+# ----------------------------------------------------------------------
+def incremental_solve_outcome(
+    context: IncrementalTopologyContext,
+    tm,
+    per_server_demand: float = 1.0,
+    backend_name: str = "highs-incremental",
+    reuse_structure: bool = True,
+):
+    """One incremental solve, classified like :func:`~.base.solve_outcome`
+    but carrying the per-solve ``warm_started`` / ``basis_reused`` flags
+    on the outcome *and* on the recorded ``solver.solve`` span."""
+    from .base import SolveOutcome, SolveStatus, _status_of
+
+    t0 = time.perf_counter()
+    status = SolveStatus.OPTIMAL
+    result: Optional[ThroughputResult] = None
+    message = ""
+    error: Optional[SolverFailure] = None
+    iterations = 0
+    try:
+        result = context.solve(
+            tm, per_server_demand, reuse_structure=reuse_structure
+        )
+        iterations = result.iterations
+    except SolverFailure as exc:
+        status = _status_of(exc)
+        message = str(exc)
+        error = exc
+        iterations = exc.iterations
+    elapsed = time.perf_counter() - t0
+    info = context.last_solve
+    run = obs.current()
+    if run is not None:
+        run.record_span(
+            "solver.solve",
+            t0,
+            elapsed,
+            attrs={
+                "backend": backend_name,
+                "warm_started": info["warm_started"],
+                "basis_reused": info["basis_reused"],
+            },
+        )
+    obs.add(f"solver.status.{status.value}")
+    return SolveOutcome(
+        status=status,
+        backend=backend_name,
+        result=result,
+        iterations=iterations,
+        wall_time_s=elapsed,
+        message=message,
+        error=error,
+        warm_started=info["warm_started"],
+        basis_reused=info["basis_reused"],
+    )
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+class HighsIncrementalBackend:
+    """Exact edge LP with cross-point *and* cross-call warm starts.
+
+    Holds one :class:`IncrementalTopologyContext` for the most recent
+    topology (fingerprint-keyed, so a changed topology — including a
+    capacity-only change — rebuilds the model rather than reusing a
+    stale basis).  ``solve_many(..., warm=True)`` reuses the context
+    across calls; ``warm=False`` solves every point from fresh assembly,
+    caching nothing.
+
+    ``mode`` selects the engine: ``"auto"`` uses ``highspy`` when the
+    ``[perf]`` extra is installed and falls back to the pure-scipy
+    structure-reuse path otherwise; ``"highspy"`` requires the extra;
+    ``"fallback"`` forces scipy (the byte-identical-to-``highs-exact``
+    path) even when ``highspy`` is available.
+    """
+
+    name = "highs-incremental"
+    supports_batching = True
+
+    def __init__(self, mode: str = "auto"):
+        if mode not in ("auto", "highspy", "fallback"):
+            raise ValueError(
+                f"mode must be auto/highspy/fallback, got {mode!r}"
+            )
+        if mode == "highspy" and not have_highspy():
+            raise ValueError(
+                "mode='highspy' needs the optional highspy dependency; "
+                "install the [perf] extra (pip install 'repro[perf]')"
+            )
+        self.mode = mode
+        self._context: Optional[IncrementalTopologyContext] = None
+        self._lock = threading.Lock()
+
+    @property
+    def _use_highspy(self) -> Optional[bool]:
+        if self.mode == "auto":
+            return None
+        return self.mode == "highspy"
+
+    def context_for(
+        self, topology, warm: bool = True
+    ) -> Tuple[IncrementalTopologyContext, bool]:
+        """The (possibly reused) context for ``topology``.
+
+        Returns ``(context, was_reused)``.  Reuse requires ``warm`` and
+        a matching capacity-aware fingerprint; anything else builds (and
+        with ``warm``, installs) a fresh context — the forced
+        refactorization path.
+        """
+        fingerprint = topology_fingerprint(topology)
+        with self._lock:
+            context = self._context
+            if (
+                warm
+                and context is not None
+                and context.fingerprint == fingerprint
+            ):
+                _note("context_hit")
+                return context, True
+            _note("context_miss")
+            context = IncrementalTopologyContext(
+                topology, use_highspy=self._use_highspy
+            )
+            if warm:
+                self._context = context
+            return context, False
+
+    def context_stats(self) -> Optional[Dict[str, int]]:
+        """Stats of the live context (``None`` before the first solve)."""
+        with self._lock:
+            return None if self._context is None else self._context.stats()
+
+    def solve(self, topology, tm, per_server_demand: float = 1.0):
+        """Solve one TM; warm-starts off prior calls on the same topology."""
+        return self.solve_many(topology, [tm], per_server_demand)[0]
+
+    def solve_many(
+        self,
+        topology,
+        tms: Sequence,
+        per_server_demand: float = 1.0,
+        warm: bool = True,
+    ) -> List:
+        """Solve many TMs with cross-point (and cross-call) warm starts.
+
+        With ``warm=False`` every point is solved from fresh assembly —
+        the cold bypass used by equivalence tests and cold baselines.
+        """
+        context, reused = self.context_for(topology, warm=warm)
+        with obs.span(
+            "solver.solve_many",
+            backend=self.name,
+            points=len(tms),
+            context_reused=reused,
+        ):
+            return [
+                incremental_solve_outcome(
+                    context,
+                    tm,
+                    per_server_demand,
+                    backend_name=self.name,
+                    reuse_structure=warm,
+                )
+                for tm in tms
+            ]

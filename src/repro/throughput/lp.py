@@ -290,40 +290,36 @@ def _assemble_exact_vectorized(
     return a_eq, b_eq, a_ub
 
 
-def _solve_exact(
+def _solve_exact_assembled(
     table: ArcTable,
-    tm: TrafficMatrix,
+    num_dests: int,
+    a_eq: sp.csr_matrix,
+    b_eq: np.ndarray,
+    a_ub: sp.csr_matrix,
     per_server_demand: float,
     dropped: int,
     context: Optional[Dict[str, object]] = None,
 ) -> ThroughputResult:
-    """Assemble and solve the exact LP on a prepared :class:`ArcTable`.
+    """Solve pre-assembled exact-LP matrices and extract the result.
 
-    The single implementation behind both :func:`max_concurrent_throughput`
-    and the batched :class:`repro.solvers.BatchedTopologyContext`:
-    sharing one code path (same matrices, same ``linprog`` invocation,
-    same extraction) is what makes batched results byte-identical to the
-    per-call path by construction.  ``tm`` must already be pre-filtered
-    (non-empty, routable demands only).
+    The ``linprog`` invocation and extraction shared by
+    :func:`_solve_exact` (fresh assembly per call) and the warm-started
+    :class:`repro.solvers.IncrementalTopologyContext` (which patches the
+    demand coefficients of a cached ``a_eq`` in place).  One code path
+    means incremental results are byte-identical to the per-call path on
+    identical matrices — by construction, not by tolerance.
     """
-    obs.add("lp.calls")
-    with obs.span("lp.assemble", formulation="exact", demands=tm.num_flows):
-        dests, demand_to = _demands_by_destination(tm)
-        num_arcs = table.num_arcs
-        num_dests = len(dests)
-        num_vars = num_dests * num_arcs + 1
-        t_var = num_vars - 1
-
-        a_eq, b_eq, a_ub = _assemble_exact_vectorized(table, dests, demand_to)
-        b_ub = table.caps
-
-        c = np.zeros(num_vars)
-        c[t_var] = -1.0
-        bounds = [(0, None)] * num_vars
-
+    num_arcs = table.num_arcs
+    num_vars = num_dests * num_arcs + 1
+    t_var = num_vars - 1
     with obs.span("lp.solve", formulation="exact", variables=num_vars):
         res = linprog(
-            c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+            _c_for_exact(num_vars),
+            A_ub=a_ub,
+            b_ub=table.caps,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=[(0, None)] * num_vars,
             method="highs",
         )
     iterations = int(getattr(res, "nit", 0) or 0)
@@ -343,6 +339,40 @@ def _solve_exact(
         link_utilization=utilization,
         disconnected_pairs=dropped,
         iterations=iterations,
+    )
+
+
+def _c_for_exact(num_vars: int) -> np.ndarray:
+    """The exact LP's objective vector: maximize t (minimize ``-t``)."""
+    c = np.zeros(num_vars)
+    c[num_vars - 1] = -1.0
+    return c
+
+
+def _solve_exact(
+    table: ArcTable,
+    tm: TrafficMatrix,
+    per_server_demand: float,
+    dropped: int,
+    context: Optional[Dict[str, object]] = None,
+) -> ThroughputResult:
+    """Assemble and solve the exact LP on a prepared :class:`ArcTable`.
+
+    The single implementation behind both :func:`max_concurrent_throughput`
+    and the batched :class:`repro.solvers.BatchedTopologyContext`:
+    sharing one code path (same matrices, same ``linprog`` invocation,
+    same extraction) is what makes batched results byte-identical to the
+    per-call path by construction.  ``tm`` must already be pre-filtered
+    (non-empty, routable demands only).
+    """
+    obs.add("lp.calls")
+    with obs.span("lp.assemble", formulation="exact", demands=tm.num_flows):
+        dests, demand_to = _demands_by_destination(tm)
+        num_dests = len(dests)
+        a_eq, b_eq, a_ub = _assemble_exact_vectorized(table, dests, demand_to)
+    return _solve_exact_assembled(
+        table, num_dests, a_eq, b_eq, a_ub, per_server_demand, dropped,
+        context=context,
     )
 
 

@@ -91,6 +91,26 @@ class SkewSweepResult:
         ]
 
 
+def _solve_many(backend, topology, tms, warm: bool):
+    """Call ``solve_many`` with ``warm=`` when the backend accepts it.
+
+    Backends written against the :class:`repro.solvers.SolverBackend`
+    contract take the kwarg; test fakes and third-party backends with a
+    narrower signature still work without warm control.
+    """
+    import inspect
+
+    try:
+        params = inspect.signature(backend.solve_many).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        params = {}
+    if "warm" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return backend.solve_many(topology, tms, warm=warm)
+    return backend.solve_many(topology, tms)
+
+
 def skew_sweep(
     topology: Topology,
     fractions: Sequence[float],
@@ -102,6 +122,7 @@ def skew_sweep(
     seed: int = 0,
     trials: int = 1,
     epsilon: float = 0.05,
+    warm: bool = True,
 ) -> SkewSweepResult:
     """Measure per-server throughput as the active-server fraction shrinks.
 
@@ -111,9 +132,13 @@ def skew_sweep(
     ``trials > 1`` the reported value is the mean over TM seeds.
 
     All TMs go through one ``solve_many`` call, so a batching-capable
-    backend (``highs-batched``) amortizes its per-topology structure
-    across the whole sweep.  Non-optimal solves do not raise: they land
-    in ``statuses`` and leave ``nan`` at the affected fraction.
+    backend (``highs-batched``, ``highs-incremental``) amortizes its
+    per-topology structure across the whole sweep; with ``warm=True``
+    (the default) warm-capable backends may additionally reuse model
+    structure and simplex bases across points and across calls, while
+    ``warm=False`` forces every point cold.  Non-optimal solves do not
+    raise: they land in ``statuses`` and leave ``nan`` at the affected
+    fraction.
 
     Parameters
     ----------
@@ -129,6 +154,10 @@ def skew_sweep(
     tm_builder:
         ``f(topology, fraction, seed) -> TrafficMatrix``; defaults to
         :func:`repro.traffic.patterns.longest_matching_tm`.
+    warm:
+        Passed through to backends whose ``solve_many`` accepts it (the
+        :class:`repro.solvers.SolverBackend` contract); backends with a
+        legacy/foreign signature are called without it.
     """
     if hasattr(solver, "solve_many"):
         backend = solver
@@ -151,7 +180,7 @@ def skew_sweep(
         for x in fractions
         for trial in range(trials)
     ]
-    outcomes = backend.solve_many(topology, tms)
+    outcomes = _solve_many(backend, topology, tms, warm)
 
     values: List[float] = []
     statuses: List[str] = []

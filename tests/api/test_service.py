@@ -42,7 +42,9 @@ def test_context_manifest(client):
     assert "POST /throughput" in body["endpoints"]
     assert set(body["caches"]) == {
         "topologies", "solver_contexts", "results", "path_cache",
+        "incremental_contexts", "warm_start",
     }
+    assert set(body["caches"]["warm_start"]) >= {"hit", "miss"}
     assert body["limits"]["max_body_bytes"] > 0
     assert body["result_cache"] is None
     # The request counters include this very request.

@@ -144,6 +144,80 @@ def test_result_memo_lru_eviction():
     assert state.stats()["results"]["evictions"] == 2
 
 
+def test_incremental_contexts_survive_across_requests(client):
+    """The ISSUE's acceptance: repeated requests with the incremental
+    solver warm-start off prior requests — visible through the
+    ``solver.warm_start.*`` counters and per-point flags."""
+    from repro.solvers import reset_warm_start_stats
+
+    reset_warm_start_stats()
+    with obs.session():
+        first = client.post(
+            "/throughput",
+            {"topology": JELLYFISH, "solver": "highs-incremental",
+             "fraction": 1.0, "seed": 1},
+        ).raise_for_status()
+        assert first.json["warm"]["context"] == "miss"
+        assert first.json["results"][0]["warm_started"] is False
+        assert _counter("solver.warm_start.miss") == 1
+        assert _counter("api.incremental.misses") == 1
+
+        # Different demand (scaled), same support: a warm re-solve off
+        # the model the *previous request* built.
+        second = client.post(
+            "/throughput",
+            {"topology": JELLYFISH, "solver": "highs-incremental",
+             "fraction": 1.0, "seed": 1, "per_server_demand": 0.5},
+        ).raise_for_status()
+        assert second.json["warm"]["context"] == "hit"
+        assert _counter("api.incremental.hits") == 1
+
+    exact = client.post(
+        "/throughput",
+        {"topology": JELLYFISH, "solver": "highs-exact", "fraction": 1.0,
+         "seed": 1},
+    ).raise_for_status()
+    assert first.json["results"][0]["per_server_throughput"] == pytest.approx(
+        exact.json["results"][0]["per_server_throughput"], abs=1e-9
+    )
+
+
+def test_context_surfaces_warm_start_counters_and_incremental_stats(client):
+    from repro.solvers import reset_warm_start_stats
+
+    reset_warm_start_stats()
+    for fraction in (0.5, 1.0, 0.5):
+        client.post(
+            "/throughput",
+            {"topology": JELLYFISH, "solver": "highs-incremental",
+             "fraction": fraction, "seed": 2},
+        ).raise_for_status()
+    caches = client.get("/context").raise_for_status().json["caches"]
+    warm_start = caches["warm_start"]
+    assert warm_start["models_built"] >= 1
+    assert warm_start["miss"] >= 1
+    incremental = caches["incremental_contexts"]
+    assert incremental["entries"] == 1
+    (ctx,) = incremental["contexts"]
+    assert ctx["models_built"] >= 1
+    assert ctx["cold_solves"] >= 1
+    assert ctx["highspy"] in (True, False)
+    # The third request repeated fraction 0.5 → served from the result
+    # memo, so solves stay at two and both were cold (new supports).
+    assert ctx["cold_solves"] + ctx["warm_solves"] == 2
+
+
+def test_incremental_cold_bypass(client):
+    body = {"topology": JELLYFISH, "solver": "highs-incremental",
+            "warm": False}
+    resp = client.post("/throughput", dict(body)).raise_for_status()
+    assert resp.json["warm"]["enabled"] is False
+    assert resp.json["results"][0]["warm_started"] is False
+    assert resp.json["results"][0]["basis_reused"] is False
+    stats = client.service.state.stats()
+    assert stats["incremental_contexts"]["entries"] == 0
+
+
 def test_concurrent_requests_share_one_warm_entry(client):
     statuses = []
     lock = threading.Lock()
