@@ -9,9 +9,15 @@ a content-addressed result memo) warm across requests.
 Quick start::
 
     python -m repro serve --port 8070
-    curl -s localhost:8070/context | python -m json.tool
-    curl -s -X POST localhost:8070/throughput \\
+    curl -s localhost:8070/v1/context | python -m json.tool
+    curl -s -X POST localhost:8070/v1/throughput \\
         -d '{"topology": "xpander:switches=30,degree=8", "fraction": 1.0}'
+
+Endpoints are mounted under the versioned ``/v1`` prefix; the old
+unversioned paths still answer (with a ``Deprecation`` header).  Sweep
+campaigns too large for the synchronous ``POST /v1/sweep`` go through
+the async jobs layer (:mod:`repro.api.jobs`): ``POST /v1/jobs``, poll
+``GET /v1/jobs/<id>``, ``DELETE`` to cancel.
 
 See ``docs/api.md`` for the endpoint reference and the warm-state
 semantics, and :mod:`repro.api.errors` for the error contract.
@@ -19,22 +25,28 @@ semantics, and :mod:`repro.api.errors` for the error contract.
 
 from .client import ApiResponse, HttpClient, InProcessClient
 from .errors import ApiError, classify_exception, error_payload
+from .jobs import Job, JobManager, jobs_schema
 from .schema import experiment_spec_schema
 from .server import ApiServer, serve_forever
-from .service import ApiService
+from .service import API_PREFIX, SERVICE_SCHEMA, ApiService
 from .state import WarmState, canonical_key
 
 __all__ = [
+    "API_PREFIX",
     "ApiError",
     "ApiResponse",
     "ApiServer",
     "ApiService",
     "HttpClient",
     "InProcessClient",
+    "Job",
+    "JobManager",
+    "SERVICE_SCHEMA",
     "WarmState",
     "canonical_key",
     "classify_exception",
     "error_payload",
     "experiment_spec_schema",
+    "jobs_schema",
     "serve_forever",
 ]

@@ -67,10 +67,10 @@ class InProcessClient:
         body: Union[Dict[str, Any], bytes, str, None] = None,
         request_id: Optional[str] = None,
     ) -> ApiResponse:
-        status, payload = self.service.dispatch(
+        status, payload, headers = self.service.dispatch(
             method, path, body, request_id=request_id
         )
-        return ApiResponse(status=status, json=payload)
+        return ApiResponse(status=status, json=payload, headers=headers)
 
     def get(self, path: str, **kwargs: Any) -> ApiResponse:
         return self.request("GET", path, **kwargs)
@@ -82,6 +82,9 @@ class InProcessClient:
         **kwargs: Any,
     ) -> ApiResponse:
         return self.request("POST", path, body, **kwargs)
+
+    def delete(self, path: str, **kwargs: Any) -> ApiResponse:
+        return self.request("DELETE", path, **kwargs)
 
 
 class HttpClient:
@@ -140,6 +143,9 @@ class HttpClient:
         **kwargs: Any,
     ) -> ApiResponse:
         return self.request("POST", path, body, **kwargs)
+
+    def delete(self, path: str, **kwargs: Any) -> ApiResponse:
+        return self.request("DELETE", path, **kwargs)
 
     def close(self) -> None:
         self._conn.close()

@@ -2,11 +2,16 @@
 
 Every failure a request can produce is classified into an
 :class:`ApiError` carrying the HTTP status, a stable machine-readable
-``code``, and structured ``details``, and every error response has the
-same shape::
+``code``, and structured ``details``, and every error response — 400,
+404, 405, 409, 413, 422, 500 alike — has the same envelope::
 
-    {"error": {"code": "bad_spec", "message": "...", "details": {...}},
+    {"error": {"code": "bad_spec", "message": "...",
+               "request_id": "...", "details": {...}},
      "request_id": "..."}
+
+The ``request_id`` lives *inside* the error object (so an error body is
+self-contained when logged or forwarded) and is mirrored at the top
+level for uniformity with success responses.
 
 The mapping mirrors the library's own exception taxonomy:
 
@@ -19,6 +24,7 @@ malformed JSON body          400     ``bad_json``
 ``ValueError``               400     ``bad_spec``
 unknown path                 404     ``not_found``
 method not allowed           405     ``method_not_allowed``
+job registry full            409     ``too_many_jobs``
 body over the size limit     413     ``payload_too_large``
 :class:`SolverFailure`
 (``InfeasibleError`` /
@@ -64,18 +70,24 @@ class ApiError(Exception):
         self.message = message
         self.details = dict(details or {})
 
-    def payload(self) -> Dict[str, Any]:
+    def payload(self, request_id: Optional[str] = None) -> Dict[str, Any]:
         body: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if request_id:
+            body["request_id"] = request_id
         if self.details:
             body["details"] = self.details
         return {"error": body}
 
 
 def error_payload(
-    status: int, code: str, message: str, details: Optional[Dict[str, Any]] = None
+    status: int,
+    code: str,
+    message: str,
+    details: Optional[Dict[str, Any]] = None,
+    request_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The uniform error body for a non-exception failure path."""
-    return ApiError(status, code, message, details).payload()
+    return ApiError(status, code, message, details).payload(request_id)
 
 
 def _solver_details(exc: SolverFailure) -> Dict[str, Any]:

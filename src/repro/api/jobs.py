@@ -1,0 +1,344 @@
+"""Async sweep jobs: submit, poll, cancel — the ``/v1/jobs`` layer.
+
+``POST /v1/sweep`` runs a sweep *inline*: the HTTP response waits for
+every point, so the service caps the sweep size (``max_sweep_points``).
+Campaign-scale work — the paper's figure grids across families × loads
+× failures — goes through **jobs** instead: ``POST /v1/jobs`` validates
+and expands the sweep document synchronously, returns a job id
+immediately (202), and a worker thread fans the points out over a
+:class:`~repro.harness.shard.ShardCoordinator` — hash-partitioned
+shards, each run by an inline Runner on its own thread, merged back
+into submission order.  Clients poll ``GET /v1/jobs/<id>`` for state
+and aggregate progress, and ``DELETE /v1/jobs/<id>`` requests
+cooperative cancellation.
+
+Lifecycle::
+
+    pending ──► running ──► completed
+        │           ├─────► failed      (the coordinator itself raised)
+        └───────────┴─────► cancelled   (DELETE observed between points)
+
+Cancellation is *resumable by construction*: shards stop between
+points, every completed point is already in the service's
+content-addressed result cache (when one is attached), so re-submitting
+the same document serves the finished points from cache and computes
+only the remainder — the same contract as ``python -m repro sweep
+--resume``.
+
+Everything is observable: ``api.jobs.{submitted,completed,failed,
+cancelled}`` counters, one retrospective ``api.job`` span per finished
+job (id, state, points, shards), and the per-point ``runner.*`` /
+``solver.*`` counters the harness already emits, all landing on
+whatever obs run is active in the server process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .. import obs
+from ..harness.records import RunRecord
+from ..harness.shard import ShardCoordinator
+from ..harness.spec import ExperimentSpec, expand_sweep
+
+__all__ = ["Job", "JobManager", "JOB_STATES", "TERMINAL_STATES", "jobs_schema"]
+
+#: Every state a job can report, in lifecycle order.
+JOB_STATES = ("pending", "running", "completed", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+DEFAULT_MAX_JOBS = 64
+DEFAULT_MAX_RUNNING = 2
+DEFAULT_SHARDS = 4
+
+
+@dataclass
+class Job:
+    """One submitted sweep campaign and everything known about it."""
+
+    id: str
+    doc: Dict[str, Any]
+    specs: List[ExperimentSpec]
+    shards: int
+    warm: bool
+    state: str = "pending"
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    progress: Dict[str, int] = field(default_factory=dict)
+    records: List[RunRecord] = field(default_factory=list)
+    error: Optional[str] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact JSON form (no records) for listings and polling."""
+        done = [r for r in self.records]
+        counts: Optional[Dict[str, int]] = None
+        if self.terminal:
+            counts = {
+                "total": len(self.specs),
+                "done": len(done),
+                "ok": sum(1 for r in done if r.ok and not r.cached),
+                "cached": sum(1 for r in done if r.cached),
+                "failed": sum(1 for r in done if not r.ok),
+            }
+        return {
+            "id": self.id,
+            "state": self.state,
+            "points": len(self.specs),
+            "shards": self.shards,
+            "created_at_unix": round(self.created_at, 3),
+            "started_at_unix": (
+                round(self.started_at, 3) if self.started_at else None
+            ),
+            "finished_at_unix": (
+                round(self.finished_at, 3) if self.finished_at else None
+            ),
+            "progress": dict(self.progress),
+            "counts": counts,
+            "cancel_requested": self.cancel_event.is_set(),
+            "error": self.error,
+        }
+
+    def payload(self, include_records: bool = True) -> Dict[str, Any]:
+        """The full JSON form; terminal jobs carry their records."""
+        body = self.summary()
+        if self.terminal and include_records:
+            body["records"] = [r.to_dict() for r in self.records]
+            counts = body["counts"] or {}
+            body["cached"] = counts.get("cached", 0)
+            body["computed"] = counts.get("ok", 0)
+        return body
+
+
+class JobManager:
+    """Owns every job: bounded registry + worker threads + cancellation.
+
+    Parameters
+    ----------
+    cache:
+        Optional shared :class:`~repro.harness.cache.ResultCache`; all
+        job shards read and write it (this is what makes cancelled jobs
+        resumable and repeated submissions cheap).
+    max_jobs:
+        Registry bound; the oldest *terminal* jobs are evicted past it.
+        Submitting while every slot holds a live job is a 409-worthy
+        conflict surfaced as ``RuntimeError`` to the service layer.
+    max_running:
+        How many jobs execute concurrently; excess jobs queue in
+        ``pending`` state on their own (cheap, parked) threads.
+    default_shards:
+        Shard count when a submission does not pick one.
+    """
+
+    def __init__(
+        self,
+        cache=None,
+        max_jobs: int = DEFAULT_MAX_JOBS,
+        max_running: int = DEFAULT_MAX_RUNNING,
+        default_shards: int = DEFAULT_SHARDS,
+    ) -> None:
+        self.cache = cache
+        self.max_jobs = int(max_jobs)
+        self.default_shards = int(default_shards)
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._running = threading.Semaphore(int(max_running))
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def _admit(self, job: Job) -> None:
+        with self._lock:
+            while len(self._jobs) >= self.max_jobs:
+                evictable = next(
+                    (jid for jid, j in self._jobs.items() if j.terminal),
+                    None,
+                )
+                if evictable is None:
+                    raise RuntimeError(
+                        f"job registry is full ({self.max_jobs} live jobs); "
+                        "cancel or wait for existing jobs"
+                    )
+                del self._jobs[evictable]
+            self._jobs[job.id] = job
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        doc: Dict[str, Any],
+        shards: Optional[int] = None,
+        warm: bool = True,
+    ) -> Job:
+        """Validate + expand the sweep now, then run it on a thread.
+
+        Raises :class:`~repro.harness.spec.SpecError` (and friends)
+        synchronously, so a malformed submission is a 400 with no job
+        created; only well-formed campaigns get ids.
+        """
+        specs = expand_sweep(doc)
+        count = int(shards) if shards is not None else self.default_shards
+        if count < 1:
+            raise ValueError(f"shards must be >= 1, got {count}")
+        count = min(count, max(len(specs), 1))
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            doc=doc,
+            specs=specs,
+            shards=count,
+            warm=bool(warm),
+        )
+        self._admit(job)
+        obs.add("api.jobs.submitted")
+        thread = threading.Thread(
+            target=self._execute, args=(job,),
+            name=f"repro-job-{job.id}", daemon=True,
+        )
+        thread.start()
+        return job
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cooperative cancellation; no-op on terminal jobs."""
+        job = self.get(job_id)
+        if job is None:
+            return None
+        job.cancel_event.set()
+        return job
+
+    # ------------------------------------------------------------------
+    def _execute(self, job: Job) -> None:
+        """Worker-thread body: run the job's shards, settle its state."""
+        with self._running:
+            started = time.perf_counter()
+            with self._lock:
+                if job.cancel_event.is_set():
+                    job.state = "cancelled"
+                    job.finished_at = time.time()
+                else:
+                    job.state = "running"
+                    job.started_at = time.time()
+            if job.terminal:
+                self._note_finished(job, started)
+                return
+
+            def update_progress(p: Dict[str, int]) -> None:
+                with self._lock:
+                    job.progress = dict(p)
+
+            coordinator = ShardCoordinator(
+                shards=job.shards,
+                cache=self.cache if job.warm else None,
+                progress=update_progress,
+                should_stop=job.cancel_event.is_set,
+            )
+            try:
+                result = coordinator.run(job.specs)
+            except Exception as exc:  # noqa: BLE001 - settles as failed
+                with self._lock:
+                    job.state = "failed"
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.finished_at = time.time()
+                self._note_finished(job, started)
+                return
+            with self._lock:
+                job.records = result.records
+                job.state = (
+                    "cancelled" if job.cancel_event.is_set()
+                    and len(result.records) < len(job.specs)
+                    else "completed"
+                )
+                job.finished_at = time.time()
+            self._note_finished(job, started)
+
+    @staticmethod
+    def _note_finished(job: Job, started: float) -> None:
+        obs.add(f"api.jobs.{job.state}")
+        run = obs.current()
+        if run is not None:
+            run.record_span(
+                "api.job",
+                started,
+                time.perf_counter() - started,
+                attrs={
+                    "job_id": job.id,
+                    "state": job.state,
+                    "points": len(job.specs),
+                    "shards": job.shards,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot for the ``/v1/context`` manifest."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        by_state: Dict[str, int] = {}
+        for job in jobs:
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "jobs": len(jobs),
+            "max_jobs": self.max_jobs,
+            "by_state": by_state,
+        }
+
+
+def jobs_schema() -> Dict[str, Any]:
+    """The jobs-endpoint contract, served under ``GET /v1/schema``.
+
+    Descriptive (states, polling, cancellation semantics) rather than a
+    validating JSON Schema: the submission body *is* the sweep document
+    already described by the ExperimentSpec schema, plus ``options``.
+    """
+    return {
+        "states": list(JOB_STATES),
+        "terminal_states": list(TERMINAL_STATES),
+        "endpoints": {
+            "POST /v1/jobs": (
+                "submit a sweep document (defaults/grid/points, same as "
+                "POST /v1/sweep) plus optional "
+                "options={shards, warm}; returns 202 with the job summary"
+            ),
+            "GET /v1/jobs": "list every known job (summaries, no records)",
+            "GET /v1/jobs/<id>": (
+                "state + aggregate progress; terminal jobs include "
+                "records and cached/computed counts "
+                "(append ?records=false to poll without the payload)"
+            ),
+            "DELETE /v1/jobs/<id>": (
+                "request cooperative cancellation: shards stop between "
+                "points, completed points stay in the result cache, so "
+                "re-submitting the document resumes"
+            ),
+        },
+        "options": {
+            "shards": (
+                "worker-shard count (default "
+                f"{DEFAULT_SHARDS}; capped at the point count); points "
+                "are hash-partitioned exactly as `repro sweep --shard`"
+            ),
+            "warm": (
+                "false bypasses the on-disk result cache for this job"
+            ),
+        },
+    }

@@ -58,18 +58,25 @@ class _Handler(BaseHTTPRequestHandler):
     workers: Optional[threading.Semaphore] = None
     quiet = True
 
-    def _respond(self, status: int, payload: Dict[str, Any], rid: str) -> None:
+    def _respond(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        rid: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Request-Id", rid)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _handle(self, method: str) -> None:
         rid = (self.headers.get("X-Request-Id") or "").strip()[:64]
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
         length = int(self.headers.get("Content-Length") or 0)
         max_bytes = self.service.max_body_bytes
         if length > max_bytes:
@@ -80,6 +87,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "payload_too_large",
                 f"request body is {length} bytes; the limit is {max_bytes}",
                 details={"max_body_bytes": max_bytes},
+                request_id=rid or "-",
             )
             payload["request_id"] = rid or "-"
             # The unread body would poison the next keep-alive request
@@ -92,19 +100,27 @@ class _Handler(BaseHTTPRequestHandler):
         if gate is not None:
             gate.acquire()
         try:
-            status, payload = self.service.dispatch(
-                method, path, body, request_id=rid or None
+            # The raw path (query string included) goes to the service:
+            # query parsing and /v1 canonicalization are semantics, and
+            # both transports must agree on them.
+            status, payload, headers = self.service.dispatch(
+                method, self.path, body, request_id=rid or None
             )
         finally:
             if gate is not None:
                 gate.release()
-        self._respond(status, payload, payload.get("request_id", rid or "-"))
+        self._respond(
+            status, payload, payload.get("request_id", rid or "-"), headers
+        )
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802
         self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
 
     def log_message(self, format: str, *args: Any) -> None:
         if not self.quiet:

@@ -1,27 +1,39 @@
 """The endpoint logic of the topology-evaluation service.
 
 :class:`ApiService` is the transport-independent core: it maps
-``(method, path, body)`` to ``(status, JSON payload)`` and owns the warm
-:class:`~repro.api.state.WarmState`.  The stdlib HTTP front end
-(:mod:`repro.api.server`) and the in-process test client
+``(method, path, body)`` to ``(status, JSON payload, extra headers)``
+and owns the warm :class:`~repro.api.state.WarmState`.  The stdlib HTTP
+front end (:mod:`repro.api.server`) and the in-process test client
 (:mod:`repro.api.client`) both drive this one dispatcher, so every
 status code, error body, and cache interaction is exercised identically
 with and without sockets.
 
-Endpoints
----------
-* ``GET /context`` — self-describing manifest: versions, registered
-  constructions, warm-cache statistics, request counters.
-* ``GET /schema`` — the :class:`ExperimentSpec` JSON schema.
-* ``GET /healthz`` — liveness (cheap, no library work).
-* ``POST /throughput`` — longest-matching throughput of one topology
+Endpoints (all mounted under the versioned ``/v1`` prefix)
+----------------------------------------------------------
+* ``GET /v1/context`` — self-describing manifest: versions, registered
+  constructions, warm-cache statistics, request counters.  Append
+  ``?registry=<name>`` to fetch one registry without the manifest.
+* ``GET /v1/schema`` — the :class:`ExperimentSpec` JSON schema plus the
+  jobs-endpoint contract.
+* ``GET /v1/healthz`` — liveness (cheap, no library work).
+* ``POST /v1/throughput`` — longest-matching throughput of one topology
   over one or more traffic fractions, served from warm state.
-* ``POST /simulate`` — one :class:`ExperimentSpec` run to a
+* ``POST /v1/simulate`` — one :class:`ExperimentSpec` run to a
   :class:`RunRecord` (packet / flow / lp engine).
-* ``POST /sweep`` — a ``defaults``/``grid``/``points`` sweep document
-  executed inline through the harness Runner.
-* ``POST /compare`` — ``POST /throughput`` across several topologies
-  plus a ranking.
+* ``POST /v1/sweep`` — a ``defaults``/``grid``/``points`` sweep
+  document executed inline through the harness Runner (bounded by
+  ``max_sweep_points``; larger campaigns go through jobs).
+* ``POST /v1/compare`` — ``POST /v1/throughput`` across several
+  topologies plus a ranking.
+* ``POST /v1/jobs`` / ``GET /v1/jobs[/<id>]`` / ``DELETE
+  /v1/jobs/<id>`` — async sharded sweep campaigns
+  (:mod:`repro.api.jobs`): submit, poll state/progress, cancel.
+
+Legacy unversioned paths (``/context``, ``/sweep``, …) remain as shims:
+they dispatch to the same handlers but answer with a ``Deprecation:
+true`` header and a ``Link: </v1/...>; rel="successor-version"``
+pointer, and are counted separately in the ``/v1/context`` request
+statistics.
 
 Warm-state semantics: repeated queries naming the same topology spec
 reuse the built topology, its exact-LP :class:`BatchedTopologyContext`
@@ -44,6 +56,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.parse
 import uuid
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -60,16 +73,26 @@ from ..solvers.incremental import (
 )
 from ..version import SPEC_HASH_VERSION, __version__
 from .errors import ApiError, classify_exception
+from .jobs import JobManager, jobs_schema
 from .schema import experiment_spec_schema
 from .state import WarmState, canonical_key
 
-__all__ = ["ApiService", "SERVICE_SCHEMA", "DEFAULT_MAX_BODY_BYTES"]
+__all__ = [
+    "ApiService",
+    "SERVICE_SCHEMA",
+    "API_PREFIX",
+    "DEFAULT_MAX_BODY_BYTES",
+]
 
 #: Service payload-shape identifier, reported in ``/context``.
-SERVICE_SCHEMA = "repro.api/1"
+SERVICE_SCHEMA = "repro.api/2"
+
+#: Canonical mount point; unversioned paths are deprecated shims.
+API_PREFIX = "/v1"
 
 DEFAULT_MAX_BODY_BYTES = 2 * 1024 * 1024
 DEFAULT_MAX_SWEEP_POINTS = 256
+DEFAULT_MAX_JOB_POINTS = 16384
 
 #: Solver names whose exact-LP structure the warm context cache serves.
 _CONTEXT_SOLVERS = ("exact", "highs-exact", "highs-batched")
@@ -97,8 +120,14 @@ class ApiService:
     max_body_bytes:
         Reject larger request bodies with 413.
     max_sweep_points:
-        Reject sweep documents expanding past this with 400 — a
-        stateless front door should not accept unbounded work.
+        Reject *inline* sweep documents expanding past this with 400 —
+        a stateless front door should not accept unbounded synchronous
+        work.  Async jobs get the (much larger) ``max_job_points``.
+    max_job_points:
+        Reject job submissions expanding past this with 400.
+    job_shards:
+        Default shard count for submitted jobs (each shard is an
+        inline Runner on its own thread).
     """
 
     def __init__(
@@ -106,6 +135,8 @@ class ApiService:
         cache_dir: Optional[str] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         max_sweep_points: int = DEFAULT_MAX_SWEEP_POINTS,
+        max_job_points: int = DEFAULT_MAX_JOB_POINTS,
+        job_shards: int = 4,
         state: Optional[WarmState] = None,
     ) -> None:
         self.state = state or WarmState()
@@ -113,22 +144,27 @@ class ApiService:
         self.cache_dir = cache_dir
         self.max_body_bytes = int(max_body_bytes)
         self.max_sweep_points = int(max_sweep_points)
+        self.max_job_points = int(max_job_points)
+        self.jobs = JobManager(cache=self.cache, default_shards=job_shards)
         self._counter_lock = threading.Lock()
         self.request_counts: Dict[str, int] = {}
         self.error_counts: Dict[str, int] = {}
+        self.deprecated_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def routes(self) -> Dict[Tuple[str, str], Callable[[Dict[str, Any]], Dict[str, Any]]]:
+    def routes(self) -> Dict[Tuple[str, str], Callable[..., Dict[str, Any]]]:
         return {
-            ("GET", "/context"): self._context,
-            ("GET", "/schema"): self._schema,
-            ("GET", "/healthz"): self._healthz,
-            ("POST", "/throughput"): self._throughput,
-            ("POST", "/simulate"): self._simulate,
-            ("POST", "/sweep"): self._sweep,
-            ("POST", "/compare"): self._compare,
+            ("GET", "/v1/context"): self._context,
+            ("GET", "/v1/schema"): self._schema,
+            ("GET", "/v1/healthz"): self._healthz,
+            ("POST", "/v1/throughput"): self._throughput,
+            ("POST", "/v1/simulate"): self._simulate,
+            ("POST", "/v1/sweep"): self._sweep,
+            ("POST", "/v1/compare"): self._compare,
+            ("POST", "/v1/jobs"): self._jobs_create,
+            ("GET", "/v1/jobs"): self._jobs_list,
         }
 
     def dispatch(
@@ -137,34 +173,75 @@ class ApiService:
         path: str,
         body: Union[bytes, str, Dict[str, Any], None] = None,
         request_id: Optional[str] = None,
-    ) -> Tuple[int, Dict[str, Any]]:
-        """Handle one request; returns ``(http_status, json_payload)``.
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Handle one request; returns ``(status, payload, headers)``.
 
         Never raises: every failure is classified into the uniform error
         body (see :mod:`repro.api.errors`).  ``body`` may be raw bytes
         (the HTTP server), a str, or an already-parsed mapping (the
         in-process client) — size and JSON validation run on raw forms.
+        ``path`` may carry a query string; it is parsed here so both
+        transports agree on semantics.  Requests on legacy unversioned
+        paths are answered by the ``/v1`` handler with a ``Deprecation``
+        header and counted separately.
         """
         rid = (request_id or "").strip()[:64] or uuid.uuid4().hex[:12]
         started = time.perf_counter()
-        endpoint = f"{method} {path}"
+        raw_path, _, raw_query = str(path).partition("?")
+        clean = raw_path.rstrip("/") or "/"
+        legacy = clean != "/" and not (
+            clean == API_PREFIX or clean.startswith(API_PREFIX + "/")
+        )
+        canonical = API_PREFIX + clean if legacy else clean
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(raw_query).items()
+        }
+        headers: Dict[str, str] = {}
+        endpoint = f"{method} {self._endpoint_path(canonical)}"
         try:
-            handler = self._resolve(method, path)
+            handler = self._resolve(method, canonical)
+            if legacy:
+                headers["Deprecation"] = "true"
+                headers["Link"] = f'<{canonical}>; rel="successor-version"'
             parsed = self._parse_body(body) if method == "POST" else {}
-            payload = handler(parsed)
-            status = 200
+            result = handler(parsed, query)
+            if isinstance(result, tuple):
+                status, payload = result
+            else:
+                status, payload = 200, result
         except Exception as exc:
             error = classify_exception(exc)
-            status, payload = error.status, error.payload()
+            status, payload = error.status, error.payload(rid)
         payload["request_id"] = rid
-        self._note_request(endpoint, rid, status, started)
-        return status, payload
+        self._note_request(endpoint, rid, status, started, deprecated=legacy)
+        return status, payload, headers
+
+    @staticmethod
+    def _endpoint_path(path: str) -> str:
+        """Collapse path parameters so counters stay low-cardinality."""
+        if path.startswith("/v1/jobs/"):
+            return "/v1/jobs/<id>"
+        return path
 
     def _resolve(self, method: str, path: str):
         routes = self.routes()
         handler = routes.get((method, path))
         if handler is not None:
             return handler
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            if job_id and "/" not in job_id:
+                if method == "GET":
+                    return lambda _body, query: self._job_get(job_id, query)
+                if method == "DELETE":
+                    return lambda _body, query: self._job_cancel(job_id)
+                raise ApiError(
+                    405,
+                    "method_not_allowed",
+                    f"{path} does not support {method}",
+                    details={"allowed": ["DELETE", "GET"]},
+                )
         allowed = sorted(m for m, p in routes if p == path)
         if allowed:
             raise ApiError(
@@ -177,7 +254,9 @@ class ApiService:
             404,
             "not_found",
             f"unknown path {path!r}",
-            details={"paths": sorted({p for _, p in routes})},
+            details={
+                "paths": sorted({p for _, p in routes} | {"/v1/jobs/<id>"})
+            },
         )
 
     def _parse_body(
@@ -209,7 +288,12 @@ class ApiService:
         return parsed
 
     def _note_request(
-        self, endpoint: str, rid: str, status: int, started: float
+        self,
+        endpoint: str,
+        rid: str,
+        status: int,
+        started: float,
+        deprecated: bool = False,
     ) -> None:
         elapsed = time.perf_counter() - started
         with self._counter_lock:
@@ -220,9 +304,15 @@ class ApiService:
                 self.error_counts[endpoint] = (
                     self.error_counts.get(endpoint, 0) + 1
                 )
+            if deprecated:
+                self.deprecated_counts[endpoint] = (
+                    self.deprecated_counts.get(endpoint, 0) + 1
+                )
         obs.add("api.requests")
         if status >= 400:
             obs.add("api.errors")
+        if deprecated:
+            obs.add("api.requests.deprecated")
         run = obs.current()
         if run is not None:
             run.record_span(
@@ -248,47 +338,98 @@ class ApiService:
     # ------------------------------------------------------------------
     # GET endpoints
     # ------------------------------------------------------------------
-    def _healthz(self, _body: Dict[str, Any]) -> Dict[str, Any]:
+    def _healthz(
+        self, _body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
         """Liveness probe (no library work)."""
         return {"ok": True}
 
-    def _schema(self, _body: Dict[str, Any]) -> Dict[str, Any]:
-        """The ExperimentSpec JSON schema."""
-        return {"schema": experiment_spec_schema()}
+    def _schema(
+        self, _body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
+        """The ExperimentSpec JSON schema + the jobs contract."""
+        return {
+            "api_version": API_PREFIX.lstrip("/"),
+            "schema": experiment_spec_schema(),
+            "jobs": jobs_schema(),
+        }
 
-    def _context(self, _body: Dict[str, Any]) -> Dict[str, Any]:
-        """Self-describing manifest: versions, registries, cache stats."""
+    def _registries(self) -> Dict[str, Any]:
+        return {
+            "topologies": registry.TOPOLOGIES,
+            "traffic": registry.TRAFFIC,
+            "routings": registry.ROUTINGS,
+            "failures": registry.FAILURES,
+            "solvers": registry.SOLVERS,
+        }
+
+    def _context(
+        self, _body: Dict[str, Any], query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
+        """Self-describing manifest: versions, registries, cache stats.
+
+        ``?registry=<name>`` narrows the response to one registry's
+        entries (400 on an unknown name).
+        """
         def describe(reg) -> Dict[str, str]:
             return {name: reg.describe(name) for name in reg.available()}
+
+        registries = self._registries()
+        wanted = (query or {}).get("registry")
+        if wanted is not None:
+            if wanted not in registries:
+                raise ApiError(
+                    400,
+                    "bad_spec",
+                    f"unknown registry {wanted!r}; valid choices: "
+                    + ", ".join(sorted(registries)),
+                    details={"registries": sorted(registries)},
+                )
+            return {
+                "service": SERVICE_SCHEMA,
+                "library_version": __version__,
+                "registry": wanted,
+                "entries": describe(registries[wanted]),
+            }
 
         with self._counter_lock:
             requests = dict(self.request_counts)
             errors = dict(self.error_counts)
+            deprecated = dict(self.deprecated_counts)
         payload = {
             "service": SERVICE_SCHEMA,
+            "api_version": API_PREFIX.lstrip("/"),
             "library_version": __version__,
             "spec_hash_version": SPEC_HASH_VERSION,
             "started_at_unix": self.state.started_at,
             "uptime_s": round(time.time() - self.state.started_at, 3),
             "engines": list(ENGINES),
             "registries": {
-                "topologies": describe(registry.TOPOLOGIES),
-                "traffic": describe(registry.TRAFFIC),
-                "routings": describe(registry.ROUTINGS),
-                "failures": describe(registry.FAILURES),
-                "solvers": describe(registry.SOLVERS),
+                name: describe(reg) for name, reg in registries.items()
             },
             "endpoints": {
-                f"{method} {path}": (
-                    (handler.__doc__ or "").strip().splitlines() or [""]
-                )[0]
-                for (method, path), handler in sorted(self.routes().items())
+                **{
+                    f"{method} {path}": (
+                        (handler.__doc__ or "").strip().splitlines() or [""]
+                    )[0]
+                    for (method, path), handler in sorted(
+                        self.routes().items()
+                    )
+                },
+                "GET /v1/jobs/<id>": "Job state, progress, and results.",
+                "DELETE /v1/jobs/<id>": "Cancel a job cooperatively.",
             },
             "caches": self.state.stats(),
-            "requests": {"by_endpoint": requests, "errors": errors},
+            "jobs": self.jobs.stats(),
+            "requests": {
+                "by_endpoint": requests,
+                "errors": errors,
+                "deprecated": deprecated,
+            },
             "limits": {
                 "max_body_bytes": self.max_body_bytes,
                 "max_sweep_points": self.max_sweep_points,
+                "max_job_points": self.max_job_points,
             },
         }
         payload["result_cache"] = (
@@ -301,7 +442,9 @@ class ApiService:
     # ------------------------------------------------------------------
     # POST /throughput (and the shared solve core /compare reuses)
     # ------------------------------------------------------------------
-    def _throughput(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    def _throughput(
+        self, body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
         """Longest-matching throughput of one topology, served warm.
 
         Any non-optimal solve fails the request with 422 carrying the
@@ -487,7 +630,9 @@ class ApiService:
     # ------------------------------------------------------------------
     # POST /simulate
     # ------------------------------------------------------------------
-    def _simulate(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    def _simulate(
+        self, body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
         """One ExperimentSpec run to a RunRecord (packet/flow/lp)."""
         body = dict(body)
         options = body.pop("options", {})
@@ -508,18 +653,11 @@ class ApiService:
     # ------------------------------------------------------------------
     # POST /sweep
     # ------------------------------------------------------------------
-    def _sweep(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    def _sweep(
+        self, body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
         """A defaults/grid/points sweep document run inline."""
-        doc = {
-            key: body[key]
-            for key in ("defaults", "grid", "points")
-            if key in body
-        }
-        if not doc:
-            raise ApiError(
-                400, "bad_spec",
-                "sweep body needs at least one of defaults/grid/points",
-            )
+        doc = self._sweep_doc(body)
         specs = expand_sweep(doc)
         if len(specs) > self.max_sweep_points:
             raise ApiError(
@@ -537,16 +675,90 @@ class ApiService:
             cache=self.cache if warm else None,
         )
         result = runner.run(specs)
+        counts = result.counts
         return {
-            "counts": result.counts,
+            "counts": counts,
+            "cached": counts["cached"],
+            "computed": counts["ok"],
             "wall_clock_s": round(result.wall_clock_s, 6),
             "records": [r.to_dict() for r in result.records],
         }
 
+    @staticmethod
+    def _sweep_doc(body: Dict[str, Any]) -> Dict[str, Any]:
+        doc = {
+            key: body[key]
+            for key in ("defaults", "grid", "points")
+            if key in body
+        }
+        if not doc:
+            raise ApiError(
+                400, "bad_spec",
+                "sweep body needs at least one of defaults/grid/points",
+            )
+        return doc
+
+    # ------------------------------------------------------------------
+    # /v1/jobs — async sharded sweep campaigns
+    # ------------------------------------------------------------------
+    def _jobs_create(
+        self, body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Submit a sweep document as an async sharded job (202)."""
+        doc = self._sweep_doc(body)
+        specs = expand_sweep(doc)
+        if len(specs) > self.max_job_points:
+            raise ApiError(
+                400,
+                "too_many_points",
+                f"job expands to {len(specs)} points; the limit is "
+                f"{self.max_job_points}",
+                details={"max_job_points": self.max_job_points},
+            )
+        options = body.get("options", {})
+        if not isinstance(options, dict):
+            raise ApiError(400, "bad_spec", "'options' must be an object")
+        try:
+            job = self.jobs.submit(
+                doc,
+                shards=options.get("shards"),
+                warm=bool(options.get("warm", True)),
+            )
+        except RuntimeError as exc:
+            raise ApiError(409, "too_many_jobs", str(exc))
+        return 202, {"job": job.summary()}
+
+    def _jobs_list(
+        self, _body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
+        """Summaries of every known job (no records)."""
+        return {"jobs": [job.summary() for job in self.jobs.list()]}
+
+    def _job_get(
+        self, job_id: str, query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
+        """Job state, progress, and (when terminal) results."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ApiError(404, "not_found", f"unknown job {job_id!r}")
+        include = (query or {}).get("records", "true").lower() not in (
+            "false", "0", "no",
+        )
+        return {"job": job.payload(include_records=include)}
+
+    def _job_cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a job cooperatively; idempotent on terminal jobs."""
+        job = self.jobs.cancel(job_id)
+        if job is None:
+            raise ApiError(404, "not_found", f"unknown job {job_id!r}")
+        return {"job": job.summary()}
+
     # ------------------------------------------------------------------
     # POST /compare
     # ------------------------------------------------------------------
-    def _compare(self, body: Dict[str, Any]) -> Dict[str, Any]:
+    def _compare(
+        self, body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
         """Throughput across several topologies, ranked."""
         specs = _require(body, "topologies")
         if not isinstance(specs, (list, tuple)) or len(specs) < 2:

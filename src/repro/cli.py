@@ -269,6 +269,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "with --no-cache\n"
         )
         return 2
+    if args.shard:
+        from .harness import ShardSpec, select_shard
+
+        try:
+            shard = ShardSpec.parse(args.shard)
+        except SpecError as exc:
+            sys.stderr.write(f"sweep: bad --shard: {exc}\n")
+            return 2
+        total = len(specs)
+        specs = select_shard(specs, shard)
+        sys.stderr.write(
+            f"sweep: shard {shard} runs {len(specs)} of {total} points\n"
+        )
+        if not specs:
+            print(f"Shard {shard} is empty: nothing to run.")
+            return 0
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     store = ResultsStore(args.results) if args.results else None
 
@@ -343,6 +359,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     return 0 if result.ok else 1
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    import json
+
+    from .harness import SpecError, load_sweep_file
+    from .harness.shard import merge_stores
+
+    specs = None
+    if args.spec:
+        try:
+            specs = load_sweep_file(args.spec)
+        except (OSError, json.JSONDecodeError, SpecError) as exc:
+            sys.stderr.write(f"merge: cannot load {args.spec}: {exc}\n")
+            return 2
+    try:
+        merged = merge_stores(args.inputs, args.output, specs=specs)
+    except (OSError, json.JSONDecodeError, SpecError, ValueError) as exc:
+        sys.stderr.write(f"merge: {exc}\n")
+        return 2
+    print(
+        f"Merged {len(merged.inputs)} stores -> {merged.path}: "
+        f"{merged.records} records "
+        f"({merged.duplicates} duplicates dropped, {merged.failed} failed)"
+    )
+    return 0 if merged.failed == 0 else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -613,7 +655,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--quiet", action="store_true", help="suppress live progress output"
     )
+    p.add_argument(
+        "--shard", default="",
+        help="run only shard i/N of the sweep (deterministic hash "
+        "partition; e.g. --shard 0/3) and merge the JSONL outputs "
+        "afterwards with `repro merge`",
+    )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "merge",
+        help="merge sharded sweep JSONL results into one canonical store",
+    )
+    p.add_argument(
+        "inputs", nargs="+", help="shard JSONL files (from sweep --results)"
+    )
+    p.add_argument(
+        "-o", "--output", required=True, help="merged JSONL output path"
+    )
+    p.add_argument(
+        "--spec", default="",
+        help="sweep JSON the shards came from; orders the merged records "
+        "in sweep-submission order (otherwise sorted by spec hash)",
+    )
+    p.set_defaults(func=_cmd_merge)
 
     p = sub.add_parser(
         "profile",

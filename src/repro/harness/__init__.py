@@ -34,6 +34,17 @@ from .records import (
     series_from_records,
 )
 from .runner import Runner, SweepResult
+from .shard import (
+    MergeResult,
+    ShardCoordinator,
+    ShardSpec,
+    merge_records,
+    merge_stores,
+    partition,
+    select_shard,
+    shard_of,
+    sweep_hash,
+)
 from .spec import (
     ENGINES,
     TOPOLOGY_FAMILIES,
@@ -63,4 +74,13 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "Runner",
     "SweepResult",
+    "ShardSpec",
+    "ShardCoordinator",
+    "MergeResult",
+    "shard_of",
+    "partition",
+    "select_shard",
+    "sweep_hash",
+    "merge_records",
+    "merge_stores",
 ]

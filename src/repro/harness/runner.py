@@ -139,6 +139,14 @@ class Runner:
         Execute points sequentially in this process instead of in
         worker processes.  Keeps the active observability run's spans;
         ``timeout_s`` is not enforced and ``jobs`` is ignored.
+    should_stop:
+        Optional cooperative cancellation flag, polled *between* points
+        (inline) or before launching new workers (pool).  When it
+        returns True the sweep stops starting work: in-flight workers
+        settle, unstarted points yield no record, and the partial
+        result is returned — with a cache attached, completed points
+        are persisted, so re-running the sweep resumes where the
+        cancellation landed.
     """
 
     jobs: Optional[int] = None
@@ -149,6 +157,7 @@ class Runner:
     backoff_base_s: float = 0.25
     progress: Optional[Callable[[Dict[str, int]], None]] = None
     inline: bool = False
+    should_stop: Optional[Callable[[], bool]] = None
     mp_start_method: str = field(default="", repr=False)
 
     def __post_init__(self) -> None:
@@ -166,9 +175,12 @@ class Runner:
             method = "fork" if "fork" in methods else None
         self._ctx = multiprocessing.get_context(method)
 
+    def _stopped(self) -> bool:
+        return self.should_stop is not None and self.should_stop()
+
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[ExperimentSpec]) -> SweepResult:
-        """Execute every spec; always returns one record per spec."""
+        """Execute every spec; one record per spec unless cancelled."""
         t0 = time.perf_counter()
         with obs.span("runner.sweep", points=len(specs), inline=self.inline):
             records = self._prepare(specs)
@@ -250,6 +262,8 @@ class Runner:
         from .execute import execute_lp_batch
 
         for indices in groups.values():
+            if self._stopped():
+                return
             started = time.perf_counter()
             try:
                 batch = execute_lp_batch([specs[i] for i in indices])
@@ -279,6 +293,11 @@ class Runner:
         self._emit(records, active)
         while queue or active:
             now = time.perf_counter()
+            if queue and self._stopped():
+                # Cancelled: stop launching, let in-flight work settle.
+                queue.clear()
+                if not active:
+                    break
             launched = self._launch_ready(specs, queue, active, now)
             settled = self._poll_active(specs, records, queue, active, now)
             if launched or settled:
@@ -293,6 +312,8 @@ class Runner:
         for i, spec in enumerate(specs):
             if records[i] is not None:
                 continue
+            if self._stopped():
+                break
             attempt = 1
             while True:
                 started = time.perf_counter()

@@ -1,0 +1,409 @@
+"""Sharded sweep campaigns: partition, run, and merge.
+
+A sweep's task set is content-addressed (every
+:class:`~repro.harness.spec.ExperimentSpec` has a stable hash), which
+makes *sharding* sound without any coordination: a spec's shard is a
+pure function of its content hash, so N workers — processes on one
+machine or hosts that have never spoken to each other — expand the same
+sweep file, keep the points whose hash lands on their index, and run
+them through an ordinary :class:`~repro.harness.runner.Runner`.  The
+assignment is stable under ``--resume`` (filtering completed points out
+of a sweep never moves the survivors to a different shard) and under
+re-ordering of the sweep file (the hash ignores submission order).
+
+The shard outputs — JSONL :class:`~repro.harness.records.ResultsStore`
+files — are recombined by :func:`merge_stores`:
+
+* **dedup** — records are keyed by ``spec_hash``; overlapping stores
+  (a point retried on two shards, a merge of merges) collapse to one
+  record per spec, preferring successful records over failures;
+* **canonical order** — records are sorted by ``spec_hash`` (or by an
+  explicit spec list, which reproduces submission order);
+* **canonical bytes** — per-run execution metadata that legitimately
+  differs between runs (``wall_clock_s``, ``attempts``, ``cached``) is
+  normalized away, so the merged store is *byte-identical* no matter
+  how the work was split.  ``merge_stores(shard_outputs)`` equals
+  ``merge_stores([unsharded_output])`` bit for bit — the determinism
+  contract the tests and the ``shard-smoke`` CI job assert.
+
+:class:`ShardCoordinator` is the in-process fan-out used by the async
+jobs API: it partitions a spec list, runs each shard on its own thread
+through an inline Runner (LP solves drop the GIL inside scipy/HiGHS, so
+shards genuinely overlap), aggregates progress, honours cooperative
+cancellation, and merges the shard results back into submission order.
+
+Shell surface::
+
+    python -m repro sweep fig2.json --shard 0/3 --results shard0.jsonl
+    python -m repro sweep fig2.json --shard 1/3 --results shard1.jsonl
+    python -m repro sweep fig2.json --shard 2/3 --results shard2.jsonl
+    python -m repro merge -o merged.jsonl shard0.jsonl shard1.jsonl shard2.jsonl
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .. import obs
+from .records import ResultsStore, RunRecord
+from .runner import Runner, SweepResult
+from .spec import ExperimentSpec, SpecError
+
+__all__ = [
+    "ShardSpec",
+    "MergeResult",
+    "ShardCoordinator",
+    "shard_of",
+    "partition",
+    "select_shard",
+    "sweep_hash",
+    "canonical_record",
+    "merge_records",
+    "merge_stores",
+]
+
+#: Hex digits of the content hash used for shard assignment (64 bits —
+#: far past birthday trouble for any realistic sweep).
+_ASSIGN_HEX_DIGITS = 16
+
+
+def shard_of(spec: ExperimentSpec, count: int) -> int:
+    """The shard index a spec deterministically belongs to.
+
+    A pure function of the spec's content hash: independent of
+    submission order, of which other points are in the sweep, and of
+    the process computing it — two hosts expanding the same sweep file
+    agree on every assignment with no coordination.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    return int(spec.content_hash()[:_ASSIGN_HEX_DIGITS], 16) % count
+
+
+def sweep_hash(specs: Sequence[ExperimentSpec]) -> str:
+    """A stable identity for a sweep's full task set.
+
+    SHA-256 over the *sorted* content hashes: permutation-invariant, so
+    reordered sweep files (or shards enumerating in different orders)
+    agree on which campaign they are part of.
+    """
+    blob = "\n".join(sorted(s.content_hash() for s in specs))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a sweep: ``index`` of ``count``, tied to a task set.
+
+    ``sweep`` is the :func:`sweep_hash` of the full spec list (optional
+    but recommended: a merge can then refuse to combine shards of
+    different campaigns).
+    """
+
+    index: int
+    count: int
+    sweep: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SpecError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise SpecError(
+                f"shard index must be in [0, {self.count}), got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str, sweep: str = "") -> "ShardSpec":
+        """Parse the CLI form ``"i/N"`` (e.g. ``--shard 2/8``)."""
+        parts = str(text).split("/")
+        try:
+            index, count = (int(p) for p in parts)
+        except ValueError:
+            raise SpecError(
+                f"shard spec must look like 'i/N' (e.g. 0/4), got {text!r}"
+            ) from None
+        return cls(index=index, count=count, sweep=sweep)
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def select_shard(
+    specs: Sequence[ExperimentSpec], shard: ShardSpec
+) -> List[ExperimentSpec]:
+    """The subset of ``specs`` belonging to ``shard``, in given order."""
+    return [s for s in specs if shard_of(s, shard.count) == shard.index]
+
+
+def partition(
+    specs: Sequence[ExperimentSpec], count: int
+) -> List[List[ExperimentSpec]]:
+    """Split ``specs`` into ``count`` shards (some possibly empty).
+
+    Every spec lands in exactly one shard; within a shard, submission
+    order is preserved.
+    """
+    shards: List[List[ExperimentSpec]] = [[] for _ in range(count)]
+    for spec in specs:
+        shards[shard_of(spec, count)].append(spec)
+    return shards
+
+
+# ----------------------------------------------------------------------
+# Merging shard outputs
+# ----------------------------------------------------------------------
+#: RunRecord fields that legitimately differ between two runs of the
+#: same spec (timing, retry count, whether the cache served it).  The
+#: canonical merged form pins them so merged stores are byte-stable.
+_VOLATILE_DEFAULTS = {"wall_clock_s": 0.0, "attempts": 1, "cached": False}
+
+
+def canonical_record(record: RunRecord) -> RunRecord:
+    """A copy of ``record`` with per-run execution metadata normalized.
+
+    ``metrics``/``telemetry``/``spec``/``provenance`` are deterministic
+    functions of the spec (on one software stack); ``wall_clock_s``,
+    ``attempts``, and ``cached`` are not — they describe one particular
+    execution.  Pinning them to fixed defaults is what lets a merged
+    store be compared byte-for-byte against any other run of the same
+    sweep.
+    """
+    data = record.to_dict()
+    data.update(_VOLATILE_DEFAULTS)
+    return RunRecord.from_dict(data)
+
+
+def _better(challenger: RunRecord, incumbent: RunRecord) -> bool:
+    """Dedup policy: a successful record beats a failed one."""
+    return challenger.ok and not incumbent.ok
+
+
+def merge_records(
+    records: Sequence[RunRecord],
+    specs: Optional[Sequence[ExperimentSpec]] = None,
+) -> List[RunRecord]:
+    """Dedup + canonicalize + order a pile of shard records.
+
+    Records are keyed by ``spec_hash``: the first occurrence wins
+    unless a later one is successful where the incumbent failed (a
+    point that failed on one shard but completed on another — e.g. an
+    overlapping retry — settles as the success).  Output order is the
+    ``specs`` list when given (submission order, the unsharded run's
+    order), else sorted by ``spec_hash``; records for specs not in the
+    list are appended hash-sorted so no input is silently dropped.
+    """
+    by_hash: "Dict[str, RunRecord]" = {}
+    duplicates = 0
+    for record in records:
+        incumbent = by_hash.get(record.spec_hash)
+        if incumbent is None:
+            by_hash[record.spec_hash] = record
+        else:
+            duplicates += 1
+            if _better(record, incumbent):
+                by_hash[record.spec_hash] = record
+    obs.add("harness.shard.merge_duplicates", duplicates)
+
+    ordered: List[RunRecord] = []
+    if specs is not None:
+        for spec in specs:
+            record = by_hash.pop(spec.content_hash(), None)
+            if record is not None:
+                ordered.append(record)
+    ordered.extend(by_hash[h] for h in sorted(by_hash))
+    return [canonical_record(r) for r in ordered]
+
+
+@dataclass
+class MergeResult:
+    """What a :func:`merge_stores` call did."""
+
+    path: str
+    records: int
+    duplicates: int
+    failed: int
+    inputs: List[str] = field(default_factory=list)
+
+
+def merge_stores(
+    inputs: Sequence[str],
+    output: str,
+    specs: Optional[Sequence[ExperimentSpec]] = None,
+) -> MergeResult:
+    """Merge shard JSONL stores into one canonical store at ``output``.
+
+    Idempotent: merging a merged store (alone or with the shards it
+    came from) reproduces it byte-for-byte.  The output file is
+    rewritten, not appended to.
+    """
+    with obs.span("shard.merge", inputs=len(inputs)):
+        loaded: List[RunRecord] = []
+        raw_count = 0
+        for path in inputs:
+            records = ResultsStore(path).load()
+            if not records and path and not os.path.exists(path):
+                # Distinguish "empty shard" from "no such file": an
+                # unreadable input is a caller error, not an empty merge.
+                raise OSError(f"no such results store: {path}")
+            raw_count += len(records)
+            loaded.extend(records)
+        merged = merge_records(loaded, specs=specs)
+
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{output}.tmp"
+        with open(tmp, "w") as f:
+            for record in merged:
+                f.write(record.to_json() + "\n")
+        os.replace(tmp, output)
+    obs.add("harness.shard.merged_records", len(merged))
+    return MergeResult(
+        path=output,
+        records=len(merged),
+        duplicates=raw_count - len(merged),
+        failed=sum(1 for r in merged if not r.ok),
+        inputs=list(inputs),
+    )
+
+
+# ----------------------------------------------------------------------
+# In-process fan-out (the async jobs API's execution engine)
+# ----------------------------------------------------------------------
+class ShardCoordinator:
+    """Fan a spec list out over per-shard threads and merge the results.
+
+    Each shard runs on its own thread through an *inline* Runner — no
+    worker forks, so the coordinator composes with the API's warm
+    process state, and LP solves overlap because scipy/HiGHS drop the
+    GIL.  Progress callbacks receive the aggregate
+    ``{total, done, ok, cached, failed, shards, shards_done}`` under a
+    lock; ``should_stop`` is threaded into every Runner, so one
+    cooperative cancel flag stops all shards between points.
+
+    Parameters
+    ----------
+    shards:
+        Shard count (1 = a plain inline sweep).
+    cache:
+        Optional shared :class:`~repro.harness.cache.ResultCache`; all
+        shards read and write it, which is what makes a cancelled run
+        resumable.
+    runner_factory:
+        Optional ``(shard_index) -> Runner`` override; the default
+        builds ``Runner(inline=True, retries=0, cache=cache,
+        should_stop=...)``.  Mainly a test seam.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        cache=None,
+        progress: Optional[Callable[[Dict[str, int]], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        runner_factory: Optional[Callable[[int], Runner]] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.cache = cache
+        self.progress = progress
+        self.should_stop = should_stop
+        self.runner_factory = runner_factory
+        self._lock = threading.Lock()
+        self._per_shard: List[Dict[str, int]] = []
+        self._shards_done = 0
+        self._total = 0
+
+    def _runner(self, shard_index: int) -> Runner:
+        if self.runner_factory is not None:
+            return self.runner_factory(shard_index)
+        return Runner(
+            inline=True,
+            retries=0,
+            cache=self.cache,
+            progress=self._shard_progress(shard_index),
+            should_stop=self.should_stop,
+        )
+
+    def _shard_progress(self, shard_index: int):
+        def update(p: Dict[str, int]) -> None:
+            with self._lock:
+                self._per_shard[shard_index] = dict(p)
+                aggregate = self._aggregate_locked()
+            if self.progress is not None:
+                self.progress(aggregate)
+
+        return update
+
+    def _aggregate_locked(self) -> Dict[str, int]:
+        agg = {"total": self._total, "done": 0, "ok": 0, "cached": 0,
+               "failed": 0, "running": 0}
+        for p in self._per_shard:
+            for key in ("done", "ok", "cached", "failed", "running"):
+                agg[key] += p.get(key, 0)
+        agg["shards"] = self.shards
+        agg["shards_done"] = self._shards_done
+        return agg
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> SweepResult:
+        """Run every spec across the shards; records in submission order.
+
+        Cancellation (``should_stop`` returning True) stops each shard
+        between points; the result then holds only the records that
+        settled, exactly as an interrupted sweep's JSONL would.
+        """
+        t0 = time.perf_counter()
+        parts = partition(specs, self.shards)
+        with self._lock:
+            self._total = len(specs)
+            self._per_shard = [
+                {"total": len(part)} for part in parts
+            ]
+        obs.add("harness.shard.runs")
+        results: List[Optional[SweepResult]] = [None] * self.shards
+        errors: List[BaseException] = []
+
+        def run_shard(i: int) -> None:
+            try:
+                results[i] = self._runner(i).run(parts[i])
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+            finally:
+                with self._lock:
+                    self._shards_done += 1
+
+        threads = [
+            threading.Thread(
+                target=run_shard, args=(i,), name=f"repro-shard-{i}",
+                daemon=True,
+            )
+            for i in range(self.shards)
+        ]
+        with obs.span("shard.run", shards=self.shards, points=len(specs)):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            raise errors[0]
+
+        by_hash = {
+            r.spec_hash: r
+            for result in results
+            if result is not None
+            for r in result.records
+        }
+        ordered = [
+            by_hash[s.content_hash()]
+            for s in specs
+            if s.content_hash() in by_hash
+        ]
+        return SweepResult(
+            records=ordered, wall_clock_s=time.perf_counter() - t0
+        )

@@ -5,7 +5,8 @@ malformed specs (unknown topology/solver/parameters), infeasible LPs
 (via a registered always-infeasible fake solver — the paper's
 max-concurrent LP is never naturally infeasible), oversized payloads,
 unknown paths, and wrong methods.  Every error body must carry the
-uniform ``{"error": {code, message, ...}, "request_id": ...}`` shape.
+uniform ``{"error": {code, message, request_id, ...}}`` envelope, with
+the request id mirrored at the top level.
 """
 
 import pytest
@@ -30,40 +31,43 @@ def _assert_error(resp, status, code):
     assert resp.json["error"]["code"] == code
     assert resp.json["error"]["message"]
     assert resp.json["request_id"]
+    # The id lives inside the envelope too, so the error object is
+    # self-contained when logged or forwarded.
+    assert resp.json["error"]["request_id"] == resp.json["request_id"]
 
 
 def test_malformed_json(client):
-    _assert_error(client.post("/throughput", b"{not json"), 400, "bad_json")
+    _assert_error(client.post("/v1/throughput", b"{not json"), 400, "bad_json")
 
 
 def test_non_object_body(client):
-    _assert_error(client.post("/throughput", b"[1, 2, 3]"), 400, "bad_json")
+    _assert_error(client.post("/v1/throughput", b"[1, 2, 3]"), 400, "bad_json")
 
 
 def test_non_utf8_body(client):
-    _assert_error(client.post("/throughput", b"\xff\xfe{}"), 400, "bad_json")
+    _assert_error(client.post("/v1/throughput", b"\xff\xfe{}"), 400, "bad_json")
 
 
 def test_missing_topology_key(client):
-    _assert_error(client.post("/throughput", {}), 400, "bad_spec")
+    _assert_error(client.post("/v1/throughput", {}), 400, "bad_spec")
 
 
 def test_unknown_topology_family(client):
-    resp = client.post("/throughput", {"topology": "hypercube:dim=4"})
+    resp = client.post("/v1/throughput", {"topology": "hypercube:dim=4"})
     _assert_error(resp, 400, "bad_spec")
     assert "hypercube" in resp.json["error"]["message"]
 
 
 def test_bad_topology_parameter(client):
     resp = client.post(
-        "/throughput", {"topology": "jellyfish:bogus_knob=1"}
+        "/v1/throughput", {"topology": "jellyfish:bogus_knob=1"}
     )
     _assert_error(resp, 400, "bad_spec")
 
 
 def test_unknown_solver(client):
     resp = client.post(
-        "/throughput", {"topology": JELLYFISH, "solver": "cplex"}
+        "/v1/throughput", {"topology": JELLYFISH, "solver": "cplex"}
     )
     _assert_error(resp, 400, "bad_spec")
     assert "highs-batched" in resp.json["error"]["message"]
@@ -72,26 +76,26 @@ def test_unknown_solver(client):
 def test_bad_fractions(client):
     for fractions in ([], [0.0], [1.5], ["half"]):
         resp = client.post(
-            "/throughput", {"topology": JELLYFISH, "fractions": fractions}
+            "/v1/throughput", {"topology": JELLYFISH, "fractions": fractions}
         )
         _assert_error(resp, 400, "bad_spec")
 
 
 def test_simulate_unknown_field(client):
     resp = client.post(
-        "/simulate", {"topology": {"family": "jellyfish"}, "wlrkoad": {}}
+        "/v1/simulate", {"topology": {"family": "jellyfish"}, "wlrkoad": {}}
     )
     _assert_error(resp, 400, "bad_spec")
 
 
 def test_sweep_empty_document(client):
-    _assert_error(client.post("/sweep", {"options": {}}), 400, "bad_spec")
+    _assert_error(client.post("/v1/sweep", {"options": {}}), 400, "bad_spec")
 
 
 def test_sweep_too_many_points():
     client = InProcessClient(ApiService(max_sweep_points=3))
     resp = client.post(
-        "/sweep",
+        "/v1/sweep",
         {
             "defaults": {"topology": {"family": "jellyfish"}, "engine": "lp"},
             "grid": {"workload.fraction": [0.2, 0.4, 0.6, 0.8]},
@@ -102,28 +106,28 @@ def test_sweep_too_many_points():
 
 
 def test_compare_needs_two_topologies(client):
-    resp = client.post("/compare", {"topologies": [JELLYFISH]})
+    resp = client.post("/v1/compare", {"topologies": [JELLYFISH]})
     _assert_error(resp, 400, "bad_spec")
 
 
 def test_oversized_payload(client):
     padding = "x" * (128 * 1024)
-    resp = client.post("/throughput", '{"topology": "%s"}' % padding)
+    resp = client.post("/v1/throughput", '{"topology": "%s"}' % padding)
     _assert_error(resp, 413, "payload_too_large")
     assert resp.json["error"]["details"]["max_body_bytes"] == 64 * 1024
 
 
 def test_unknown_path(client):
-    resp = client.get("/topologies")
+    resp = client.get("/v1/topologies")
     _assert_error(resp, 404, "not_found")
-    assert "/throughput" in resp.json["error"]["details"]["paths"]
+    assert "/v1/throughput" in resp.json["error"]["details"]["paths"]
 
 
 def test_method_not_allowed(client):
-    resp = client.post("/context")
+    resp = client.post("/v1/context")
     _assert_error(resp, 405, "method_not_allowed")
     assert resp.json["error"]["details"]["allowed"] == ["GET"]
-    resp = client.get("/throughput")
+    resp = client.get("/v1/throughput")
     _assert_error(resp, 405, "method_not_allowed")
     assert resp.json["error"]["details"]["allowed"] == ["POST"]
 
@@ -155,7 +159,7 @@ def test_infeasible_solve_maps_to_422(client, monkeypatch):
         lambda: _AlwaysInfeasible(),
     )
     resp = client.post(
-        "/throughput", {"topology": JELLYFISH, "solver": "always-infeasible"}
+        "/v1/throughput", {"topology": JELLYFISH, "solver": "always-infeasible"}
     )
     _assert_error(resp, 422, "solver_failure")
     (point,) = resp.json["error"]["details"]["results"]
@@ -173,7 +177,7 @@ def test_compare_all_infeasible_maps_to_422(client, monkeypatch):
         lambda: _AlwaysInfeasible(),
     )
     resp = client.post(
-        "/compare",
+        "/v1/compare",
         {
             "topologies": [JELLYFISH, "xpander:degree=4,lift=3,servers=2"],
             "solver": "always-infeasible",

@@ -24,22 +24,22 @@ def client():
 
 
 def test_healthz(client):
-    resp = client.get("/healthz")
+    resp = client.get("/v1/healthz")
     assert resp.status == 200
     assert resp.json["ok"] is True
     assert resp.request_id
 
 
 def test_context_manifest(client):
-    resp = client.get("/context").raise_for_status()
+    resp = client.get("/v1/context").raise_for_status()
     body = resp.json
-    assert body["service"] == "repro.api/1"
+    assert body["service"] == "repro.api/2"
     assert body["library_version"] == repro.__version__
     assert body["spec_hash_version"] == repro.SPEC_HASH_VERSION
     for registry_name in ("topologies", "traffic", "routings", "failures",
                           "solvers"):
         assert body["registries"][registry_name], registry_name
-    assert "POST /throughput" in body["endpoints"]
+    assert "POST /v1/throughput" in body["endpoints"]
     assert set(body["caches"]) == {
         "topologies", "solver_contexts", "results", "path_cache",
         "incremental_contexts", "warm_start",
@@ -48,17 +48,17 @@ def test_context_manifest(client):
     assert body["limits"]["max_body_bytes"] > 0
     assert body["result_cache"] is None
     # The request counters include this very request.
-    again = client.get("/context").json
-    assert again["requests"]["by_endpoint"]["GET /context"] >= 1
+    again = client.get("/v1/context").json
+    assert again["requests"]["by_endpoint"]["GET /v1/context"] >= 1
 
 
 def test_schema_endpoint(client):
-    resp = client.get("/schema").raise_for_status()
+    resp = client.get("/v1/schema").raise_for_status()
     assert resp.json["schema"]["title"] == "ExperimentSpec"
 
 
 def test_throughput_single_fraction(client):
-    resp = client.post("/throughput", {"topology": JELLYFISH})
+    resp = client.post("/v1/throughput", {"topology": JELLYFISH})
     assert resp.status == 200
     body = resp.json
     assert body["topology"]["switches"] == 12
@@ -74,7 +74,7 @@ def test_throughput_single_fraction(client):
 
 def test_throughput_multiple_fractions_monotone(client):
     resp = client.post(
-        "/throughput",
+        "/v1/throughput",
         {"topology": JELLYFISH, "fractions": [0.3, 0.6, 1.0]},
     ).raise_for_status()
     values = [r["per_server_throughput"] for r in resp.json["results"]]
@@ -85,13 +85,13 @@ def test_throughput_multiple_fractions_monotone(client):
 
 def test_throughput_with_failures(client):
     resp = client.post(
-        "/throughput",
+        "/v1/throughput",
         {"topology": JELLYFISH, "failures": "links:fraction=0.1,seed=3"},
     )
     assert resp.status in (200, 422)  # degraded may disconnect pairs
     if resp.status == 200:
         healthy = client.post(
-            "/throughput", {"topology": JELLYFISH}
+            "/v1/throughput", {"topology": JELLYFISH}
         ).raise_for_status()
         assert (
             resp.json["results"][0]["per_server_throughput"]
@@ -101,10 +101,10 @@ def test_throughput_with_failures(client):
 
 def test_throughput_alternate_solver(client):
     exact = client.post(
-        "/throughput", {"topology": XPANDER, "solver": "highs-exact"}
+        "/v1/throughput", {"topology": XPANDER, "solver": "highs-exact"}
     ).raise_for_status()
     batched = client.post(
-        "/throughput", {"topology": XPANDER}
+        "/v1/throughput", {"topology": XPANDER}
     ).raise_for_status()
     assert exact.json["results"][0]["per_server_throughput"] == pytest.approx(
         batched.json["results"][0]["per_server_throughput"]
@@ -116,11 +116,11 @@ def test_throughput_alternate_solver(client):
 
 def test_throughput_non_context_solver(client):
     resp = client.post(
-        "/throughput",
+        "/v1/throughput",
         {"topology": XPANDER, "solver": "mcf-approx:epsilon=0.05"},
     ).raise_for_status()
     assert resp.json["warm"]["context"] is None  # no ArcTable involved
-    exact = client.post("/throughput", {"topology": XPANDER}).raise_for_status()
+    exact = client.post("/v1/throughput", {"topology": XPANDER}).raise_for_status()
     assert resp.json["results"][0]["per_server_throughput"] == pytest.approx(
         exact.json["results"][0]["per_server_throughput"], rel=0.15
     )
@@ -133,7 +133,7 @@ def test_simulate_lp_engine(client):
         "workload": {"pattern": "longest_matching", "fraction": 0.5},
         "engine": "lp",
     }
-    resp = client.post("/simulate", dict(body)).raise_for_status()
+    resp = client.post("/v1/simulate", dict(body)).raise_for_status()
     record = resp.json["record"]
     assert record["status"] == "ok"
     assert 0 < record["metrics"]["per_server_throughput"] <= 1.0
@@ -144,7 +144,7 @@ def test_simulate_lp_engine(client):
 
 def test_sweep_grid(client):
     resp = client.post(
-        "/sweep",
+        "/v1/sweep",
         {
             "defaults": {
                 "topology": {"family": "jellyfish", "switches": 10,
@@ -157,6 +157,9 @@ def test_sweep_grid(client):
     ).raise_for_status()
     assert resp.json["counts"]["total"] == 2
     assert resp.json["counts"]["failed"] == 0
+    # Memo-vs-computed split rides on every sweep response.
+    assert resp.json["computed"] == 2
+    assert resp.json["cached"] == 0
     assert len(resp.json["records"]) == 2
     fractions = sorted(
         r["spec"]["workload"]["fraction"] for r in resp.json["records"]
@@ -166,7 +169,7 @@ def test_sweep_grid(client):
 
 def test_compare_ranks_topologies(client):
     resp = client.post(
-        "/compare",
+        "/v1/compare",
         {"topologies": [JELLYFISH, XPANDER], "fraction": 0.7},
     ).raise_for_status()
     body = resp.json
@@ -183,11 +186,11 @@ def test_compare_ranks_topologies(client):
 
 
 def test_request_id_echoed(client):
-    resp = client.get("/healthz", request_id="abc-123")
+    resp = client.get("/v1/healthz", request_id="abc-123")
     assert resp.json["request_id"] == "abc-123"
 
 
 def test_request_id_generated_when_missing(client):
-    first = client.get("/healthz").request_id
-    second = client.get("/healthz").request_id
+    first = client.get("/v1/healthz").request_id
+    second = client.get("/v1/healthz").request_id
     assert first and second and first != second
