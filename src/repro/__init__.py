@@ -34,8 +34,12 @@ The package provides:
   ``topology.degrade(...)``, and "throughput retained vs. fraction
   failed" campaigns (``python -m repro resilience``);
 * :mod:`repro.api` — a long-lived, stdlib-only HTTP service exposing
-  throughput/simulate/sweep/compare over warm shared state
-  (``python -m repro serve``).
+  throughput/simulate/sweep/compare/design over warm shared state
+  (``python -m repro serve``), plus the typed
+  :class:`~repro.api.ReproClient` facade;
+* :mod:`repro.design` — inverse design: the staged search for the
+  cheapest network meeting a declarative SLO target
+  (``python -m repro design``).
 
 Quickstart::
 
@@ -57,6 +61,7 @@ from . import (
     analysis,
     api,
     cost,
+    design,
     flowsim,
     harness,
     obs,
@@ -86,6 +91,7 @@ __all__ = [
     "registry",
     "resilience",
     "solvers",
+    "design",
     "SPEC_HASH_VERSION",
     "__version__",
 ]

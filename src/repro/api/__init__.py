@@ -15,15 +15,35 @@ Quick start::
 
 Endpoints are mounted under the versioned ``/v1`` prefix; the old
 unversioned paths still answer (with a ``Deprecation`` header).  Sweep
-campaigns too large for the synchronous ``POST /v1/sweep`` go through
-the async jobs layer (:mod:`repro.api.jobs`): ``POST /v1/jobs``, poll
+campaigns too large for the synchronous ``POST /v1/sweep``, and design
+searches too large for ``POST /v1/design``, go through the async jobs
+layer (:mod:`repro.api.jobs`): ``POST /v1/jobs``, poll
 ``GET /v1/jobs/<id>``, ``DELETE`` to cancel.
+
+The recommended programmatic entry point is the typed facade::
+
+    from repro.api import ReproClient
+
+    client = ReproClient.in_process()            # or .http(host, port)
+    report = client.design({"servers": 48, "throughput_per_server": 0.3,
+                            "max_switches": 24, "radix": 10})
 
 See ``docs/api.md`` for the endpoint reference and the warm-state
 semantics, and :mod:`repro.api.errors` for the error contract.
 """
 
-from .client import ApiResponse, HttpClient, InProcessClient
+from .client import (
+    ApiResponse,
+    CompareResult,
+    HttpClient,
+    InProcessClient,
+    JobHandle,
+    ReproClient,
+    ServiceContext,
+    SimulationResult,
+    SweepResult,
+    ThroughputEvaluation,
+)
 from .errors import ApiError, classify_exception, error_payload
 from .jobs import Job, JobManager, jobs_schema
 from .schema import experiment_spec_schema
@@ -37,11 +57,18 @@ __all__ = [
     "ApiResponse",
     "ApiServer",
     "ApiService",
+    "CompareResult",
     "HttpClient",
     "InProcessClient",
     "Job",
+    "JobHandle",
     "JobManager",
+    "ReproClient",
     "SERVICE_SCHEMA",
+    "ServiceContext",
+    "SimulationResult",
+    "SweepResult",
+    "ThroughputEvaluation",
     "WarmState",
     "canonical_key",
     "classify_exception",

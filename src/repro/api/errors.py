@@ -55,6 +55,12 @@ class ApiError(Exception):
 
     Raised anywhere inside request handling; the dispatcher turns it
     into the uniform error body.  ``details`` must be JSON-serializable.
+
+    The same type is what clients raise: :meth:`ApiResponse.
+    raise_for_status` rebuilds an ``ApiError`` from the error envelope,
+    so callers on either side of the wire catch one exception carrying
+    the status, stable ``code``, structured ``details``, and the
+    server-assigned ``request_id`` (client side only).
     """
 
     def __init__(
@@ -63,17 +69,19 @@ class ApiError(Exception):
         code: str,
         message: str,
         details: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.status = int(status)
         self.code = code
         self.message = message
         self.details = dict(details or {})
+        self.request_id = request_id
 
     def payload(self, request_id: Optional[str] = None) -> Dict[str, Any]:
         body: Dict[str, Any] = {"code": self.code, "message": self.message}
-        if request_id:
-            body["request_id"] = request_id
+        if request_id or self.request_id:
+            body["request_id"] = request_id or self.request_id
         if self.details:
             body["details"] = self.details
         return {"error": body}

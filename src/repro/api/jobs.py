@@ -12,6 +12,13 @@ into submission order.  Clients poll ``GET /v1/jobs/<id>`` for state
 and aggregate progress, and ``DELETE /v1/jobs/<id>`` requests
 cooperative cancellation.
 
+Jobs carry a ``kind``: ``"sweep"`` (the default, above) or
+``"design"`` — an inverse-design search
+(:class:`repro.design.DesignEngine`) running against the service's
+warm engine on a worker thread; the search polls the cancel event
+between LP evaluations and a cancelled search settles with the partial
+report it had (``complete: false``).
+
 Lifecycle::
 
     pending ──► running ──► completed
@@ -61,19 +68,21 @@ DEFAULT_SHARDS = 4
 
 @dataclass
 class Job:
-    """One submitted sweep campaign and everything known about it."""
+    """One submitted job (sweep campaign or design search)."""
 
     id: str
     doc: Dict[str, Any]
     specs: List[ExperimentSpec]
     shards: int
     warm: bool
+    kind: str = "sweep"
     state: str = "pending"
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     progress: Dict[str, int] = field(default_factory=dict)
     records: List[RunRecord] = field(default_factory=list)
+    result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
 
@@ -85,7 +94,7 @@ class Job:
         """The compact JSON form (no records) for listings and polling."""
         done = [r for r in self.records]
         counts: Optional[Dict[str, int]] = None
-        if self.terminal:
+        if self.terminal and self.kind == "sweep":
             counts = {
                 "total": len(self.specs),
                 "done": len(done),
@@ -95,8 +104,9 @@ class Job:
             }
         return {
             "id": self.id,
+            "kind": self.kind,
             "state": self.state,
-            "points": len(self.specs),
+            "points": len(self.specs) if self.kind == "sweep" else None,
             "shards": self.shards,
             "created_at_unix": round(self.created_at, 3),
             "started_at_unix": (
@@ -112,9 +122,11 @@ class Job:
         }
 
     def payload(self, include_records: bool = True) -> Dict[str, Any]:
-        """The full JSON form; terminal jobs carry their records."""
+        """The full JSON form; terminal jobs carry their results."""
         body = self.summary()
-        if self.terminal and include_records:
+        if self.terminal and self.kind == "design":
+            body["report"] = self.result
+        elif self.terminal and include_records:
             body["records"] = [r.to_dict() for r in self.records]
             counts = body["counts"] or {}
             body["cached"] = counts.get("cached", 0)
@@ -218,6 +230,33 @@ class JobManager:
         thread.start()
         return job
 
+    def submit_design(self, target: Any, engine: Any) -> Job:
+        """Run an inverse-design search as an async job.
+
+        ``target`` is a validated :class:`~repro.design.DesignTarget`;
+        ``engine`` is the service's warm
+        :class:`~repro.design.DesignEngine` (shared measurement memos,
+        so repeated and perturbed targets re-solve only what changed).
+        """
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            doc={"kind": "design", "target": target.to_dict()},
+            specs=[],
+            shards=1,
+            warm=True,
+            kind="design",
+        )
+        job._design_target = target  # type: ignore[attr-defined]
+        job._design_engine = engine  # type: ignore[attr-defined]
+        self._admit(job)
+        obs.add("api.jobs.submitted")
+        thread = threading.Thread(
+            target=self._execute, args=(job,),
+            name=f"repro-job-{job.id}", daemon=True,
+        )
+        thread.start()
+        return job
+
     def cancel(self, job_id: str) -> Optional[Job]:
         """Request cooperative cancellation; no-op on terminal jobs."""
         job = self.get(job_id)
@@ -228,7 +267,7 @@ class JobManager:
 
     # ------------------------------------------------------------------
     def _execute(self, job: Job) -> None:
-        """Worker-thread body: run the job's shards, settle its state."""
+        """Worker-thread body: run the job's work, settle its state."""
         with self._running:
             started = time.perf_counter()
             with self._lock:
@@ -245,6 +284,10 @@ class JobManager:
             def update_progress(p: Dict[str, int]) -> None:
                 with self._lock:
                     job.progress = dict(p)
+
+            if job.kind == "design":
+                self._execute_design(job, started, update_progress)
+                return
 
             coordinator = ShardCoordinator(
                 shards=job.shards,
@@ -270,6 +313,29 @@ class JobManager:
                 )
                 job.finished_at = time.time()
             self._note_finished(job, started)
+
+    def _execute_design(self, job: Job, started: float, update_progress) -> None:
+        """Run a design search cooperatively on the job's thread."""
+        target = job._design_target  # type: ignore[attr-defined]
+        engine = job._design_engine  # type: ignore[attr-defined]
+        try:
+            report = engine.search(
+                target,
+                should_stop=job.cancel_event.is_set,
+                progress=update_progress,
+            )
+        except Exception as exc:  # noqa: BLE001 - settles as failed
+            with self._lock:
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_at = time.time()
+            self._note_finished(job, started)
+            return
+        with self._lock:
+            job.result = report.to_dict()
+            job.state = "cancelled" if not report.complete else "completed"
+            job.finished_at = time.time()
+        self._note_finished(job, started)
 
     @staticmethod
     def _note_finished(job: Job, started: float) -> None:
@@ -313,11 +379,24 @@ def jobs_schema() -> Dict[str, Any]:
     return {
         "states": list(JOB_STATES),
         "terminal_states": list(TERMINAL_STATES),
+        "kinds": {
+            "sweep": (
+                "the default: a defaults/grid/points sweep document, "
+                "sharded over inline Runners"
+            ),
+            "design": (
+                'kind: "design" plus target: {...} (the DesignTarget '
+                "schema): an inverse-design search; terminal jobs carry "
+                "the full report, cancelled searches a partial one with "
+                "complete: false"
+            ),
+        },
         "endpoints": {
             "POST /v1/jobs": (
                 "submit a sweep document (defaults/grid/points, same as "
                 "POST /v1/sweep) plus optional "
-                "options={shards, warm}; returns 202 with the job summary"
+                'options={shards, warm} — or kind: "design" with a '
+                "target document; returns 202 with the job summary"
             ),
             "GET /v1/jobs": "list every known job (summaries, no records)",
             "GET /v1/jobs/<id>": (

@@ -25,9 +25,15 @@ Endpoints (all mounted under the versioned ``/v1`` prefix)
   ``max_sweep_points``; larger campaigns go through jobs).
 * ``POST /v1/compare`` — ``POST /v1/throughput`` across several
   topologies plus a ranking.
+* ``POST /v1/design`` — an inverse-design search
+  (:mod:`repro.design`): the cheapest candidate meeting a declarative
+  SLO target, run synchronously against the service's warm
+  :class:`~repro.design.DesignEngine` (bounded by
+  ``max_design_candidates``; larger spaces go through jobs).
 * ``POST /v1/jobs`` / ``GET /v1/jobs[/<id>]`` / ``DELETE
-  /v1/jobs/<id>`` — async sharded sweep campaigns
-  (:mod:`repro.api.jobs`): submit, poll state/progress, cancel.
+  /v1/jobs/<id>`` — async jobs (:mod:`repro.api.jobs`): sharded sweep
+  campaigns and ``kind: "design"`` searches; submit, poll
+  state/progress, cancel.
 
 Legacy unversioned paths (``/context``, ``/sweep``, …) remain as shims:
 they dispatch to the same handlers but answer with a ``Deprecation:
@@ -61,6 +67,8 @@ import uuid
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from .. import obs, registry
+from ..design import DesignEngine, DesignTarget, design_target_schema
+from ..design.space import enumerate_candidates
 from ..harness import ResultCache, Runner
 from ..harness.execute import execute_spec
 from ..harness.spec import ENGINES, ExperimentSpec, expand_sweep
@@ -93,6 +101,7 @@ API_PREFIX = "/v1"
 DEFAULT_MAX_BODY_BYTES = 2 * 1024 * 1024
 DEFAULT_MAX_SWEEP_POINTS = 256
 DEFAULT_MAX_JOB_POINTS = 16384
+DEFAULT_MAX_DESIGN_CANDIDATES = 64
 
 #: Solver names whose exact-LP structure the warm context cache serves.
 _CONTEXT_SOLVERS = ("exact", "highs-exact", "highs-batched")
@@ -125,6 +134,10 @@ class ApiService:
         work.  Async jobs get the (much larger) ``max_job_points``.
     max_job_points:
         Reject job submissions expanding past this with 400.
+    max_design_candidates:
+        Reject *synchronous* ``/v1/design`` targets whose candidate
+        space is larger than this with 400 (async design jobs are
+        bounded by ``max_job_points``).
     job_shards:
         Default shard count for submitted jobs (each shard is an
         inline Runner on its own thread).
@@ -136,6 +149,7 @@ class ApiService:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         max_sweep_points: int = DEFAULT_MAX_SWEEP_POINTS,
         max_job_points: int = DEFAULT_MAX_JOB_POINTS,
+        max_design_candidates: int = DEFAULT_MAX_DESIGN_CANDIDATES,
         job_shards: int = 4,
         state: Optional[WarmState] = None,
     ) -> None:
@@ -145,6 +159,8 @@ class ApiService:
         self.max_body_bytes = int(max_body_bytes)
         self.max_sweep_points = int(max_sweep_points)
         self.max_job_points = int(max_job_points)
+        self.max_design_candidates = int(max_design_candidates)
+        self.design_engine = DesignEngine()
         self.jobs = JobManager(cache=self.cache, default_shards=job_shards)
         self._counter_lock = threading.Lock()
         self.request_counts: Dict[str, int] = {}
@@ -163,6 +179,7 @@ class ApiService:
             ("POST", "/v1/simulate"): self._simulate,
             ("POST", "/v1/sweep"): self._sweep,
             ("POST", "/v1/compare"): self._compare,
+            ("POST", "/v1/design"): self._design,
             ("POST", "/v1/jobs"): self._jobs_create,
             ("GET", "/v1/jobs"): self._jobs_list,
         }
@@ -351,6 +368,7 @@ class ApiService:
         return {
             "api_version": API_PREFIX.lstrip("/"),
             "schema": experiment_spec_schema(),
+            "design": design_target_schema(),
             "jobs": jobs_schema(),
         }
 
@@ -361,6 +379,7 @@ class ApiService:
             "routings": registry.ROUTINGS,
             "failures": registry.FAILURES,
             "solvers": registry.SOLVERS,
+            "designs": registry.DESIGNS,
         }
 
     def _context(
@@ -430,6 +449,7 @@ class ApiService:
                 "max_body_bytes": self.max_body_bytes,
                 "max_sweep_points": self.max_sweep_points,
                 "max_job_points": self.max_job_points,
+                "max_design_candidates": self.max_design_candidates,
             },
         }
         payload["result_cache"] = (
@@ -699,12 +719,56 @@ class ApiService:
         return doc
 
     # ------------------------------------------------------------------
-    # /v1/jobs — async sharded sweep campaigns
+    # POST /design — inverse design against the warm engine
+    # ------------------------------------------------------------------
+    def _parse_design_target(self, body: Dict[str, Any]) -> DesignTarget:
+        """Validate the ``target`` document and bound its candidate space."""
+        target = DesignTarget.from_dict(_require(body, "target"))
+        # Enumeration is arithmetic-only (no graphs, no LPs), so sizing
+        # the space up front is cheap enough to gate the request on.
+        return target
+
+    def _design(
+        self, body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
+    ) -> Dict[str, Any]:
+        """The cheapest design meeting a declarative SLO target (sync)."""
+        target = self._parse_design_target(body)
+        candidates = len(enumerate_candidates(target))
+        if candidates > self.max_design_candidates:
+            raise ApiError(
+                400,
+                "too_many_points",
+                f"design space has {candidates} candidates; the "
+                f"synchronous limit is {self.max_design_candidates} "
+                '(submit as a kind: "design" job instead)',
+                details={
+                    "max_design_candidates": self.max_design_candidates
+                },
+            )
+        report = self.design_engine.search(target)
+        return {"report": report.to_dict()}
+
+    # ------------------------------------------------------------------
+    # /v1/jobs — async sweep campaigns and design searches
     # ------------------------------------------------------------------
     def _jobs_create(
         self, body: Dict[str, Any], _query: Optional[Dict[str, str]] = None
     ) -> Tuple[int, Dict[str, Any]]:
-        """Submit a sweep document as an async sharded job (202)."""
+        """Submit a sweep document or a design target as an async job (202)."""
+        kind = body.get("kind", "sweep")
+        if kind == "design":
+            target = self._parse_design_target(body)
+            try:
+                job = self.jobs.submit_design(target, self.design_engine)
+            except RuntimeError as exc:
+                raise ApiError(409, "too_many_jobs", str(exc))
+            return 202, {"job": job.summary()}
+        if kind != "sweep":
+            raise ApiError(
+                400,
+                "bad_spec",
+                f"unknown job kind {kind!r}; valid kinds: design, sweep",
+            )
         doc = self._sweep_doc(body)
         specs = expand_sweep(doc)
         if len(specs) > self.max_job_points:

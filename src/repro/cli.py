@@ -11,6 +11,8 @@ paper's Netbench artifact is driven from configs:
   the per-stage span/counter breakdown (trace + manifest on disk);
 * ``resilience`` — failure campaign from a JSON file: throughput
   retained vs. fraction failed across topologies (x routings);
+* ``design``     — inverse design: cheapest topology meeting a
+  declarative SLO target (see ``docs/design.md``);
 * ``cost``       — Table 1 port costs and a topology's port cost;
 * ``cabling``    — Fig 3-style cabling/bundling report.
 """
@@ -518,6 +520,40 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_design(args: argparse.Namespace) -> int:
+    import json
+
+    from .design import DesignError, DesignTarget, design_search
+
+    try:
+        with open(args.target) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.stderr.write(f"design: cannot load {args.target}: {exc}\n")
+        return 2
+    try:
+        target = DesignTarget.from_dict(doc)
+        if args.no_sensitivity:
+            target = target.replace(sensitivity=False)
+        report = design_search(target)
+    except DesignError as exc:
+        sys.stderr.write(f"design: {exc}\n")
+        return 2
+    print(report.render())
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"report: {args.out}")
+    if not report.feasible:
+        sys.stderr.write(
+            "design: no enumerated candidate meets the target "
+            "(see the pruned/evaluated tables above)\n"
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .api import serve_forever
 
@@ -736,6 +772,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quiet", action="store_true", help="suppress live progress output"
     )
     p.set_defaults(func=_cmd_resilience)
+
+    p = sub.add_parser(
+        "design",
+        help="inverse design: cheapest topology meeting an SLO target",
+    )
+    p.add_argument(
+        "target", help="design target JSON (see docs/design.md)"
+    )
+    p.add_argument(
+        "--no-sensitivity", action="store_true",
+        help="skip the tornado sensitivity pass",
+    )
+    p.add_argument(
+        "--out", default="", help="write the full DesignReport JSON here"
+    )
+    p.set_defaults(func=_cmd_design)
 
     p = sub.add_parser(
         "serve",

@@ -2,12 +2,14 @@
 
 from .model import (
     FIREFLY_PORT,
+    PORT_COSTS,
     PROJECTOR_PORT_HIGH,
     PROJECTOR_PORT_LOW,
     STATIC_PORT,
     PortCost,
     delta_ratio,
     equal_cost_switch_budget,
+    predicted_port_cost,
     topology_port_cost,
 )
 
@@ -17,7 +19,9 @@ __all__ = [
     "FIREFLY_PORT",
     "PROJECTOR_PORT_LOW",
     "PROJECTOR_PORT_HIGH",
+    "PORT_COSTS",
     "delta_ratio",
     "topology_port_cost",
+    "predicted_port_cost",
     "equal_cost_switch_budget",
 ]

@@ -39,8 +39,10 @@ __all__ = [
     "FIREFLY_PORT",
     "PROJECTOR_PORT_LOW",
     "PROJECTOR_PORT_HIGH",
+    "PORT_COSTS",
     "delta_ratio",
     "topology_port_cost",
+    "predicted_port_cost",
     "equal_cost_switch_budget",
 ]
 
@@ -101,6 +103,15 @@ PROJECTOR_PORT_HIGH = PortCost(
 )
 
 
+#: Table 1 technologies by name (the design subsystem's pricing knob).
+PORT_COSTS: Dict[str, PortCost] = {
+    "static": STATIC_PORT,
+    "firefly": FIREFLY_PORT,
+    "projector-low": PROJECTOR_PORT_LOW,
+    "projector-high": PROJECTOR_PORT_HIGH,
+}
+
+
 def delta_ratio(dynamic: PortCost = PROJECTOR_PORT_LOW) -> float:
     """δ: flexible-port cost normalized to a static port (paper: ≈ 1.5)."""
     return dynamic.total / STATIC_PORT.total
@@ -122,6 +133,26 @@ def topology_port_cost(
         server_port_cost = network_port.components.get("tor_port", 90.0)
     network_ports = 2 * topology.num_links
     return network_ports * network_port.total + topology.num_servers * server_port_cost
+
+
+def predicted_port_cost(
+    links: int,
+    servers: int,
+    network_port: PortCost = STATIC_PORT,
+    server_port_cost: Optional[float] = None,
+) -> float:
+    """Port cost from predicted link/server counts (no topology build).
+
+    The arithmetic twin of :func:`topology_port_cost` — identical
+    pricing, but from the closed-form link/server counts a design
+    candidate predicts, so the design search can lower-bound cost before
+    constructing any graph.  For families whose generators realize the
+    predicted counts exactly (all of the built-in ones), this equals the
+    built topology's :func:`topology_port_cost`.
+    """
+    if server_port_cost is None:
+        server_port_cost = network_port.components.get("tor_port", 90.0)
+    return 2 * links * network_port.total + servers * server_port_cost
 
 
 def equal_cost_switch_budget(fattree_switches: int, cost_fraction: float) -> int:

@@ -1,0 +1,253 @@
+"""Design reports: best design, Pareto frontier, tornado sensitivity.
+
+A :class:`DesignReport` is the search's complete, deterministic answer:
+every evaluated design with its measurements, every pruned candidate
+with the stage and reason it died, the cost-vs-throughput Pareto
+frontier over the optimal evaluations, the minimum-cost design meeting
+the full target, the stage counters (proof that the cheap bounds did
+their job before the LP stage), and the one-parameter-at-a-time tornado
+table.  ``to_dict`` is canonical — the same target always serializes to
+byte-identical JSON (the determinism test round-trips this), which also
+makes reports content-addressable for caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+from ..analysis import format_number, format_table
+from .target import DesignTarget
+
+__all__ = ["EvaluatedDesign", "PrunedCandidate", "DesignReport"]
+
+
+@dataclass(frozen=True)
+class EvaluatedDesign:
+    """One candidate that survived pruning and was solved."""
+
+    spec: str
+    family: str
+    switches: int
+    links: int
+    servers: int
+    network_degree: int
+    servers_per_switch: int
+    cost: float
+    expandability: float
+    bound_per_server: float
+    per_server: float
+    status: str
+    iterations: int
+    meets_slo: bool
+    retained: Optional[float]
+    meets_resilience: Optional[bool]
+    meets: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class PrunedCandidate:
+    """One candidate rejected before any LP solve."""
+
+    spec: str
+    family: str
+    stage: str  # "cheap" (arithmetic) or "structural" (built, no LP)
+    reason: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _pareto_frontier(evaluated: List[EvaluatedDesign]) -> List[str]:
+    """Non-dominated (cost, per-server) specs among optimal evaluations.
+
+    Sorted by cost ascending; a design joins the frontier when no
+    cheaper-or-equal design achieves at least its throughput.
+    """
+    frontier: List[str] = []
+    best = -1.0
+    for e in sorted(
+        evaluated, key=lambda e: (e.cost, -e.per_server, e.spec)
+    ):
+        if e.status != "optimal":
+            continue
+        if e.per_server > best:
+            frontier.append(e.spec)
+            best = e.per_server
+    return frontier
+
+
+@dataclass(frozen=True)
+class DesignReport:
+    """The search's full answer for one :class:`DesignTarget`."""
+
+    target: Dict[str, Any]
+    best: Optional[EvaluatedDesign]
+    evaluated: List[EvaluatedDesign]
+    pruned: List[PrunedCandidate]
+    pareto: List[str]
+    counters: Dict[str, Any]
+    sensitivity: List[Dict[str, Any]]
+    complete: bool
+
+    @classmethod
+    def build(
+        cls,
+        target: DesignTarget,
+        evaluated: List[EvaluatedDesign],
+        pruned: List[PrunedCandidate],
+        counters: Dict[str, Any],
+        sensitivity: List[Dict[str, Any]],
+        complete: bool,
+    ) -> "DesignReport":
+        feasible = [e for e in evaluated if e.meets]
+        best = (
+            min(feasible, key=lambda e: (e.cost, e.spec))
+            if feasible
+            else None
+        )
+        return cls(
+            target=target.to_dict(),
+            best=best,
+            evaluated=list(evaluated),
+            pruned=list(pruned),
+            pareto=_pareto_frontier(evaluated),
+            counters=dict(counters),
+            sensitivity=list(sensitivity),
+            complete=complete,
+        )
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any evaluated design meets the full target."""
+        return self.best is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form: same target → byte-identical document."""
+        return {
+            "target": self.target,
+            "complete": self.complete,
+            "feasible": self.feasible,
+            "best": self.best.to_dict() if self.best else None,
+            "pareto": list(self.pareto),
+            "evaluated": [e.to_dict() for e in self.evaluated],
+            "pruned": [p.to_dict() for p in self.pruned],
+            "counters": self.counters,
+            "sensitivity": self.sensitivity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DesignReport":
+        """Rebuild a report from its JSON form (client-side typing)."""
+        evaluated = [EvaluatedDesign(**e) for e in data.get("evaluated", [])]
+        by_spec = {e.spec: e for e in evaluated}
+        best = data.get("best")
+        return cls(
+            target=dict(data.get("target", {})),
+            best=by_spec.get(best["spec"]) if best else None,
+            evaluated=evaluated,
+            pruned=[PrunedCandidate(**p) for p in data.get("pruned", [])],
+            pareto=list(data.get("pareto", [])),
+            counters=dict(data.get("counters", {})),
+            sensitivity=list(data.get("sensitivity", [])),
+            complete=bool(data.get("complete", True)),
+        )
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI's output)."""
+        lines: List[str] = []
+        slo = self.target.get("throughput_per_server")
+        title = self.target.get("name") or "design search"
+        lines.append(
+            f"{title}: >= {self.target.get('servers')} servers at "
+            f"per-server throughput >= {slo}"
+        )
+        c = self.counters
+        lines.append(
+            f"candidates: {c.get('candidates', 0)}  "
+            f"pruned before LP: {c.get('pruned', 0)} "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(c.get('pruned_by_reason', {}).items())) or 'none'})  "
+            f"LP solves: {c.get('lp_solves', 0)}"
+        )
+        if not self.complete:
+            lines.append("NOTE: search cancelled before completion")
+        if self.best is None:
+            lines.append("no evaluated design meets the target")
+        else:
+            b = self.best
+            lines.append(
+                f"best: {b.spec}  cost ${format_number(b.cost)}  "
+                f"per-server {format_number(b.per_server)}"
+            )
+        if self.evaluated:
+            pareto = set(self.pareto)
+            rows = [
+                [
+                    e.spec,
+                    e.switches,
+                    e.cost,
+                    e.per_server,
+                    e.expandability,
+                    "yes" if e.meets else "no",
+                    "*" if e.spec in pareto else "",
+                ]
+                for e in self.evaluated
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    [
+                        "design",
+                        "switches",
+                        "cost $",
+                        "per-server",
+                        "expand",
+                        "meets",
+                        "pareto",
+                    ],
+                    rows,
+                    title="evaluated designs (cost ascending)",
+                )
+            )
+        if self.sensitivity:
+            rows = [
+                [
+                    s["parameter"],
+                    s["base"],
+                    s["low"]["value"],
+                    (
+                        s["low"]["best_cost"]
+                        if s["low"]["best_cost"] is not None
+                        else "infeasible"
+                    ),
+                    s["high"]["value"],
+                    (
+                        s["high"]["best_cost"]
+                        if s["high"]["best_cost"] is not None
+                        else "infeasible"
+                    ),
+                    s["swing"] if s["swing"] is not None else "-",
+                ]
+                for s in self.sensitivity
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    [
+                        "parameter",
+                        "base",
+                        "low",
+                        "cost@low $",
+                        "high",
+                        "cost@high $",
+                        "swing $",
+                    ],
+                    rows,
+                    title="sensitivity (widest swing first)",
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,329 @@
+"""Candidate enumeration: the equal-cost configuration space per family.
+
+Each topology family registers a *design space* in
+:data:`repro.registry.DESIGNS` — a factory taking spec-string
+parameters (``"jellyfish:degree_max=6,sizes=3"``) and returning a
+:class:`DesignSpace` whose :meth:`~DesignSpace.candidates` enumerates
+:class:`CandidateDesign` points for a given server requirement.
+
+A candidate is *predicted*, not built: its switch/link/server counts
+come from each family's closed-form sizing (a k-ary fat-tree has
+``5k²/4`` switches and ``k³/2`` network links; a degree-r graph on n
+switches has ``nr/2`` — an upper bound for jellyfish, whose generator
+may leave a port pair unmatched at small n, which only *loosens* the
+cheap throughput ceiling and so keeps pruning sound), so the search can
+price it
+(:func:`repro.cost.predicted_port_cost`) and bound its throughput (the
+Moore bound) before paying for any graph construction, let alone an LP
+solve.  Enumeration is deliberately *generous* — it includes points the
+cheap stages will reject (too few servers, radix exceeded, over the
+switch cap) precisely so the staged pruning has a measurable candidate
+space to cut down; every generator is deterministic in its parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
+
+from ..topologies.slimfly import is_valid_slimfly_q, slimfly_network_degree
+from .target import DesignError, DesignTarget
+
+__all__ = [
+    "CandidateDesign",
+    "DesignSpace",
+    "FatTreeSpace",
+    "JellyfishSpace",
+    "LongHopSpace",
+    "SlimFlySpace",
+    "XpanderSpace",
+    "register_builtin_design_spaces",
+    "enumerate_candidates",
+]
+
+
+@dataclass(frozen=True)
+class CandidateDesign:
+    """One point of the configuration space, with predicted sizing.
+
+    ``params`` feeds the family's :data:`repro.registry.TOPOLOGIES`
+    factory verbatim; the counts are closed-form predictions the
+    generators realize exactly.
+    """
+
+    family: str
+    params: Tuple[Tuple[str, Any], ...]
+    switches: int
+    links: int
+    servers: int
+    network_degree: int
+    servers_per_switch: int
+
+    @property
+    def spec(self) -> Dict[str, Any]:
+        """The registry topology spec (``{"family": ..., ...params}``)."""
+        return {"family": self.family, **dict(self.params)}
+
+    @property
+    def spec_string(self) -> str:
+        """The compact string form, stable across runs."""
+        return self.family + ":" + ",".join(
+            f"{key}={value}" for key, value in self.params
+        )
+
+
+class DesignSpace:
+    """Base class of one family's candidate enumerator."""
+
+    family: str = "abstract"
+
+    def candidates(self, target: DesignTarget) -> Iterator[CandidateDesign]:
+        """Yield this family's candidates for ``target`` (deterministic)."""
+        raise NotImplementedError
+
+
+def _ladder(lo: int, hi: int, steps: int) -> List[int]:
+    """``steps`` evenly spread integers from ``lo`` to ``hi`` inclusive."""
+    if hi <= lo:
+        return [lo]
+    if steps <= 1:
+        return [lo]
+    values = sorted(
+        {lo + round(i * (hi - lo) / (steps - 1)) for i in range(steps)}
+    )
+    return values
+
+
+@dataclass(frozen=True)
+class FatTreeSpace(DesignSpace):
+    """k-ary fat-trees: ``5k²/4`` switches, ``k³/4`` servers at ``k/2``/edge."""
+
+    k_min: int = 4
+    k_max: int = 16
+    family: str = field(default="fattree", init=False)
+
+    def __post_init__(self) -> None:
+        if self.k_min < 2 or self.k_min % 2:
+            raise DesignError(f"k_min must be even and >= 2, got {self.k_min}")
+        if self.k_max < self.k_min:
+            raise DesignError("k_max must be >= k_min")
+
+    def candidates(self, target: DesignTarget) -> Iterator[CandidateDesign]:
+        del target  # fixed grid: the prune stages apply the target
+        for k in range(self.k_min, self.k_max + 1, 2):
+            half = k // 2
+            yield CandidateDesign(
+                family="fattree",
+                params=(("k", k),),
+                switches=5 * k * k // 4,
+                links=k ** 3 // 2,
+                servers=k ** 3 // 4,
+                network_degree=k,
+                servers_per_switch=half,
+            )
+
+
+def _flat_sizes(
+    target: DesignTarget, degree: int, lo: int, sizes: int
+) -> List[int]:
+    """Switch-count ladder for a flat degree-``degree`` family."""
+    lo = max(lo, degree + 1)
+    hi = max(target.max_switches, lo)
+    return _ladder(lo, hi, sizes)
+
+
+def _servers_per_switch(target: DesignTarget, switches: int) -> int:
+    """Just enough servers per switch to host the target's server count."""
+    return max(1, math.ceil(target.servers / switches))
+
+
+@dataclass(frozen=True)
+class JellyfishSpace(DesignSpace):
+    """Random regular graphs over a degree × size grid."""
+
+    degree_min: int = 4
+    degree_max: int = 8
+    degree_step: int = 2
+    sizes: int = 4
+    family: str = field(default="jellyfish", init=False)
+
+    def __post_init__(self) -> None:
+        if self.degree_min < 2:
+            raise DesignError(f"degree_min must be >= 2, got {self.degree_min}")
+        if self.degree_max < self.degree_min:
+            raise DesignError("degree_max must be >= degree_min")
+        if self.degree_step < 1 or self.sizes < 1:
+            raise DesignError("degree_step and sizes must be >= 1")
+
+    def candidates(self, target: DesignTarget) -> Iterator[CandidateDesign]:
+        for degree in range(self.degree_min, self.degree_max + 1,
+                            self.degree_step):
+            for n in _flat_sizes(target, degree, degree + 1, self.sizes):
+                if n * degree % 2:
+                    n += 1  # a d-regular graph needs n*d even
+                s = _servers_per_switch(target, n)
+                yield CandidateDesign(
+                    family="jellyfish",
+                    params=(
+                        ("switches", n),
+                        ("degree", degree),
+                        ("servers", s),
+                        ("seed", target.seed),
+                    ),
+                    switches=n,
+                    links=n * degree // 2,
+                    servers=n * s,
+                    network_degree=degree,
+                    servers_per_switch=s,
+                )
+
+
+@dataclass(frozen=True)
+class XpanderSpace(DesignSpace):
+    """Deterministic 2-lift expanders: ``(d+1)·lift`` switches."""
+
+    degree_min: int = 4
+    degree_max: int = 8
+    degree_step: int = 2
+    sizes: int = 4
+    family: str = field(default="xpander", init=False)
+
+    def __post_init__(self) -> None:
+        if self.degree_min < 2:
+            raise DesignError(f"degree_min must be >= 2, got {self.degree_min}")
+        if self.degree_max < self.degree_min:
+            raise DesignError("degree_max must be >= degree_min")
+        if self.degree_step < 1 or self.sizes < 1:
+            raise DesignError("degree_step and sizes must be >= 1")
+
+    def candidates(self, target: DesignTarget) -> Iterator[CandidateDesign]:
+        for degree in range(self.degree_min, self.degree_max + 1,
+                            self.degree_step):
+            meta = degree + 1
+            lift_hi = max(1, target.max_switches // meta)
+            for lift in _ladder(1, lift_hi, self.sizes):
+                n = meta * lift
+                s = _servers_per_switch(target, n)
+                yield CandidateDesign(
+                    family="xpander",
+                    params=(
+                        ("degree", degree),
+                        ("lift", lift),
+                        ("servers", s),
+                    ),
+                    switches=n,
+                    links=n * degree // 2,
+                    servers=n * s,
+                    network_degree=degree,
+                    servers_per_switch=s,
+                )
+
+
+@dataclass(frozen=True)
+class SlimFlySpace(DesignSpace):
+    """MMS graphs: ``2q²`` switches at degree ``(3q-1)/2`` for valid q."""
+
+    q_max: int = 13
+    family: str = field(default="slimfly", init=False)
+
+    def __post_init__(self) -> None:
+        if self.q_max < 5:
+            raise DesignError(f"q_max must be >= 5, got {self.q_max}")
+
+    def candidates(self, target: DesignTarget) -> Iterator[CandidateDesign]:
+        for q in range(5, self.q_max + 1):
+            if not is_valid_slimfly_q(q):
+                continue
+            n = 2 * q * q
+            degree = slimfly_network_degree(q)
+            s = _servers_per_switch(target, n)
+            yield CandidateDesign(
+                family="slimfly",
+                params=(("q", q), ("servers", s)),
+                switches=n,
+                links=n * degree // 2,
+                servers=n * s,
+                network_degree=degree,
+                servers_per_switch=s,
+            )
+
+
+@dataclass(frozen=True)
+class LongHopSpace(DesignSpace):
+    """GF(2)^n Cayley graphs: ``2^n`` switches, degree >= n."""
+
+    n_min: int = 3
+    n_max: int = 8
+    degree_extra: int = 2
+    family: str = field(default="longhop", init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_min < 2:
+            raise DesignError(f"n_min must be >= 2, got {self.n_min}")
+        if self.n_max < self.n_min:
+            raise DesignError("n_max must be >= n_min")
+        if self.degree_extra < 0:
+            raise DesignError("degree_extra must be >= 0")
+
+    def candidates(self, target: DesignTarget) -> Iterator[CandidateDesign]:
+        for n in range(self.n_min, self.n_max + 1):
+            switches = 2 ** n
+            for degree in range(n, n + self.degree_extra + 1):
+                if degree >= switches:
+                    continue
+                s = _servers_per_switch(target, switches)
+                yield CandidateDesign(
+                    family="longhop",
+                    params=(("n", n), ("degree", degree), ("servers", s)),
+                    switches=switches,
+                    links=switches * degree // 2,
+                    servers=switches * s,
+                    network_degree=degree,
+                    servers_per_switch=s,
+                )
+
+
+def register_builtin_design_spaces(registry_obj) -> None:
+    """Register every family's design-space factory (registry loader)."""
+    registry_obj.register(
+        "fattree", FatTreeSpace,
+        "k-ary fat-trees; k_min, k_max (even k grid)",
+    )
+    registry_obj.register(
+        "jellyfish", JellyfishSpace,
+        "random regular graphs; degree_min/max/step, sizes",
+    )
+    registry_obj.register(
+        "xpander", XpanderSpace,
+        "2-lift expanders; degree_min/max/step, sizes",
+    )
+    registry_obj.register(
+        "slimfly", SlimFlySpace, "MMS graphs; q_max (valid q only)"
+    )
+    registry_obj.register(
+        "longhop", LongHopSpace,
+        "GF(2)^n Cayley graphs; n_min, n_max, degree_extra",
+    )
+
+
+def enumerate_candidates(target: DesignTarget) -> List[CandidateDesign]:
+    """Every candidate of every requested family, in deterministic order.
+
+    Families come from ``target.families`` (default: all registered),
+    each built through :data:`repro.registry.DESIGNS` with the
+    target's per-family ``space`` spec override when present.
+    """
+    from .. import registry
+
+    families = target.families or registry.DESIGNS.available()
+    out: List[CandidateDesign] = []
+    for family in families:
+        spec = target.space.get(family, family)
+        space = registry.design_space(spec)
+        if space.family != family:
+            raise DesignError(
+                f"space spec for {family!r} builds a {space.family!r} space"
+            )
+        out.extend(space.candidates(target))
+    return out

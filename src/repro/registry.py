@@ -24,6 +24,11 @@ family of objects lives in a :class:`Registry` keyed by name:
   ``highs-batched``, ``highs-paths`` (alias ``paths``), ``mcf-approx``;
   selectable from ``ExperimentSpec`` workloads, sweep JSON, and the
   CLI ``--solver`` flag.
+* :data:`DESIGNS` — per-family candidate enumerators for the inverse
+  design search (registered by ``repro.design.space``): ``fattree``,
+  ``jellyfish``, ``xpander``, ``slimfly``, ``longhop``; specs like
+  ``"jellyfish:degree_max=6,sizes=3"`` bound one family's grid in a
+  :class:`repro.design.DesignTarget`.
 
 A *spec* is either a mapping (``{"family": "jellyfish", "switches": 10}``
 — the harness's native form) or a compact string ``"name:key=value,..."``
@@ -56,6 +61,7 @@ __all__ = [
     "ROUTINGS",
     "FAILURES",
     "SOLVERS",
+    "DESIGNS",
     "parse_spec",
     "topology",
     "build_topology",
@@ -63,6 +69,7 @@ __all__ = [
     "routing",
     "failure",
     "solver",
+    "design_space",
 ]
 
 
@@ -333,11 +340,18 @@ def _load_solvers() -> None:
     register_builtin_solvers(SOLVERS)
 
 
+def _load_designs() -> None:
+    from .design.space import register_builtin_design_spaces
+
+    register_builtin_design_spaces(DESIGNS)
+
+
 TOPOLOGIES = Registry("topology", loader=_load_topologies)
 TRAFFIC = Registry("traffic pattern", loader=_load_traffic)
 ROUTINGS = Registry("routing", loader=_load_routings)
 FAILURES = Registry("failure mode", loader=_load_failures)
 SOLVERS = Registry("solver", loader=_load_solvers)
+DESIGNS = Registry("design space", loader=_load_designs)
 
 
 # ----------------------------------------------------------------------
@@ -393,6 +407,20 @@ def solver(spec: Any, **defaults: Any) -> Any:
     for pkey, value in defaults.items():
         params.setdefault(pkey, value)
     return SOLVERS.build(name, **params)
+
+
+def design_space(spec: Any, **defaults: Any) -> Any:
+    """Build one family's design-space enumerator from a spec.
+
+    Accepts bare family names (``"jellyfish"``), compact strings with
+    grid bounds (``"jellyfish:degree_max=6,sizes=3"``), and mappings
+    with a ``family`` key.  ``defaults`` fill parameters the spec
+    itself does not set.
+    """
+    name, params = parse_spec(spec, key="family")
+    for pkey, value in defaults.items():
+        params.setdefault(pkey, value)
+    return DESIGNS.build(name, **params)
 
 
 def failure(spec: Any) -> Any:

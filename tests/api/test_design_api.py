@@ -1,0 +1,110 @@
+"""The inverse-design surface: POST /v1/design, design jobs, schemas."""
+
+import pytest
+
+from repro.api import ApiService, InProcessClient, ReproClient
+from repro.design import design_search
+from repro.design.target import DesignTarget
+from repro.perf import clear_shared_caches
+
+TARGET = {
+    "servers": 16,
+    "throughput_per_server": 0.5,
+    "families": ["jellyfish", "xpander"],
+    "max_switches": 12,
+    "radix": 8,
+    "sensitivity": False,
+}
+
+
+@pytest.fixture()
+def service():
+    clear_shared_caches()
+    yield ApiService()
+    clear_shared_caches()
+
+
+@pytest.fixture()
+def client(service):
+    return InProcessClient(service)
+
+
+@pytest.fixture()
+def facade(client):
+    return ReproClient(client)
+
+
+class TestDesignEndpoint:
+    def test_sync_design_matches_library(self, client):
+        resp = client.post("/v1/design", {"target": TARGET}).raise_for_status()
+        report = resp.json["report"]
+        library = design_search(DesignTarget.from_dict(TARGET)).to_dict()
+        assert report == library
+        assert report["feasible"] is True
+        assert report["counters"]["pruned"] > 0
+
+    def test_missing_target_is_bad_request(self, client):
+        resp = client.post("/v1/design", {})
+        assert resp.status == 400
+        assert resp.json["error"]["code"] == "bad_spec"
+        assert "target" in resp.json["error"]["message"]
+
+    def test_invalid_target_is_bad_spec(self, client):
+        resp = client.post("/v1/design", {"target": {"servers": -1}})
+        assert resp.status == 400
+        assert resp.json["error"]["code"] == "bad_spec"
+
+    def test_oversized_space_redirected_to_jobs(self, service):
+        small = ApiService(max_design_candidates=1)
+        resp = InProcessClient(small).post("/v1/design", {"target": TARGET})
+        assert resp.status == 400
+        assert resp.json["error"]["code"] == "too_many_points"
+        assert "design" in resp.json["error"]["message"]
+        assert resp.json["error"]["details"]["max_design_candidates"] == 1
+
+    def test_warm_service_is_report_invisible(self, client):
+        first = client.post("/v1/design", {"target": TARGET}).json["report"]
+        second = client.post("/v1/design", {"target": TARGET}).json["report"]
+        assert first == second
+
+
+class TestDesignJobs:
+    def test_design_job_round_trip(self, facade):
+        job = facade.submit_job(kind="design", target=TARGET)
+        assert job.kind == "design"
+        payload = facade.wait_job(job.id, timeout_s=120)
+        assert payload["state"] == "completed"
+        report = payload["report"]
+        assert report["complete"] is True
+        assert report == facade.design(TARGET).to_dict()
+
+    def test_unknown_kind_rejected(self, client):
+        resp = client.post("/v1/jobs", {"kind": "nonsense"})
+        assert resp.status == 400
+        assert "design, sweep" in resp.json["error"]["message"]
+
+    def test_design_job_bad_target_is_synchronous_400(self, client):
+        resp = client.post(
+            "/v1/jobs", {"kind": "design", "target": {"servers": 0}}
+        )
+        assert resp.status == 400
+        assert resp.json["error"]["code"] == "bad_spec"
+
+    def test_summary_shape(self, facade):
+        job = facade.submit_job(kind="design", target=TARGET)
+        summary = job.summary
+        assert summary["kind"] == "design"
+        assert summary["points"] is None  # points are a sweep concept
+        facade.wait_job(job.id, timeout_s=120)
+
+
+class TestDiscovery:
+    def test_context_lists_designs_registry(self, facade):
+        ctx = facade.context()
+        assert "jellyfish" in ctx.registries["designs"]
+        assert ctx.limits["max_design_candidates"] > 0
+
+    def test_schema_serves_design_target(self, facade):
+        schemas = facade.schema()
+        assert schemas["design"]["title"] == "DesignTarget"
+        assert "design" in schemas["jobs"]["kinds"]

@@ -1,14 +1,17 @@
-"""Happy-path endpoint behaviour through the in-process client.
+"""Happy-path endpoint behaviour through the typed client facade.
 
-These tests drive :meth:`ApiService.dispatch` directly — the exact code
-path the HTTP server uses minus the socket — so every payload shape
-asserted here is what a network client receives.
+These tests drive :class:`ReproClient` over the in-process transport —
+the exact dispatch path the HTTP server uses minus the socket — so both
+the typed result objects and (via ``.raw``) the wire payload shapes are
+what a network client receives.  Error-contract details live in
+``test_errors.py``; the raw transport is exercised directly only where
+the facade deliberately adds nothing (request-id plumbing).
 """
 
 import pytest
 
 import repro
-from repro.api import ApiService, InProcessClient
+from repro.api import ApiService, InProcessClient, ReproClient
 from repro.harness.spec import ExperimentSpec
 from repro.perf import clear_shared_caches
 
@@ -19,111 +22,95 @@ XPANDER = "xpander:degree=4,lift=3,servers=2"
 @pytest.fixture()
 def client():
     clear_shared_caches()
-    yield InProcessClient(ApiService())
+    yield ReproClient.in_process()
     clear_shared_caches()
 
 
 def test_healthz(client):
-    resp = client.get("/v1/healthz")
+    resp = client.transport.get("/v1/healthz")
     assert resp.status == 200
     assert resp.json["ok"] is True
     assert resp.request_id
 
 
 def test_context_manifest(client):
-    resp = client.get("/v1/context").raise_for_status()
-    body = resp.json
-    assert body["service"] == "repro.api/2"
-    assert body["library_version"] == repro.__version__
-    assert body["spec_hash_version"] == repro.SPEC_HASH_VERSION
+    ctx = client.context()
+    assert ctx.service == "repro.api/2"
+    assert ctx.library_version == repro.__version__
+    assert ctx.raw["spec_hash_version"] == repro.SPEC_HASH_VERSION
     for registry_name in ("topologies", "traffic", "routings", "failures",
-                          "solvers"):
-        assert body["registries"][registry_name], registry_name
-    assert "POST /v1/throughput" in body["endpoints"]
-    assert set(body["caches"]) == {
+                          "solvers", "designs"):
+        assert ctx.registries[registry_name], registry_name
+    assert "POST /v1/throughput" in ctx.raw["endpoints"]
+    assert set(ctx.caches) == {
         "topologies", "solver_contexts", "results", "path_cache",
         "incremental_contexts", "warm_start",
     }
-    assert set(body["caches"]["warm_start"]) >= {"hit", "miss"}
-    assert body["limits"]["max_body_bytes"] > 0
-    assert body["result_cache"] is None
+    assert set(ctx.caches["warm_start"]) >= {"hit", "miss"}
+    assert ctx.limits["max_body_bytes"] > 0
+    assert ctx.limits["max_design_candidates"] > 0
+    assert ctx.raw["result_cache"] is None
     # The request counters include this very request.
-    again = client.get("/v1/context").json
-    assert again["requests"]["by_endpoint"]["GET /v1/context"] >= 1
+    again = client.context()
+    assert again.raw["requests"]["by_endpoint"]["GET /v1/context"] >= 1
 
 
 def test_schema_endpoint(client):
-    resp = client.get("/v1/schema").raise_for_status()
-    assert resp.json["schema"]["title"] == "ExperimentSpec"
+    schemas = client.schema()
+    assert schemas["schema"]["title"] == "ExperimentSpec"
+    assert schemas["design"]["title"] == "DesignTarget"
 
 
 def test_throughput_single_fraction(client):
-    resp = client.post("/v1/throughput", {"topology": JELLYFISH})
-    assert resp.status == 200
-    body = resp.json
-    assert body["topology"]["switches"] == 12
-    assert body["topology"]["connected"] is True
-    assert body["topology"]["diameter"] >= 1
-    assert body["topology"]["avg_path_length"] > 1
-    (point,) = body["results"]
+    ev = client.throughput(JELLYFISH)
+    assert ev.topology["switches"] == 12
+    assert ev.topology["connected"] is True
+    assert ev.topology["diameter"] >= 1
+    assert ev.topology["avg_path_length"] > 1
+    (point,) = ev.results
     assert point["status"] == "optimal"
-    assert 0 < point["per_server_throughput"] <= 1.0
+    assert 0 < ev.per_server() <= 1.0
     assert point["fraction"] == 1.0
-    assert body["warm"]["enabled"] is True
+    assert ev.warm["enabled"] is True
 
 
 def test_throughput_multiple_fractions_monotone(client):
-    resp = client.post(
-        "/v1/throughput",
-        {"topology": JELLYFISH, "fractions": [0.3, 0.6, 1.0]},
-    ).raise_for_status()
-    values = [r["per_server_throughput"] for r in resp.json["results"]]
+    ev = client.throughput(JELLYFISH, fractions=[0.3, 0.6, 1.0])
+    values = [r["per_server_throughput"] for r in ev.results]
     assert len(values) == 3
     # Fewer participating servers → no less per-server throughput.
     assert values[0] >= values[1] >= values[2]
+    assert ev.per_server(0.3) == values[0]
 
 
 def test_throughput_with_failures(client):
-    resp = client.post(
-        "/v1/throughput",
-        {"topology": JELLYFISH, "failures": "links:fraction=0.1,seed=3"},
-    )
-    assert resp.status in (200, 422)  # degraded may disconnect pairs
-    if resp.status == 200:
-        healthy = client.post(
-            "/v1/throughput", {"topology": JELLYFISH}
-        ).raise_for_status()
-        assert (
-            resp.json["results"][0]["per_server_throughput"]
-            <= healthy.json["results"][0]["per_server_throughput"] + 1e-9
+    from repro.api import ApiError
+
+    try:
+        degraded = client.throughput(
+            JELLYFISH, failures="links:fraction=0.1,seed=3"
         )
+    except ApiError as exc:
+        assert exc.status == 422  # degraded may disconnect pairs
+        return
+    healthy = client.throughput(JELLYFISH)
+    assert degraded.per_server() <= healthy.per_server() + 1e-9
 
 
 def test_throughput_alternate_solver(client):
-    exact = client.post(
-        "/v1/throughput", {"topology": XPANDER, "solver": "highs-exact"}
-    ).raise_for_status()
-    batched = client.post(
-        "/v1/throughput", {"topology": XPANDER}
-    ).raise_for_status()
-    assert exact.json["results"][0]["per_server_throughput"] == pytest.approx(
-        batched.json["results"][0]["per_server_throughput"]
-    )
+    exact = client.throughput(XPANDER, solver="highs-exact")
+    batched = client.throughput(XPANDER)
+    assert exact.per_server() == pytest.approx(batched.per_server())
     # Both exact backends share one warm LP context per topology.
-    assert exact.json["warm"]["context"] == "miss"
-    assert batched.json["warm"]["context"] == "hit"
+    assert exact.warm["context"] == "miss"
+    assert batched.warm["context"] == "hit"
 
 
 def test_throughput_non_context_solver(client):
-    resp = client.post(
-        "/v1/throughput",
-        {"topology": XPANDER, "solver": "mcf-approx:epsilon=0.05"},
-    ).raise_for_status()
-    assert resp.json["warm"]["context"] is None  # no ArcTable involved
-    exact = client.post("/v1/throughput", {"topology": XPANDER}).raise_for_status()
-    assert resp.json["results"][0]["per_server_throughput"] == pytest.approx(
-        exact.json["results"][0]["per_server_throughput"], rel=0.15
-    )
+    approx = client.throughput(XPANDER, solver="mcf-approx:epsilon=0.05")
+    assert approx.warm["context"] is None  # no ArcTable involved
+    exact = client.throughput(XPANDER)
+    assert approx.per_server() == pytest.approx(exact.per_server(), rel=0.15)
 
 
 def test_simulate_lp_engine(client):
@@ -133,64 +120,57 @@ def test_simulate_lp_engine(client):
         "workload": {"pattern": "longest_matching", "fraction": 0.5},
         "engine": "lp",
     }
-    resp = client.post("/v1/simulate", dict(body)).raise_for_status()
-    record = resp.json["record"]
-    assert record["status"] == "ok"
-    assert 0 < record["metrics"]["per_server_throughput"] <= 1.0
-    assert resp.json["spec_hash"] == ExperimentSpec.from_dict(
-        body
-    ).content_hash()
+    sim = client.simulate(body)
+    assert sim.ok
+    assert 0 < sim.metrics["per_server_throughput"] <= 1.0
+    assert sim.spec_hash == ExperimentSpec.from_dict(body).content_hash()
 
 
 def test_sweep_grid(client):
-    resp = client.post(
-        "/v1/sweep",
-        {
-            "defaults": {
-                "topology": {"family": "jellyfish", "switches": 10,
-                             "degree": 4, "servers": 2},
-                "workload": {"pattern": "longest_matching"},
-                "engine": "lp",
-            },
-            "grid": {"workload.fraction": [0.4, 0.8]},
+    sw = client.sweep(
+        defaults={
+            "topology": {"family": "jellyfish", "switches": 10,
+                         "degree": 4, "servers": 2},
+            "workload": {"pattern": "longest_matching"},
+            "engine": "lp",
         },
-    ).raise_for_status()
-    assert resp.json["counts"]["total"] == 2
-    assert resp.json["counts"]["failed"] == 0
+        grid={"workload.fraction": [0.4, 0.8]},
+    )
+    assert sw.counts["total"] == 2
+    assert sw.counts["failed"] == 0
     # Memo-vs-computed split rides on every sweep response.
-    assert resp.json["computed"] == 2
-    assert resp.json["cached"] == 0
-    assert len(resp.json["records"]) == 2
+    assert sw.computed == 2
+    assert sw.cached == 0
+    assert len(sw.records) == 2
     fractions = sorted(
-        r["spec"]["workload"]["fraction"] for r in resp.json["records"]
+        r["spec"]["workload"]["fraction"] for r in sw.records
     )
     assert fractions == [0.4, 0.8]
 
 
 def test_compare_ranks_topologies(client):
-    resp = client.post(
-        "/v1/compare",
-        {"topologies": [JELLYFISH, XPANDER], "fraction": 0.7},
-    ).raise_for_status()
-    body = resp.json
-    assert len(body["results"]) == 2
-    names = [e["topology"]["name"] for e in body["results"]]
-    assert body["best"] in names
+    cmp_ = client.compare([JELLYFISH, XPANDER], fraction=0.7)
+    assert len(cmp_.results) == 2
+    names = [e["topology"]["name"] for e in cmp_.results]
+    assert cmp_.best in names
+    assert cmp_.ranking()[0] == cmp_.best
     best_entry = next(
-        e for e in body["results"] if e["topology"]["name"] == body["best"]
+        e for e in cmp_.results if e["topology"]["name"] == cmp_.best
     )
     assert best_entry["relative_to_best"] == pytest.approx(1.0)
-    for entry in body["results"]:
+    for entry in cmp_.results:
         assert entry["mean_per_server_throughput"] > 0
         assert entry["relative_to_best"] <= 1.0 + 1e-9
 
 
-def test_request_id_echoed(client):
-    resp = client.get("/v1/healthz", request_id="abc-123")
+def test_request_id_echoed():
+    raw = InProcessClient(ApiService())
+    resp = raw.get("/v1/healthz", request_id="abc-123")
     assert resp.json["request_id"] == "abc-123"
 
 
-def test_request_id_generated_when_missing(client):
-    first = client.get("/v1/healthz").request_id
-    second = client.get("/v1/healthz").request_id
+def test_request_id_generated_when_missing():
+    raw = InProcessClient(ApiService())
+    first = raw.get("/v1/healthz").request_id
+    second = raw.get("/v1/healthz").request_id
     assert first and second and first != second

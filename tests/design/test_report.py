@@ -1,0 +1,83 @@
+"""DesignReport: Pareto frontier, round-trips, rendering."""
+
+import dataclasses
+import json
+
+from repro.design import design_search
+from repro.design.report import DesignReport, EvaluatedDesign, _pareto_frontier
+from repro.design.target import DesignTarget
+
+
+def entry(spec, cost, per_server, status="optimal", meets=True):
+    return EvaluatedDesign(
+        spec=spec, family=spec.split(":")[0], switches=10, links=20,
+        servers=20, network_degree=4, servers_per_switch=2, cost=cost,
+        expandability=0.5, bound_per_server=1.0, per_server=per_server,
+        status=status, iterations=1, meets_slo=meets, retained=None,
+        meets_resilience=None, meets=meets,
+    )
+
+
+class TestParetoFrontier:
+    def test_strictly_better_throughput_at_higher_cost(self):
+        evaluated = [
+            entry("a:1", 100.0, 0.3),
+            entry("b:1", 200.0, 0.3),   # same throughput, pricier: off
+            entry("c:1", 300.0, 0.6),
+            entry("d:1", 400.0, 0.5),   # worse than c at higher cost: off
+            entry("e:1", 500.0, 0.9),
+        ]
+        assert _pareto_frontier(evaluated) == ["a:1", "c:1", "e:1"]
+
+    def test_non_optimal_entries_excluded(self):
+        evaluated = [
+            entry("a:1", 100.0, 0.3),
+            entry("b:1", 150.0, 0.9, status="infeasible", meets=False),
+        ]
+        assert _pareto_frontier(evaluated) == ["a:1"]
+
+    def test_empty(self):
+        assert _pareto_frontier([]) == []
+
+
+class TestRoundTrip:
+    def small_report(self):
+        target = DesignTarget.from_dict({
+            "servers": 12, "throughput_per_server": 0.4,
+            "families": ["jellyfish"], "max_switches": 10, "radix": 8,
+            "sensitivity": False,
+        })
+        return design_search(target)
+
+    def test_to_dict_from_dict_identity(self):
+        report = self.small_report()
+        doc = report.to_dict()
+        rebuilt = DesignReport.from_dict(json.loads(json.dumps(doc)))
+        assert rebuilt.to_dict() == doc
+        assert rebuilt.best == report.best
+        assert rebuilt.pareto == report.pareto
+
+    def test_dict_is_json_clean(self):
+        doc = self.small_report().to_dict()
+        assert json.loads(json.dumps(doc, sort_keys=True)) == doc
+        assert set(doc) == {
+            "target", "complete", "feasible", "best", "pareto",
+            "evaluated", "pruned", "counters", "sensitivity",
+        }
+
+    def test_evaluated_entries_are_typed(self):
+        report = self.small_report()
+        for e in report.evaluated:
+            assert isinstance(e, EvaluatedDesign)
+            assert dataclasses.asdict(e) == e.to_dict()
+
+
+class TestRender:
+    def test_render_mentions_the_essentials(self):
+        report = self.small_report = TestRoundTrip().small_report()
+        text = report.render()
+        assert "candidates:" in text
+        assert "pruned before LP:" in text
+        if report.feasible:
+            assert report.best.spec in text
+        assert "evaluated designs" in text

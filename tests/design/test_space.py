@@ -1,0 +1,81 @@
+"""Candidate enumeration: deterministic, generous, registry-driven."""
+
+import pytest
+
+from repro import registry
+from repro.design import DesignError, DesignTarget
+from repro.design.space import enumerate_candidates
+
+
+def make(**overrides):
+    base = {"servers": 24, "throughput_per_server": 0.3}
+    base.update(overrides)
+    return DesignTarget.from_dict(base)
+
+
+def test_every_family_registers_a_space():
+    assert set(registry.DESIGNS.available()) == {
+        "fattree", "jellyfish", "xpander", "slimfly", "longhop",
+    }
+
+
+def test_enumeration_is_deterministic():
+    target = make()
+    first = [c.spec_string for c in enumerate_candidates(target)]
+    second = [c.spec_string for c in enumerate_candidates(target)]
+    assert first == second
+    assert len(first) > 0
+
+
+def test_families_filter():
+    target = make(families=["jellyfish"])
+    cands = enumerate_candidates(target)
+    assert cands and all(c.family == "jellyfish" for c in cands)
+
+
+def test_candidate_predictions_match_built_topologies():
+    """Predicted sizing is exact — or, for links, a sound upper bound.
+
+    The cheap prune stage trusts these numbers: switch and server counts
+    must be exact, and the link count may only *over*-estimate (the
+    jellyfish generator can leave a port pair unmatched for small n;
+    extra predicted capacity loosens the Moore ceiling, never tightens
+    it, so pruning stays sound).
+    """
+    target = make(max_switches=20)
+    for cand in enumerate_candidates(target):
+        if cand.switches > 40:
+            continue  # keep the build cost sane
+        topo, _ = registry.build_topology(cand.spec)
+        assert topo.num_switches == cand.switches, cand.spec_string
+        assert topo.num_servers == cand.servers, cand.spec_string
+        if cand.family == "jellyfish":
+            assert topo.num_links <= cand.links, cand.spec_string
+        else:
+            assert topo.num_links == cand.links, cand.spec_string
+
+
+def test_space_override_changes_grid():
+    wide = make(
+        families=["jellyfish"],
+        space={"jellyfish": "jellyfish:degree_min=4,degree_max=4,sizes=2"},
+    )
+    cands = enumerate_candidates(wide)
+    assert all(dict(c.params)["degree"] == 4 for c in cands)
+
+
+def test_space_override_family_mismatch_rejected():
+    target = make(families=["jellyfish"], space={"jellyfish": "fattree"})
+    with pytest.raises(DesignError, match="builds a"):
+        enumerate_candidates(target)
+
+
+def test_jellyfish_parity_fixup():
+    """n*d must be even for a d-regular graph; odd products are bumped."""
+    target = make(
+        families=["jellyfish"],
+        space={"jellyfish": "jellyfish:degree_min=5,degree_max=5,sizes=4"},
+    )
+    for cand in enumerate_candidates(target):
+        params = dict(cand.params)
+        assert params["switches"] * params["degree"] % 2 == 0

@@ -1,0 +1,98 @@
+"""DesignTarget validation, round-trips, and the published schema."""
+
+import pytest
+
+from repro.design import (
+    DesignError,
+    DesignTarget,
+    ResilienceTarget,
+    design_target_schema,
+)
+
+
+def make(**overrides):
+    base = {"servers": 48, "throughput_per_server": 0.3}
+    base.update(overrides)
+    return DesignTarget.from_dict(base)
+
+
+class TestValidation:
+    def test_minimal_target(self):
+        t = make()
+        assert t.servers == 48
+        assert t.fraction == 1.0
+        assert t.sensitivity is True
+
+    @pytest.mark.parametrize("overrides", [
+        {"servers": 0},
+        {"servers": -3},
+        {"throughput_per_server": 0.0},
+        {"throughput_per_server": 1.5},
+        {"fraction": 0.0},
+        {"fraction": 1.2},
+        {"radix": 1},
+        {"max_switches": 0},
+        {"max_cost": -1.0},
+        {"min_expandability": 2.0},
+        {"sensitivity_rel": 0.0},
+        {"port_cost": "nonsense"},
+        {"families": ["not-a-family"]},
+        {"solver": 7},
+    ])
+    def test_bad_values_rejected(self, overrides):
+        with pytest.raises(DesignError):
+            make(**overrides)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(DesignError, match="unknown"):
+            make(throughput=0.3)
+
+    def test_resilience_target_strict(self):
+        t = make(resilience={"failures": "links:fraction=0.1"})
+        assert isinstance(t.resilience, ResilienceTarget)
+        assert t.resilience.min_retained == 0.9
+        with pytest.raises(DesignError):
+            make(resilience={"failures": "links:fraction=0.1", "oops": 1})
+        with pytest.raises(DesignError):
+            make(resilience={"failures": "", "min_retained": 0.5})
+        with pytest.raises(DesignError):
+            make(resilience={"failures": "links", "min_retained": 1.5})
+
+
+class TestRoundTrips:
+    def test_to_dict_from_dict_identity(self):
+        t = make(
+            families=["jellyfish", "fattree"],
+            space={"jellyfish": {"degree_min": 4, "degree_max": 6}},
+            resilience={"failures": "links:fraction=0.1", "min_retained": 0.8},
+            min_expandability=0.2,
+            name="x",
+        )
+        assert DesignTarget.from_dict(t.to_dict()) == t
+
+    def test_replace_revalidates(self):
+        t = make()
+        assert t.replace(servers=10).servers == 10
+        with pytest.raises(DesignError):
+            t.replace(servers=-1)
+
+    def test_replace_keeps_resilience(self):
+        t = make(resilience={"failures": "links:fraction=0.1"})
+        assert t.replace(seed=3).resilience == t.resilience
+
+
+class TestSchema:
+    def test_schema_covers_every_field(self):
+        schema = design_target_schema()
+        assert schema["$id"] == "repro/design-target/1"
+        from dataclasses import fields
+
+        declared = {f.name for f in fields(DesignTarget)}
+        assert set(schema["properties"]) == declared
+        assert schema["required"] == ["servers", "throughput_per_server"]
+
+    def test_schema_enums_track_registries(self):
+        schema = design_target_schema()
+        families = schema["properties"]["families"]["items"]["enum"]
+        assert "jellyfish" in families and "fattree" in families
+        assert "static" in schema["properties"]["port_cost"]["enum"]

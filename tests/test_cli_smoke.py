@@ -142,3 +142,62 @@ class TestProfileSmoke:
         rc = main(["profile", str(tmp_path / "nope.json")])
         assert rc == 2
         assert "cannot load" in capsys.readouterr().err
+
+
+class TestDesignSmoke:
+    def _target_file(self, tmp_path, **overrides):
+        target = {
+            "servers": 16,
+            "throughput_per_server": 0.5,
+            "families": ["jellyfish", "xpander"],
+            "max_switches": 12,
+            "radix": 8,
+            "sensitivity": False,
+        }
+        target.update(overrides)
+        path = tmp_path / "target.json"
+        path.write_text(json.dumps(target))
+        return str(path)
+
+    def test_design_exits_zero_and_reports_pruning(self, tmp_path, capsys):
+        rc = main(["design", self._target_file(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pruned before LP:" in out
+        assert "best:" in out
+        assert "evaluated designs" in out
+
+    def test_design_writes_report_json(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        rc = main(["design", self._target_file(tmp_path),
+                   "--out", str(out_path)])
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["feasible"] is True
+        assert report["best"]["spec"] in report["pareto"]
+        assert capsys.readouterr().out
+
+    def test_design_infeasible_exits_one(self, tmp_path, capsys):
+        rc = main(["design", self._target_file(tmp_path, servers=100000)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "no enumerated candidate" in captured.err
+
+    def test_design_bad_target_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"servers": -1}))
+        assert main(["design", str(path)]) == 2
+        assert capsys.readouterr().err
+
+    def test_design_missing_file_exits_two(self, tmp_path, capsys):
+        rc = main(["design", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_no_sensitivity_flag_skips_tornado(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        rc = main(["design", self._target_file(tmp_path, sensitivity=True),
+                   "--no-sensitivity", "--out", str(out_path)])
+        assert rc == 0
+        assert json.loads(out_path.read_text())["sensitivity"] == []
+        assert capsys.readouterr().out

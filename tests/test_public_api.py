@@ -18,7 +18,7 @@ import repro
 DOCUMENTED_SUBPACKAGES = {
     "topologies", "traffic", "throughput", "sim", "flowsim", "perf",
     "cost", "analysis", "harness", "obs", "registry", "resilience",
-    "solvers", "api",
+    "solvers", "design", "api",
 }
 
 
