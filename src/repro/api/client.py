@@ -163,14 +163,7 @@ class HttpClient:
             self.host, self.port, timeout=self.timeout
         )
 
-    def _once(
-        self,
-        method: str,
-        path: str,
-        body: Optional[bytes],
-        headers: Dict[str, str],
-    ) -> ApiResponse:
-        self._conn.request(method, path, body=body, headers=headers)
+    def _read_response(self) -> ApiResponse:
         raw = self._conn.getresponse()
         data = raw.read()
         return ApiResponse(
@@ -195,13 +188,27 @@ class HttpClient:
             headers["X-Request-Id"] = request_id
         attempts = 1 + (self.get_retries if method == "GET" else 1)
         for attempt in range(attempts):
+            # The send and the response read fail differently: a send
+            # that never went out is safe to repeat for any method, but
+            # once the request is on the wire the server may already
+            # have acted on it, so only idempotent GETs retry past
+            # getresponse()/read() failures.
             try:
-                return self._once(method, path, body, headers)
+                self._conn.request(method, path, body=body, headers=headers)
             except (http.client.HTTPException, OSError):
                 self._reconnect()
                 if attempt + 1 >= attempts:
                     raise
                 if method == "GET" and self.backoff_s:
+                    time.sleep(self.backoff_s * (2 ** attempt))
+                continue
+            try:
+                return self._read_response()
+            except (http.client.HTTPException, OSError):
+                self._reconnect()
+                if method != "GET" or attempt + 1 >= attempts:
+                    raise
+                if self.backoff_s:
                     time.sleep(self.backoff_s * (2 ** attempt))
         raise AssertionError("unreachable")  # pragma: no cover
 

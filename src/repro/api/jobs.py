@@ -122,10 +122,22 @@ class Job:
         }
 
     def payload(self, include_records: bool = True) -> Dict[str, Any]:
-        """The full JSON form; terminal jobs carry their results."""
+        """The full JSON form; terminal jobs carry their results.
+
+        ``include_records=False`` (``?records=false``) keeps polling
+        cheap for both kinds: sweep jobs drop their records, design
+        jobs carry only a slim report summary instead of the full
+        evaluated/pruned/sensitivity document.
+        """
         body = self.summary()
         if self.terminal and self.kind == "design":
-            body["report"] = self.result
+            if include_records:
+                body["report"] = self.result
+            elif self.result is not None:
+                body["report"] = {
+                    key: self.result.get(key)
+                    for key in ("feasible", "complete", "best", "counters")
+                }
         elif self.terminal and include_records:
             body["records"] = [r.to_dict() for r in self.records]
             counts = body["counts"] or {}

@@ -758,6 +758,15 @@ class ApiService:
         kind = body.get("kind", "sweep")
         if kind == "design":
             target = self._parse_design_target(body)
+            candidates = len(enumerate_candidates(target))
+            if candidates > self.max_job_points:
+                raise ApiError(
+                    400,
+                    "too_many_points",
+                    f"design space has {candidates} candidates; the "
+                    f"job limit is {self.max_job_points}",
+                    details={"max_job_points": self.max_job_points},
+                )
             try:
                 job = self.jobs.submit_design(target, self.design_engine)
             except RuntimeError as exc:

@@ -37,6 +37,7 @@ candidate provably cannot meet the target (the property test in
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -78,24 +79,33 @@ def _canonical(payload: Any) -> str:
 
 
 class _Memo:
-    """A small LRU of measurement dicts keyed by content."""
+    """A small LRU of measurement dicts keyed by content.
+
+    Locked: one warm :class:`DesignEngine` is shared by the service's
+    HTTP handler threads and design-job worker threads, and an
+    ``OrderedDict``'s recency updates are not safe to interleave.
+    """
 
     def __init__(self, capacity: int = 512):
         self.capacity = capacity
         self._data: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        value = self._data.get(key)
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
         if value is not None:
-            self._data.move_to_end(key)
             obs.add("design.memo.hits")
         return value
 
     def put(self, key: str, value: Dict[str, Any]) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
 
 class DesignEngine:
@@ -128,34 +138,40 @@ class DesignEngine:
     def _measure_structure(
         self, cand: CandidateDesign, target: DesignTarget
     ) -> Dict[str, Any]:
-        """Build the candidate and measure its pre-LP structure."""
+        """Build the candidate and measure its pre-LP structure.
+
+        The memo stores the raw, demand-free ``t_bound``; the target's
+        ``per_server_demand`` scaling is applied outside the memo, so
+        two targets differing only in demand (the struct key does not —
+        and must not need to — include it) never share a stale
+        ``bound_per_server``.
+        """
         key = self._struct_key(cand, target)
-        hit = self._struct.get(key)
-        if hit is not None:
-            return hit
-        with obs.span(
-            "design.structural", family=cand.family, switches=cand.switches
-        ):
-            topology = registry.topology(cand.spec)
-            tm = longest_matching_tm(
-                topology, target.fraction, seed=target.seed
-            )
-            cost = topology_port_cost(topology, PORT_COSTS[target.port_cost])
-            g = topology.graph
-            mean_degree = 2.0 * g.number_of_edges() / g.number_of_nodes()
-            expand = 0.0
-            if mean_degree > 0:
-                expand = max(0.0, min(1.0, spectral_gap(topology) / mean_degree))
-            t_bound = tm_throughput_upper_bound(topology, tm)
-            bound = min(1.0, t_bound * target.per_server_demand)
-        measured = {
-            "cost": cost,
-            "expandability": round(expand, 9),
-            "bound_per_server": round(bound, 9),
-            "num_servers": topology.num_servers,
-        }
-        self._struct.put(key, measured)
-        return measured
+        raw = self._struct.get(key)
+        if raw is None:
+            with obs.span(
+                "design.structural", family=cand.family, switches=cand.switches
+            ):
+                topology = registry.topology(cand.spec)
+                tm = longest_matching_tm(
+                    topology, target.fraction, seed=target.seed
+                )
+                cost = topology_port_cost(topology, PORT_COSTS[target.port_cost])
+                g = topology.graph
+                mean_degree = 2.0 * g.number_of_edges() / g.number_of_nodes()
+                expand = 0.0
+                if mean_degree > 0:
+                    expand = max(0.0, min(1.0, spectral_gap(topology) / mean_degree))
+                t_bound = tm_throughput_upper_bound(topology, tm)
+            raw = {
+                "cost": cost,
+                "expandability": round(expand, 9),
+                "t_bound": t_bound,
+                "num_servers": topology.num_servers,
+            }
+            self._struct.put(key, raw)
+        bound = min(1.0, raw["t_bound"] * target.per_server_demand)
+        return {**raw, "bound_per_server": round(bound, 9)}
 
     def _measure_lp(
         self, cand: CandidateDesign, target: DesignTarget

@@ -78,6 +78,24 @@ class TestDesignJobs:
         assert report["complete"] is True
         assert report == facade.design(TARGET).to_dict()
 
+    def test_oversized_design_job_rejected(self):
+        small = ApiService(max_job_points=1)
+        resp = InProcessClient(small).post(
+            "/v1/jobs", {"kind": "design", "target": TARGET}
+        )
+        assert resp.status == 400
+        assert resp.json["error"]["code"] == "too_many_points"
+        assert resp.json["error"]["details"]["max_job_points"] == 1
+
+    def test_records_false_returns_slim_report(self, facade):
+        job = facade.submit_job(kind="design", target=TARGET)
+        facade.wait_job(job.id, timeout_s=120)
+        slim = facade.job(job.id, records=False)["report"]
+        full = facade.job(job.id)["report"]
+        assert set(slim) == {"feasible", "complete", "best", "counters"}
+        assert slim["feasible"] == full["feasible"]
+        assert full["evaluated"]  # the full payload still has everything
+
     def test_unknown_kind_rejected(self, client):
         resp = client.post("/v1/jobs", {"kind": "nonsense"})
         assert resp.status == 400

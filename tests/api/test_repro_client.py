@@ -6,6 +6,7 @@ a live server — the ISSUE's "same answer via ReproClient.design()
 against a live /v1 server" check) get a real socket.
 """
 
+import http.client
 import threading
 
 import pytest
@@ -196,3 +197,57 @@ class TestOverHttp:
         resp = client.post("/v1/throughput", {"topology": JELLYFISH})
         assert resp.status == 200
         client.close()
+
+
+class _Response:
+    status = 200
+    headers = {"Content-Type": "application/json"}
+
+    def read(self):
+        return b'{"ok": true}'
+
+
+class _ScriptedConn:
+    """Sends always succeed; the first ``fail_reads`` reads die."""
+
+    def __init__(self, fail_reads: int):
+        self.fail_reads = fail_reads
+        self.sends = []
+        self.reads = 0
+
+    def request(self, method, path, body=None, headers=None):
+        self.sends.append((method, path))
+
+    def getresponse(self):
+        self.reads += 1
+        if self.reads <= self.fail_reads:
+            raise http.client.RemoteDisconnected("server closed")
+        return _Response()
+
+    def close(self):
+        pass
+
+
+class TestRetrySplit:
+    """Send failures and response-read failures retry differently:
+    a request that never went out is safe to resend for any method,
+    but once sent only idempotent GETs may be repeated."""
+
+    def _client(self, monkeypatch, conn):
+        client = HttpClient("localhost", 1, get_retries=2, backoff_s=0.0)
+        client._conn = conn
+        monkeypatch.setattr(client, "_reconnect", lambda: None)
+        return client
+
+    def test_post_that_died_mid_response_is_never_resent(self, monkeypatch):
+        conn = _ScriptedConn(fail_reads=99)
+        client = self._client(monkeypatch, conn)
+        with pytest.raises(http.client.RemoteDisconnected):
+            client.post("/v1/jobs", {"kind": "design"})
+        assert conn.sends == [("POST", "/v1/jobs")]  # exactly one send
+
+    def test_get_that_died_mid_response_is_retried(self, monkeypatch):
+        conn = _ScriptedConn(fail_reads=1)
+        client = self._client(monkeypatch, conn)
+        assert client.get("/v1/healthz").status == 200
+        assert conn.sends == [("GET", "/v1/healthz")] * 2

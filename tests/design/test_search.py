@@ -1,6 +1,7 @@
 """The staged search: determinism, pruning soundness, cancellation."""
 
 import json
+import threading
 
 import pytest
 
@@ -45,6 +46,19 @@ class TestDeterminism:
         second = canonical(engine.search(target))
         assert first == second
         assert second == canonical(design_search(target))
+
+    def test_warm_engine_demand_change_is_not_stale(self):
+        """The struct memo is demand-free: one warm engine serving
+        targets that differ only in ``per_server_demand`` must match
+        the cold answer for each (regression: a demand-scaled bound
+        cached under a demand-free key pruned/passed the wrong set)."""
+        engine = DesignEngine()
+        base = make()
+        halved = make(per_server_demand=0.5)
+        warm_base = canonical(engine.search(base))
+        warm_halved = canonical(engine.search(halved))
+        assert warm_base == canonical(design_search(base))
+        assert warm_halved == canonical(design_search(halved))
 
     def test_sensitivity_reuses_measurements(self):
         """With sensitivity on, the report core matches the plain run."""
@@ -178,6 +192,36 @@ class TestPruningSoundness:
         for entry in report.evaluated:
             if entry.status == "optimal":
                 assert entry.per_server <= entry.bound_per_server + 1e-6
+
+
+class TestMemoThreadSafety:
+    def test_concurrent_churn_does_not_corrupt(self):
+        """The engine's LRU is shared by HTTP handler threads and job
+        workers; interleaved get/put (move_to_end + popitem under
+        eviction pressure) must neither raise nor lose the dict."""
+        from repro.design.search import _Memo
+
+        memo = _Memo(capacity=8)
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(2000):
+                    key = f"k{(i + offset) % 32}"
+                    memo.get(key)
+                    memo.put(key, {"i": i})
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(o,)) for o in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(memo._data) <= 8
 
 
 class TestCounters:
