@@ -1,7 +1,7 @@
 """Hyperscale probe: how far does each layer actually stretch?
 
 The sharded harness (PR 8) only matters if the layers under it keep up,
-so this probe pushes three stages to their practical limits and records
+so this probe pushes four stages to their practical limits and records
 the frontier in ``BENCH_scale.json`` at the repo root:
 
 * **Generation** — jellyfish and xpander construction on a doubling
@@ -11,18 +11,32 @@ the frontier in ``BENCH_scale.json`` at the repo root:
   swept over *source chunks* (the ``indices=`` parameter) so the
   working set stays one chunk × N instead of N × N; records pair
   throughput, diameter, and mean path length at the largest rung.
+* **TM generation** — ``longest_matching_tm`` on a doubling rack
+  ladder (above 256 active ToRs it switches to the greedy pairing over
+  chunked PathCache distances, so neither the dense distance matrix nor
+  the O(n^3) blossom matching caps the climb).
 * **Per-engine solves** — the largest jellyfish each evaluation engine
-  (``flowsim``, ``highs-exact``, ``highs-incremental``, ``mcf-approx``)
-  completes within the per-trial budget, with the headline metric and
-  wall time at that frontier.
+  (``flowsim``, ``highs-exact``, ``highs-incremental``,
+  ``highs-colgen``, ``mcf-approx``) completes within the per-trial
+  budget, with the headline metric and wall time at that frontier.
 
-Every stage climbs a ×2 ladder and stops at the first rung that fails
-or overruns its budget — the committed JSON records both the last good
-rung and the rung that stopped the climb, so a regression (or an
-improvement) in any engine shows up as a trajectory diff.
+Every stage climbs a ×2 ladder.  Schema ``repro.scale/2`` records two
+distinct frontiers per stage, which v1 conflated:
 
-Set ``REPRO_PERF_QUICK=1`` for a reduced ladder (CI smoke); the
-committed ``BENCH_scale.json`` comes from a full run.
+* ``max_ok`` — the largest rung that finished *within* the trial
+  budget (the climb continues past it only while rungs stay on
+  budget);
+* ``max_completed`` — the largest rung that finished at all.  The
+  first over-budget rung still completes and is recorded here, then
+  stops the climb.
+
+``stopped_by`` names the rung and reason (``over budget``, ``cap``, or
+the exception) that ended the climb.  A regression (or improvement) in
+any engine shows up as a trajectory diff in the committed JSON.
+
+Set ``REPRO_PERF_QUICK=1`` for a reduced ladder (the CI ``scale-smoke``
+job, which also asserts the quick-ladder floors below); the committed
+``BENCH_scale.json`` comes from a full run.
 """
 
 from __future__ import annotations
@@ -39,19 +53,22 @@ from repro.harness.execute import execute_spec
 from repro.ioutils import atomic_write_json
 from repro.perf import PathCache
 from repro.topologies import jellyfish, xpander
+from repro.traffic import longest_matching_tm
 
 QUICK = os.environ.get("REPRO_PERF_QUICK") == "1"
 BENCH_PATH = os.path.join(
     os.path.dirname(__file__), os.pardir, os.pardir, "BENCH_scale.json"
 )
 
-#: Per-trial wall-clock budget (s): a rung past this stops the climb.
+#: Per-trial wall-clock budget (s): the first rung past this completes,
+#: is recorded as ``max_completed``, and stops the climb.
 TRIAL_BUDGET_S = 2.0 if QUICK else 20.0
 
 #: Generation is cheap; give it a tighter budget and a taller ladder.
 GEN_BUDGET_S = 1.0 if QUICK else 10.0
 GEN_CAP = 2048 if QUICK else 65536
 BFS_CAP = 1024 if QUICK else 16384
+TM_CAP = 1024 if QUICK else 8192
 ENGINE_CAP = 256 if QUICK else 8192
 BASE_SWITCHES = 16
 DEGREE = 10
@@ -84,6 +101,13 @@ ENGINE_SPECS = {
             "fraction": 1.0,
         },
     },
+    "highs-colgen": {
+        "engine": "lp",
+        "workload": {
+            "pattern": "longest_matching", "solver": "highs-colgen",
+            "fraction": 1.0,
+        },
+    },
     "mcf-approx": {
         "engine": "lp",
         "workload": {
@@ -98,8 +122,20 @@ ENGINE_METRIC = {
     "flowsim": "avg_fct_ms",
     "highs-exact": "per_server_throughput",
     "highs-incremental": "per_server_throughput",
+    "highs-colgen": "per_server_throughput",
     "mcf-approx": "per_server_throughput",
 }
+
+#: Quick-ladder floors the CI scale-smoke job holds every engine to:
+#: the largest *completed* rung must reach at least this many switches.
+QUICK_ENGINE_FLOORS = {
+    "flowsim": 64,
+    "highs-exact": 32,
+    "highs-incremental": 32,
+    "highs-colgen": 64,
+    "mcf-approx": 16,
+}
+QUICK_TM_FLOOR = 512
 
 _RESULTS: dict = {}
 
@@ -120,10 +156,15 @@ def _climb(cap: int, budget_s: float, trial):
     """Run ``trial(switches)`` up the ×2 ladder; return the frontier.
 
     ``trial`` returns a JSON-ready dict on success (must include
-    ``wall_s``) or raises.  The climb stops at the first failure or the
-    first rung whose wall time exceeds ``budget_s``.
+    ``wall_s``) or raises.  Every rung that returns is recorded in
+    ``max_completed``; only rungs whose wall time stays within
+    ``budget_s`` advance ``max_ok``, and the first over-budget rung (or
+    the first failure) stops the climb.  v1 of this schema recorded an
+    over-budget rung as ``max_ok``, which both inflated the frontier
+    and hid how far past the budget the layer could actually reach.
     """
     last_ok = None
+    last_completed = None
     stopped_by = None
     for switches in _ladder(cap):
         try:
@@ -134,13 +175,23 @@ def _climb(cap: int, budget_s: float, trial):
                 "reason": f"{type(exc).__name__}: {exc}"[:200],
             }
             break
-        last_ok = {"switches": switches, **entry}
+        last_completed = {"switches": switches, **entry}
         if entry["wall_s"] > budget_s:
             stopped_by = {"switches": switches, "reason": "over budget"}
             break
+        last_ok = last_completed
     if stopped_by is None:
-        stopped_by = {"switches": last_ok["switches"], "reason": "cap"}
-    return {"max_ok": last_ok, "stopped_by": stopped_by}
+        stopped_by = {
+            "switches": (
+                last_completed["switches"] if last_completed else None
+            ),
+            "reason": "cap",
+        }
+    return {
+        "max_ok": last_ok,
+        "max_completed": last_completed,
+        "stopped_by": stopped_by,
+    }
 
 
 def _write_results() -> None:
@@ -149,7 +200,7 @@ def _write_results() -> None:
     if os.path.exists(path):
         with open(path) as handle:
             payload = json.load(handle)
-    payload["schema"] = "repro.scale/1"
+    payload["schema"] = "repro.scale/2"
     payload["quick"] = QUICK
     payload.update(_RESULTS)
     atomic_write_json(path, payload, sort_keys=True)
@@ -187,8 +238,8 @@ def test_scale_generation():
         "xpander": _climb(GEN_CAP, GEN_BUDGET_S, gen_xpander),
     }
     for family, frontier in _RESULTS["generation"].items():
-        assert frontier["max_ok"] is not None, family
-        assert frontier["max_ok"]["switches"] >= BASE_SWITCHES
+        assert frontier["max_completed"] is not None, family
+        assert frontier["max_completed"]["switches"] >= BASE_SWITCHES
     _write_results()
 
 
@@ -227,12 +278,42 @@ def test_scale_chunked_bfs():
         }
 
     _RESULTS["chunked_bfs"] = _climb(BFS_CAP, TRIAL_BUDGET_S, bfs)
-    assert _RESULTS["chunked_bfs"]["max_ok"] is not None
+    assert _RESULTS["chunked_bfs"]["max_completed"] is not None
     _write_results()
 
 
 # ----------------------------------------------------------------------
-# Stage 3: per-engine solve frontier
+# Stage 3: traffic-matrix generation
+# ----------------------------------------------------------------------
+def test_scale_tm_generation():
+    def gen_tm(switches: int):
+        topo = jellyfish(switches, _degree(switches), SERVERS, seed=1)
+        t0 = time.perf_counter()
+        tm = longest_matching_tm(topo, 1.0, seed=1)
+        wall = time.perf_counter() - t0
+        # Validation rides along (one-pass hose check) but is asserted,
+        # not timed: the frontier measures generation.
+        tm.validate_hose({t: SERVERS for t in topo.tors})
+        assert tm.num_flows >= switches - 2, "matching left racks unpaired"
+        return {
+            "wall_s": round(wall, 4),
+            "flows": tm.num_flows,
+            "flows_per_s": round(tm.num_flows / wall, 1),
+        }
+
+    _RESULTS["tm_generation"] = {
+        "longest_matching": _climb(TM_CAP, TRIAL_BUDGET_S, gen_tm),
+    }
+    frontier = _RESULTS["tm_generation"]["longest_matching"]
+    assert frontier["max_completed"] is not None
+    assert frontier["max_completed"]["switches"] >= BASE_SWITCHES
+    if QUICK:
+        assert frontier["max_completed"]["switches"] >= QUICK_TM_FLOOR
+    _write_results()
+
+
+# ----------------------------------------------------------------------
+# Stage 4: per-engine solve frontier
 # ----------------------------------------------------------------------
 def test_scale_engines():
     frontiers = {}
@@ -259,7 +340,12 @@ def test_scale_engines():
             }
 
         frontiers[engine] = _climb(ENGINE_CAP, TRIAL_BUDGET_S, solve)
-        assert frontiers[engine]["max_ok"] is not None, engine
-        assert frontiers[engine]["max_ok"]["switches"] >= BASE_SWITCHES
+        assert frontiers[engine]["max_completed"] is not None, engine
+        assert frontiers[engine]["max_completed"]["switches"] >= BASE_SWITCHES
+        if QUICK:
+            assert (
+                frontiers[engine]["max_completed"]["switches"]
+                >= QUICK_ENGINE_FLOORS[engine]
+            ), engine
     _RESULTS["engines"] = frontiers
     _write_results()

@@ -75,6 +75,7 @@ from ..harness.spec import ENGINES, ExperimentSpec, expand_sweep
 from ..perf import PathCache, shared_path_cache
 from ..solvers.base import SolveOutcome, solve_outcome
 from ..solvers.batched import BatchedTopologyContext
+from ..solvers.colgen import ColgenTopologyContext, colgen_solve_outcome
 from ..solvers.incremental import (
     IncrementalTopologyContext,
     incremental_solve_outcome,
@@ -109,6 +110,10 @@ _CONTEXT_SOLVERS = ("exact", "highs-exact", "highs-batched")
 #: Solver names served by the warm *incremental* context cache (model
 #: structure + simplex bases carried across requests).
 _INCREMENTAL_SOLVERS = ("highs-incremental",)
+
+#: Solver names served by the warm *colgen* context cache (generated
+#: path pools carried across requests).
+_COLGEN_SOLVERS = ("highs-colgen",)
 
 
 def _require(body: Dict[str, Any], key: str) -> Any:
@@ -516,8 +521,10 @@ class ApiService:
 
         context: Optional[BatchedTopologyContext] = None
         incremental: Optional[IncrementalTopologyContext] = None
+        colgen: Optional[ColgenTopologyContext] = None
         context_hit = False
         uses_incremental = solver_name in _INCREMENTAL_SOLVERS
+        uses_colgen = solver_name in _COLGEN_SOLVERS
         uses_context = solver_name in _CONTEXT_SOLVERS
         if uses_incremental:
             if warm:
@@ -526,6 +533,13 @@ class ApiService:
                 )
             else:
                 incremental = IncrementalTopologyContext(topo)
+        elif uses_colgen:
+            if warm:
+                colgen, context_hit = self.state.colgen(
+                    topology_spec, topo, failures
+                )
+            else:
+                colgen = ColgenTopologyContext(topo)
         elif uses_context:
             if warm:
                 context, context_hit = self.state.context(
@@ -561,6 +575,11 @@ class ApiService:
                     incremental, tm, demand,
                     backend_name=solver_name, reuse_structure=warm,
                 )
+            elif uses_colgen:
+                outcome = colgen_solve_outcome(
+                    colgen, tm, demand,
+                    backend_name=solver_name, reuse_pool=warm,
+                )
             elif uses_context:
                 outcome = solve_outcome(
                     solver_name, lambda: context.solve(tm, demand)
@@ -568,7 +587,7 @@ class ApiService:
             else:
                 outcome = backend.solve(topo, tm, demand)
             entry = self._outcome_entry(fraction, outcome)
-            if uses_incremental:
+            if uses_incremental or uses_colgen:
                 entry["warm_started"] = outcome.warm_started
                 entry["basis_reused"] = outcome.basis_reused
             if warm and outcome.ok:
@@ -585,7 +604,7 @@ class ApiService:
                 "topology": "hit" if topo_hit else "miss",
                 "context": (
                     ("hit" if context_hit else "miss")
-                    if (uses_context or uses_incremental)
+                    if (uses_context or uses_incremental or uses_colgen)
                     else None
                 ),
                 "results_cached": sum(1 for r in results if r["cached"]),

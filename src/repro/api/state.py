@@ -45,6 +45,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from .. import obs, registry
 from ..solvers.batched import BatchedTopologyContext
+from ..solvers.colgen import ColgenTopologyContext
 from ..solvers.incremental import IncrementalTopologyContext
 from ..topologies import Topology
 
@@ -115,12 +116,14 @@ class WarmState:
         max_contexts: int = 32,
         max_results: int = 4096,
         max_incremental: int = 8,
+        max_colgen: int = 8,
     ) -> None:
         self._lock = threading.RLock()
         self._topologies = _Lru("topology", max_topologies)
         self._contexts = _Lru("context", max_contexts)
         self._results = _Lru("results", max_results)
         self._incremental = _Lru("incremental", max_incremental)
+        self._colgen = _Lru("colgen", max_colgen)
         self.started_at = time.time()
 
     # ------------------------------------------------------------------
@@ -213,6 +216,30 @@ class WarmState:
             return self._incremental.put(key, context), False
 
     # ------------------------------------------------------------------
+    # Column-generation solver contexts (the persistent path pools)
+    # ------------------------------------------------------------------
+    def colgen(
+        self, spec: Any, topology: Topology, failures: Any = None
+    ) -> Tuple[ColgenTopologyContext, bool]:
+        """The warm colgen context; returns ``(context, was_hit)``.
+
+        Holds the per-topology path pool
+        (:class:`~repro.solvers.colgen.ColgenTopologyContext`): columns
+        generated for one request seed the restricted master of the
+        next, so repeated ``/throughput`` queries against the same spec
+        typically converge in a round or two.  Bounded like the
+        incremental LRU — each context holds an ArcTable plus its pool.
+        """
+        key = self.topology_key(spec, failures)
+        with self._lock:
+            context = self._colgen.get(key)
+        if context is not None:
+            return context, True
+        context = ColgenTopologyContext(topology)
+        with self._lock:
+            return self._colgen.put(key, context), False
+
+    # ------------------------------------------------------------------
     # Content-addressed result memo
     # ------------------------------------------------------------------
     def result_get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -239,7 +266,12 @@ class WarmState:
             incremental["contexts"] = [
                 ctx.stats() for ctx in self._incremental.entries.values()
             ]
+            colgen = self._colgen.stats()
+            colgen["contexts"] = [
+                ctx.stats() for ctx in self._colgen.entries.values()
+            ]
         warm["incremental_contexts"] = incremental
+        warm["colgen_contexts"] = colgen
         warm["path_cache"] = shared_cache_stats()
         warm["warm_start"] = warm_start_stats()
         return warm
@@ -251,3 +283,4 @@ class WarmState:
             self._contexts.entries.clear()
             self._results.entries.clear()
             self._incremental.entries.clear()
+            self._colgen.entries.clear()

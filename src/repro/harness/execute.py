@@ -117,7 +117,10 @@ def _lp_solver_backend(wl: Mapping[str, Any]):
     """The :data:`repro.registry.SOLVERS` backend an lp workload selects.
 
     ``k_paths`` parameterizes the paths backends and ``epsilon`` the
-    approximation; the exact backends take no knobs.
+    approximation; ``highs-colgen`` takes ``k_paths`` (seed paths per
+    demand), ``max_rounds``, and ``solver_mode``; the other exact
+    backends take no knobs (beyond ``highs-incremental``'s
+    ``solver_mode``).
     """
     name = str(wl.get("solver", "exact"))
     params: Dict[str, Any] = {}
@@ -127,6 +130,13 @@ def _lp_solver_backend(wl: Mapping[str, Any]):
         params["epsilon"] = wl["epsilon"]
     elif name == "highs-incremental" and "solver_mode" in wl:
         params["mode"] = wl["solver_mode"]
+    elif name == "highs-colgen":
+        if "k_paths" in wl:
+            params["k"] = wl["k_paths"]
+        if "max_rounds" in wl:
+            params["max_rounds"] = wl["max_rounds"]
+        if "solver_mode" in wl:
+            params["mode"] = wl["solver_mode"]
     try:
         return registry.SOLVERS.build(name, **params)
     except registry.RegistryError as exc:

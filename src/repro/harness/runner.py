@@ -261,13 +261,25 @@ class Runner:
             return
         from .execute import execute_lp_batch
 
-        for indices in groups.values():
+        for key, indices in groups.items():
             if self._stopped():
                 return
             started = time.perf_counter()
             try:
                 batch = execute_lp_batch([specs[i] for i in indices])
-            except Exception:  # noqa: BLE001 - fall back to per-point path
+            except Exception as exc:  # noqa: BLE001 - fall back to per-point path
+                # The fallback is correct but silent failure is not: a
+                # batch that dies here (solver bug, topology build error)
+                # re-runs every point individually, which can silently
+                # cost the entire batching speedup.  Count it and carry
+                # the exception so sweeps can see why.
+                obs.add("harness.batch_fallback")
+                obs.event(
+                    "harness.batch_fallback",
+                    solver=key[2],
+                    points=len(indices),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 continue
             obs.add("runner.batched_points", len(indices))
             for i, record in zip(indices, batch):

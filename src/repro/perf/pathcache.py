@@ -175,6 +175,37 @@ class PathCache:
                 obs.add("pathcache.hits")
             return self._dist
 
+    def distances_from(self, sources) -> np.ndarray:
+        """Hop-count rows for ``sources`` only, without the full matrix.
+
+        The all-pairs matrix is O(n^2) memory — at 4096+ switches that is
+        the scale wall, not the BFS time.  This computes just the
+        requested rows in one C-speed multi-source sweep and does **not**
+        cache them, so callers can stream a large node set in bounded
+        chunks.  When the full matrix happens to be cached already, rows
+        are sliced from it for free.
+
+        Returns an array of shape ``(len(sources), num_nodes)`` with rows
+        in the order given (columns follow :attr:`nodes`); ``inf`` marks
+        unreachable pairs.
+        """
+        idx = np.asarray(
+            [self.node_index[s] for s in sources], dtype=np.intp
+        )
+        with self._lock:
+            if self._dist is not None:
+                obs.add("pathcache.hits")
+                return self._dist[idx]
+        obs.add("pathcache.misses")
+        with obs.span(
+            "pathcache.distances_from", nodes=self.num_nodes,
+            sources=int(idx.size),
+        ):
+            return csgraph.shortest_path(
+                self._adjacency, method="D", directed=False,
+                unweighted=True, indices=idx,
+            )
+
     def distance(self, src: int, dst: int) -> float:
         """Hop distance between two switches (``inf`` if unreachable)."""
         d = self.distances()

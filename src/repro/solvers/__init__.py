@@ -29,6 +29,7 @@ the previous basis.  ``mcf-approx`` is guaranteed within its
 
 from .backends import (
     HighsBatchedBackend,
+    HighsColgenBackend,
     HighsExactBackend,
     HighsIncrementalBackend,
     HighsPathsBackend,
@@ -37,6 +38,10 @@ from .backends import (
 )
 from .base import SolveOutcome, SolveStatus, SolverBackend, solve_outcome
 from .batched import BatchedTopologyContext
+from .colgen import (
+    ColgenTopologyContext,
+    colgen_solve_outcome,
+)
 from .incremental import (
     IncrementalTopologyContext,
     have_highspy,
@@ -54,11 +59,14 @@ __all__ = [
     "HighsExactBackend",
     "HighsBatchedBackend",
     "HighsIncrementalBackend",
+    "HighsColgenBackend",
     "HighsPathsBackend",
     "McfApproxBackend",
     "BatchedTopologyContext",
     "IncrementalTopologyContext",
+    "ColgenTopologyContext",
     "incremental_solve_outcome",
+    "colgen_solve_outcome",
     "have_highspy",
     "topology_fingerprint",
     "warm_start_stats",

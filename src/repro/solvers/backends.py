@@ -14,6 +14,13 @@ exposed):
   constraint structure per demand support, and with the optional
   ``highspy`` dependency (the ``[perf]`` extra) dual-simplex re-solves
   from the previous basis.  Knob ``mode`` (auto / highspy / fallback).
+* ``highs-colgen`` — exact *path* LP by column generation
+  (:class:`~repro.solvers.colgen.HighsColgenBackend`): restricted
+  master over a generated path pool + dual-price pricing loop,
+  converging to the same optimum as ``highs-exact`` with masters small
+  enough to scale an order of magnitude further.  Knobs ``k``,
+  ``phases``, ``passes``, ``max_rounds``, ``mode`` (auto / core /
+  fallback).
 * ``highs-paths`` (alias ``paths``) — k-shortest-paths LP lower bound
   via :func:`~repro.throughput.lp.path_throughput`; knob ``k``.
 * ``mcf-approx`` — the Fleischer/Garg–Könemann FPTAS
@@ -35,6 +42,7 @@ from ..throughput.lp import (
 from ..throughput.mcf import approx_concurrent_throughput
 from .base import SolveOutcome, SolverBackend, solve_outcome
 from .batched import BatchedTopologyContext
+from .colgen import HighsColgenBackend
 from .incremental import HighsIncrementalBackend
 
 __all__ = [
@@ -42,6 +50,7 @@ __all__ = [
     "HighsBatchedBackend",
     "HighsPathsBackend",
     "HighsIncrementalBackend",
+    "HighsColgenBackend",
     "McfApproxBackend",
     "register_builtin_solvers",
 ]
@@ -144,6 +153,13 @@ def register_builtin_solvers(registry) -> None:
         "exact edge LP, warm-started across sweep points (structure + "
         "basis reuse with the optional highspy [perf] extra; pure-scipy "
         "fallback stays byte-identical to highs-exact); mode",
+    )
+    registry.register(
+        "highs-colgen", HighsColgenBackend,
+        "exact path LP by column generation (restricted master + "
+        "dual-price pricing loop); scales past the edge LP; persistent "
+        "path pool warm-starts repeat solves; k, phases, passes, "
+        "max_rounds, mode",
     )
     registry.register(
         "highs-paths", HighsPathsBackend,

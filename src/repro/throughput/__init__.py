@@ -17,6 +17,7 @@ from .errors import (
     SolverNumericalError,
     UnboundedError,
 )
+from .colgen import path_colgen_throughput
 from .lp import ThroughputResult, max_concurrent_throughput, path_throughput
 from .mcf import approx_concurrent_throughput
 from .paths import all_shortest_paths, ecmp_next_hops, k_shortest_paths, path_edges
@@ -39,6 +40,7 @@ __all__ = [
     "Conjecture24Evidence",
     "max_concurrent_throughput",
     "path_throughput",
+    "path_colgen_throughput",
     "approx_concurrent_throughput",
     "tm_throughput_upper_bound",
     "best_static_throughput_bound",

@@ -44,7 +44,7 @@ def test_context_manifest(client):
     assert "POST /v1/throughput" in ctx.raw["endpoints"]
     assert set(ctx.caches) == {
         "topologies", "solver_contexts", "results", "path_cache",
-        "incremental_contexts", "warm_start",
+        "incremental_contexts", "colgen_contexts", "warm_start",
     }
     assert set(ctx.caches["warm_start"]) >= {"hit", "miss"}
     assert ctx.limits["max_body_bytes"] > 0

@@ -162,3 +162,40 @@ class TestFatalErrors:
 
         assert issubclass(SolverFailure, _FATAL_ERRORS)
         assert issubclass(InfeasibleError, _FATAL_ERRORS)
+
+
+class TestBatchFallbackObservability:
+    def test_wholesale_batch_failure_is_counted_and_evented(self, monkeypatch):
+        """A batch that dies wholesale silently re-runs per point — the
+        fallback must leave a counter and a structured event behind so
+        sweeps can see the batching speedup evaporated (and why)."""
+        from repro import obs
+
+        def boom(specs):
+            raise RuntimeError("batch solver exploded")
+
+        monkeypatch.setattr("repro.harness.execute.execute_lp_batch", boom)
+        with obs.session() as run:
+            result = Runner(inline=True, retries=0).run(_specs("highs-batched"))
+            snap = obs.snapshot()
+        # Every point still completed — on the per-point path.
+        assert result.ok
+        assert all(r.attempts == 1 for r in result.records)
+        assert snap["harness.batch_fallback"]["value"] == 1
+        assert "runner.batched_points" not in snap
+        events = [e for e in run.events if e["kind"] == "harness.batch_fallback"]
+        assert len(events) == 1
+        assert events[0]["solver"] == "highs-batched"
+        assert events[0]["points"] == len(FRACTIONS)
+        assert events[0]["error"] == "RuntimeError: batch solver exploded"
+
+    def test_healthy_batches_emit_no_fallback(self):
+        from repro import obs
+
+        with obs.session() as run:
+            result = Runner(jobs=1, retries=0).run(_specs("highs-batched"))
+            snap = obs.snapshot()
+        assert result.ok
+        assert "harness.batch_fallback" not in snap
+        assert snap["runner.batched_points"]["value"] == len(FRACTIONS)
+        assert not [e for e in run.events if e["kind"] == "harness.batch_fallback"]

@@ -83,3 +83,29 @@ class TestTransforms:
     def test_items_sorted(self):
         tm = TrafficMatrix({(3, 1): 1.0, (0, 2): 1.0})
         assert [k for k, _ in tm.items()] == [(0, 2), (3, 1)]
+
+
+class TestHoseValidationScaling:
+    """Regression: validation is one scan of the demands, not a rescan
+    per participant (which made 10k-flow TMs quadratic to validate)."""
+
+    def test_one_pass_never_calls_per_tor_accessors(self, monkeypatch):
+        n = 200  # all-to-all: ~40k flows, 200 participants
+        tm = TrafficMatrix(
+            {(s, d): 1.0 / (n - 1) for s in range(n) for d in range(n) if s != d}
+        )
+        assert tm.num_flows > 10_000
+
+        def forbidden(self, tor):  # pragma: no cover - fails the test if hit
+            raise AssertionError("validate_hose must not rescan per ToR")
+
+        monkeypatch.setattr(TrafficMatrix, "egress", forbidden)
+        monkeypatch.setattr(TrafficMatrix, "ingress", forbidden)
+        tm.validate_hose({t: 1 for t in range(n)})
+
+    def test_first_violation_is_deterministic(self):
+        # ToR 7 violates egress AND ToR 3 violates ingress: smallest id
+        # wins, so the error names ToR 3's ingress.
+        tm = TrafficMatrix({(7, 3): 5.0, (8, 3): 5.0})
+        with pytest.raises(TrafficMatrixError, match="ToR 3 ingress"):
+            tm.validate_hose({3: 4, 7: 100, 8: 100})

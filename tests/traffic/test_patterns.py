@@ -1,11 +1,16 @@
 """Tests for traffic patterns: fluid TMs and pair distributions."""
 
+import os
 import random
+import subprocess
+import sys
 from collections import Counter
 
 import pytest
 
-from repro.topologies import fattree, xpander
+import networkx as nx
+
+from repro.topologies import fattree, jellyfish, xpander
 from repro.traffic import (
     TrafficMatrixError,
     a2a_pair_distribution,
@@ -219,3 +224,121 @@ class TestProjectorLikeDistribution:
         n_pairs = len(xp.tors) * (len(xp.tors) - 1)
         nonzero = len(dist.pair_weights)
         assert nonzero <= 0.45 * n_pairs
+
+
+class TestLongestMatchingDispatch:
+    """Exact below LONGEST_MATCHING_EXACT_MAX active ToRs, greedy above."""
+
+    def test_small_instances_use_exact_matching(self, monkeypatch):
+        from repro.traffic import patterns
+
+        calls = []
+        real = patterns._exact_longest_matching
+        monkeypatch.setattr(
+            patterns,
+            "_exact_longest_matching",
+            lambda topo, active: calls.append(len(active)) or real(topo, active),
+        )
+        topo = jellyfish(20, 4, 2, seed=0)
+        longest_matching_tm(topo, 1.0, seed=1)
+        assert calls == [20]
+
+    def test_greedy_kicks_in_above_threshold(self, monkeypatch):
+        from repro.traffic import patterns
+
+        monkeypatch.setattr(patterns, "LONGEST_MATCHING_EXACT_MAX", 8)
+        exact_calls = []
+        monkeypatch.setattr(
+            patterns,
+            "_exact_longest_matching",
+            lambda topo, active: exact_calls.append(1),
+        )
+        topo = jellyfish(20, 4, 2, seed=0)
+        tm = longest_matching_tm(topo, 1.0, seed=1)
+        assert not exact_calls
+        assert tm.num_flows == 20  # perfect pairing, both directions
+        tm.validate_hose({t: topo.servers_at(t) for t in topo.tors})
+
+    def test_greedy_pairs_are_long(self):
+        """The greedy pairing keeps the pattern's point: pairs sit near
+        the diameter, not adjacent."""
+        from repro.traffic.patterns import _greedy_longest_matching
+
+        topo = jellyfish(40, 4, 2, seed=0)
+        pairs = _greedy_longest_matching(topo, list(topo.tors))
+        assert len(pairs) == 20
+        dists = [
+            nx.shortest_path_length(topo.graph, a, b) for a, b in pairs
+        ]
+        diameter = nx.diameter(topo.graph)
+        assert max(dists) == diameter
+        assert sum(dists) / len(dists) >= diameter - 1
+
+
+class TestTmDeterminism:
+    """Property tests: TM generation is a pure function of its inputs —
+    byte-identical across processes and hash seeds, and always
+    hose-valid."""
+
+    SCRIPT = """
+import hashlib, json, sys
+from repro.topologies import jellyfish
+from repro.traffic import patterns
+from repro.traffic import all_to_all_tm, longest_matching_tm, permutation_tm
+
+which = sys.argv[1]
+topo = jellyfish(30, 4, 2, seed=7)
+if which == "longest-greedy":
+    patterns.LONGEST_MATCHING_EXACT_MAX = 8
+    tm = longest_matching_tm(topo, 1.0, seed=3)
+elif which == "longest-exact":
+    tm = longest_matching_tm(topo, 1.0, seed=3)
+elif which == "permutation":
+    tm = permutation_tm(topo.tors, 2, fraction=0.8, seed=3)
+else:
+    tm = all_to_all_tm(topo.tors, 2, fraction=0.8, seed=3)
+blob = json.dumps([[s, d, v] for (s, d), v in tm.items()])
+print(hashlib.sha256(blob.encode()).hexdigest())
+"""
+
+    @pytest.mark.parametrize(
+        "which", ["longest-exact", "longest-greedy", "permutation", "all-to-all"]
+    )
+    def test_cross_process_byte_identity(self, which):
+        digests = set()
+        for hashseed in ("0", "1", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [p for p in (env.get("PYTHONPATH"),) if p] + ["src"]
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT, which],
+                capture_output=True, text=True, env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+                check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1, f"{which} digests diverged: {digests}"
+
+    @pytest.mark.parametrize("i", range(8))
+    def test_random_instances_are_hose_valid_and_symmetric(self, i):
+        rng = random.Random(1000 + i)
+        if i % 2 == 0:
+            sw, deg = rng.randint(10, 30), 4
+            topo = jellyfish(sw, deg, rng.randint(1, 3), seed=rng.randint(0, 99))
+        else:
+            topo = xpander(4, 6, rng.randint(1, 3), seed=rng.randint(0, 99))
+        frac = rng.choice([0.5, 0.8, 1.0])
+        tm = longest_matching_tm(topo, frac, seed=rng.randint(0, 99))
+        tm.validate_hose({t: topo.servers_at(t) for t in topo.tors})
+        for (s, d), v in tm.items():
+            assert tm.demands[(d, s)] == v  # both directions, equal load
+
+    def test_greedy_determinism_in_process(self, monkeypatch):
+        from repro.traffic import patterns
+
+        monkeypatch.setattr(patterns, "LONGEST_MATCHING_EXACT_MAX", 8)
+        topo = jellyfish(30, 4, 2, seed=7)
+        a = longest_matching_tm(topo, 1.0, seed=3)
+        b = longest_matching_tm(topo, 1.0, seed=3)
+        assert list(a.items()) == list(b.items())
